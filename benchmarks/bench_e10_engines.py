@@ -1,0 +1,75 @@
+"""E10 — engine and aggregator ablations.
+
+(a) Truth-table vs DPLL model enumeration: the truth table is Θ(2^|𝒯|)
+    regardless of the formula; DPLL tracks the model count.  The printed
+    crossover table shows where each engine wins.
+(b) Aggregator ablation: the same fitting scenario under max (the paper),
+    priority-lex (the corrected loyal order), sum, and leximax — the
+    benchmark times them, and the experiment drivers/tests pin down their
+    axiom differences.
+"""
+
+import pytest
+
+from repro.bench.scaling import measure_engine_crossover
+from repro.core.fitting import (
+    LeximaxFitting,
+    PriorityFitting,
+    ReveszFitting,
+    SumFitting,
+)
+from repro.logic.enumeration import DpllEngine, TruthTableEngine
+from repro.logic.random_formulas import random_kcnf, random_model_set, random_vocabulary
+
+FITTINGS = [ReveszFitting(), PriorityFitting(), SumFitting(), LeximaxFitting()]
+
+VOCAB = random_vocabulary(10)
+PSI = random_model_set(VOCAB, 48, 3)
+MU = random_model_set(VOCAB, 96, 4)
+
+ENUM_VOCAB = random_vocabulary(12)
+ENUM_FORMULA = random_kcnf(ENUM_VOCAB, 30, 3, 5)
+
+
+def test_e10_crossover_table(capsys):
+    rows = measure_engine_crossover(atom_counts=(4, 8, 12, 14), seed=5)
+    with capsys.disabled():
+        print()
+        print("=== E10: enumeration engine crossover ===")
+        print(f"{'atoms':>5} {'models':>8} {'truth-table (s)':>16} "
+              f"{'dpll (s)':>12} {'bdd (s)':>12} {'dpll/tt':>9}")
+        for row in rows:
+            print(
+                f"{row['atoms']:>5} {row['models']:>8} "
+                f"{row['truth_table_seconds']:>16.6f} "
+                f"{row['dpll_seconds']:>12.6f} "
+                f"{row['bdd_seconds']:>12.6f} "
+                f"{row['ratio_dpll_over_tt']:>9.2f}"
+            )
+    assert rows
+
+
+def test_e10_benchmark_truth_table(benchmark):
+    engine = TruthTableEngine()
+    result = benchmark(engine.models, ENUM_FORMULA, ENUM_VOCAB)
+    assert len(result) >= 0
+
+
+def test_e10_benchmark_dpll(benchmark):
+    engine = DpllEngine()
+    result = benchmark(engine.models, ENUM_FORMULA, ENUM_VOCAB)
+    assert len(result) >= 0
+
+
+def test_e10_benchmark_bdd(benchmark):
+    from repro.logic.bdd import BddEngine
+
+    engine = BddEngine()
+    result = benchmark(engine.models, ENUM_FORMULA, ENUM_VOCAB)
+    assert len(result) >= 0
+
+
+@pytest.mark.parametrize("operator", FITTINGS, ids=lambda op: op.name)
+def test_e10_benchmark_aggregators(benchmark, operator):
+    result = benchmark(operator.apply_models, PSI, MU)
+    assert not result.is_empty

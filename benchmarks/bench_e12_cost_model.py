@@ -1,0 +1,44 @@
+"""E12 (extension) — machine-independent cost accounting.
+
+Verifies the closed-form prediction of distance evaluations for every
+distance-based operator across a parameter sweep (the analytic complement
+to E9's wall-clock comparison), and benchmarks one instrumented run.
+"""
+
+import pytest
+
+from repro.bench.complexity import (
+    cost_report,
+    measure_distance_evaluations,
+)
+from repro.logic.random_formulas import random_model_set, random_vocabulary
+
+SCENARIOS = [
+    (4, 3, 5),
+    (5, 6, 10),
+    (6, 16, 16),
+    (7, 8, 40),
+]
+
+
+def test_e12_prediction_table(capsys):
+    rows = []
+    for num_atoms, kb_models, input_models in SCENARIOS:
+        vocabulary = random_vocabulary(num_atoms)
+        psi = random_model_set(vocabulary, kb_models, num_atoms)
+        mu = random_model_set(vocabulary, input_models, num_atoms + 1)
+        rows.extend(cost_report(psi, mu))
+    with capsys.disabled():
+        print()
+        print("=== E12: predicted vs measured distance evaluations ===")
+        for row in rows:
+            print(row)
+    assert all(row.exact for row in rows)
+
+
+def test_e12_benchmark_instrumented_run(benchmark):
+    vocabulary = random_vocabulary(8)
+    psi = random_model_set(vocabulary, 32, 0)
+    mu = random_model_set(vocabulary, 64, 1)
+    calls = benchmark(measure_distance_evaluations, "revesz-odist", psi, mu)
+    assert calls == (1 << 8) * 32

@@ -1,0 +1,58 @@
+"""E13 (extension) — IC merging: the paper's framework one generation on.
+
+Audits ΔΣ / ΔGMax / ΔMax against the Konieczny–Pino Pérez postulates
+IC0–IC8 (sampled over a two-atom vocabulary) and benchmarks a profile
+merge.  Expected classification, mirroring the literature: ΔΣ and ΔGMax
+satisfy everything; ΔMax — the naive lift of the paper's odist — fails
+IC6, the profile-level analogue of the A8 defect from E7.
+"""
+
+import pytest
+
+from repro.core.ic_merging import (
+    GMaxMerge,
+    MaxMerge,
+    Profile,
+    SumMerge,
+    audit_ic_operator,
+)
+from repro.logic.interpretation import Vocabulary
+from repro.logic.random_formulas import random_model_set, random_vocabulary
+
+VOCAB = Vocabulary(["a", "b"])
+
+BENCH_VOCAB = random_vocabulary(8)
+BENCH_PROFILE = Profile(
+    [random_model_set(BENCH_VOCAB, 16, seed) for seed in range(6)]
+)
+BENCH_CONSTRAINT = random_model_set(BENCH_VOCAB, 64, 99)
+
+EXPECTED_FAILURES = {
+    "ic-sum": set(),
+    "ic-gmax": set(),
+    "ic-max": {"IC6"},
+}
+
+
+def test_e13_classification_table(capsys):
+    rows = []
+    for operator in (SumMerge(), GMaxMerge(), MaxMerge()):
+        audit = audit_ic_operator(operator, VOCAB, scenarios=300)
+        failures = {name for name, ce in audit.items() if ce is not None}
+        rows.append((operator.name, failures))
+    with capsys.disabled():
+        print()
+        print("=== E13: IC postulate classification (sampled, |T|=2) ===")
+        for name, failures in rows:
+            verdict = "IC0-IC8" if not failures else f"fails {sorted(failures)}"
+            print(f"  {name:<10} {verdict}")
+    for name, failures in rows:
+        assert failures == EXPECTED_FAILURES[name], (name, failures)
+
+
+@pytest.mark.parametrize(
+    "operator", [SumMerge(), GMaxMerge(), MaxMerge()], ids=lambda op: op.name
+)
+def test_e13_benchmark_merge(benchmark, operator):
+    result = benchmark(operator.merge, BENCH_PROFILE, BENCH_CONSTRAINT)
+    assert not result.is_empty

@@ -1,0 +1,96 @@
+"""E14 (extension) — relational grounding at scale.
+
+Measures how the grounded-propositional route to the paper's first-order
+open problem behaves as the domain grows: grounding cost, constraint
+expansion size, and end-to-end constrained inserts and two-party
+arbitration.  The interpretation space is 2^(ground atoms), so the
+truth-table engine's 22-atom ceiling maps to small domains — exactly the
+trade-off the open problem is about.
+"""
+
+import pytest
+
+from repro.relational import (
+    Fact,
+    Relation,
+    RelationalDatabase,
+    RelationalKnowledgeBase,
+    Schema,
+)
+
+
+def make_schema(domain_size: int) -> Schema:
+    return Schema(
+        [f"p{i}" for i in range(domain_size)],
+        [Relation("Emp", 1), Relation("Mgr", 2)],
+    )
+
+
+def constrained_insert_roundtrip(schema: Schema) -> str:
+    constraint = schema.forall(
+        2, lambda x, y: schema.atom("Mgr", x, y) >> schema.atom("Emp", x)
+    )
+    kb = RelationalKnowledgeBase(
+        RelationalDatabase(schema), constraints=constraint
+    )
+    kb = kb.insert(Fact.of("Mgr", "p0", "p1"))
+    return kb.holds(Fact.of("Emp", "p0"))
+
+
+def two_party_arbitration(schema: Schema) -> bool:
+    left = RelationalDatabase(
+        schema, [Fact.of("Emp", "p0"), Fact.of("Mgr", "p0", "p1")]
+    )
+    right = RelationalDatabase(
+        schema, [Fact.of("Emp", "p1"), Fact.of("Mgr", "p1", "p0")]
+    )
+    consensus = RelationalKnowledgeBase(left).arbitrate_with(right)
+    return consensus.satisfiable
+
+
+def test_e14_grounding_table(capsys):
+    rows = []
+    for domain_size in (2, 3, 4):
+        schema = make_schema(domain_size)
+        rows.append(
+            {
+                "domain": domain_size,
+                "ground_atoms": schema.atom_count,
+                "interpretations": 1 << schema.atom_count,
+            }
+        )
+    with capsys.disabled():
+        print()
+        print("=== E14: grounding growth (Emp/1 + Mgr/2) ===")
+        print(f"{'domain':>7} {'atoms':>6} {'interpretations':>17}")
+        for row in rows:
+            print(
+                f"{row['domain']:>7} {row['ground_atoms']:>6} "
+                f"{row['interpretations']:>17}"
+            )
+    # Arity-2 grounding is quadratic: |domain| + |domain|^2 atoms.
+    assert [row["ground_atoms"] for row in rows] == [6, 12, 20]
+
+
+def test_e14_constrained_insert_correct():
+    assert constrained_insert_roundtrip(make_schema(3)) == "yes"
+
+
+def test_e14_benchmark_constrained_insert(benchmark):
+    schema = make_schema(3)
+    result = benchmark(constrained_insert_roundtrip, schema)
+    assert result == "yes"
+
+
+def test_e14_benchmark_arbitration(benchmark):
+    schema = make_schema(3)
+    assert benchmark(two_party_arbitration, schema)
+
+
+def test_e14_benchmark_domain_4(benchmark):
+    """20 ground atoms — the practical ceiling of the truth-table route."""
+    schema = make_schema(4)
+    result = benchmark.pedantic(
+        constrained_insert_roundtrip, args=(schema,), rounds=1, iterations=1
+    )
+    assert result == "yes"

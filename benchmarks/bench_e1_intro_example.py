@@ -1,0 +1,20 @@
+"""E1 — Section 1's database example: {A, B, A∧B→C} changed by ¬C.
+
+Regenerates the candidate results the paper lists and times one full pass
+of all operators over the scenario.
+"""
+
+from repro.bench.experiments import run_e1_intro_example
+
+
+def test_e1_rows_match_paper(capsys):
+    result = run_e1_intro_example()
+    with capsys.disabled():
+        print()
+        print(result.describe())
+    assert result.all_match, result.describe()
+
+
+def test_e1_benchmark(benchmark):
+    result = benchmark(run_e1_intro_example)
+    assert result.all_match

@@ -1,0 +1,17 @@
+"""E2 — Section 2's Dalal walkthrough: dist arithmetic plus the Min-based
+characterization of Dalal's operator, verified exhaustively."""
+
+from repro.bench.experiments import run_e2_dalal_revision
+
+
+def test_e2_rows_match_paper(capsys):
+    result = run_e2_dalal_revision()
+    with capsys.disabled():
+        print()
+        print(result.describe())
+    assert result.all_match, result.describe()
+
+
+def test_e2_benchmark(benchmark):
+    result = benchmark(run_e2_dalal_revision)
+    assert result.all_match

@@ -1,0 +1,20 @@
+"""E3 — Example 3.1: the three-student class under odist model-fitting.
+
+Paper's rows: odist(ψ, {D}) = 2, odist(ψ, {S,D}) = 1,
+Mod(ψ ▷ μ) = {{S,D}}, versus Dalal's {{D}}.
+"""
+
+from repro.bench.experiments import run_e3_classroom_fitting
+
+
+def test_e3_rows_match_paper(capsys):
+    result = run_e3_classroom_fitting()
+    with capsys.disabled():
+        print()
+        print(result.describe())
+    assert result.all_match, result.describe()
+
+
+def test_e3_benchmark(benchmark):
+    result = benchmark(run_e3_classroom_fitting)
+    assert result.all_match

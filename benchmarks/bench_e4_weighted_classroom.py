@@ -1,0 +1,20 @@
+"""E4 — Example 4.1: the 35-student weighted class.
+
+Paper's rows: wdist(ψ̃, {D}) = 30, wdist(ψ̃, {S,D}) = 35, result = weight 1
+on {D} — the majority flips Example 3.1's outcome.
+"""
+
+from repro.bench.experiments import run_e4_weighted_classroom
+
+
+def test_e4_rows_match_paper(capsys):
+    result = run_e4_weighted_classroom()
+    with capsys.disabled():
+        print()
+        print(result.describe())
+    assert result.all_match, result.describe()
+
+
+def test_e4_benchmark(benchmark):
+    result = benchmark(run_e4_weighted_classroom)
+    assert result.all_match

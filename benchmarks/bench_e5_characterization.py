@@ -1,0 +1,17 @@
+"""E5 — Theorem 3.1: operator ⇄ loyal-assignment round trip, exhaustively
+over the two-atom knowledge-base space."""
+
+from repro.bench.experiments import run_e5_characterization
+
+
+def test_e5_rows_match_paper(capsys):
+    result = run_e5_characterization()
+    with capsys.disabled():
+        print()
+        print(result.describe())
+    assert result.all_match, result.describe()
+
+
+def test_e5_benchmark(benchmark):
+    result = benchmark(run_e5_characterization)
+    assert result.all_match

@@ -1,0 +1,17 @@
+"""E6 — Theorem 3.2: replay the proof's singleton scenarios against every
+operator; each must fail at least one axiom instance per combo."""
+
+from repro.bench.experiments import run_e6_disjointness
+
+
+def test_e6_rows_match_paper(capsys):
+    result = run_e6_disjointness()
+    with capsys.disabled():
+        print()
+        print(result.describe())
+    assert result.all_match, result.describe()
+
+
+def test_e6_benchmark(benchmark):
+    result = benchmark(run_e6_disjointness)
+    assert result.all_match

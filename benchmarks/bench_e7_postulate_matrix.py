@@ -1,0 +1,19 @@
+"""E7 — the operator × axiom satisfaction matrix (exhaustive, |𝒯| = 2).
+
+This is the table the paper never printed.  The A8 column is the
+reproduction's headline finding: the paper's odist operator fails it.
+"""
+
+from repro.bench.experiments import run_e7_postulate_matrix
+
+
+def test_e7_rows_match_paper(capsys):
+    result = run_e7_postulate_matrix()
+    with capsys.disabled():
+        print()
+        print(result.describe())
+    assert result.all_match, result.describe()
+
+
+def test_e7_benchmark(benchmark):
+    benchmark.pedantic(run_e7_postulate_matrix, rounds=1, iterations=1)

@@ -1,0 +1,17 @@
+"""E8 — Corollaries 3.1/4.1: arbitration commutativity (exhaustive) and
+the weighted 9-vs-2 jury consensus from the introduction."""
+
+from repro.bench.experiments import run_e8_arbitration
+
+
+def test_e8_rows_match_paper(capsys):
+    result = run_e8_arbitration()
+    with capsys.disabled():
+        print()
+        print(result.describe())
+    assert result.all_match, result.describe()
+
+
+def test_e8_benchmark(benchmark):
+    result = benchmark(run_e8_arbitration)
+    assert result.all_match

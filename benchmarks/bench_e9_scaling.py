@@ -1,0 +1,55 @@
+"""E9 — the Section 5 open problem, measured: comparative cost of
+revision, update, fitting, and arbitration as the interpretation space
+grows.
+
+Each benchmark times one operator on a fixed seeded workload (5 pairs of
+random model sets at 25% density); the printed sweep table shows the
+qualitative shape: the pairwise-diff operators (Satoh/Winslett) scale with
+|Mod(ψ)|·|Mod(μ)| comparisons of *sets*, the distance-rank operators
+(Dalal/odist/priority-lex) with |ℳ|·|Mod(ψ)| integer popcounts, and
+arbitration pays one extra universe-sized fit.
+"""
+
+import pytest
+
+from repro.bench.scaling import (
+    make_model_set_workload,
+    measure_operator_sweep,
+    run_workload,
+    scaling_operators,
+)
+
+WORKLOAD = make_model_set_workload(
+    num_atoms=8, kb_models=64, input_models=64, pairs=5, seed=7
+)
+
+
+def test_e9_sweep_table(capsys):
+    rows = measure_operator_sweep(atom_counts=(4, 6, 8), pairs=3, seed=7)
+    with capsys.disabled():
+        print()
+        print("=== E9: operator runtime sweep (seconds per pair) ===")
+        header = f"{'atoms':>5} {'|Mod(ψ)|':>9} " + " ".join(
+            f"{op.name:>14}" for op in scaling_operators()
+        )
+        print(header)
+        by_atoms: dict[int, dict[str, float]] = {}
+        for row in rows:
+            by_atoms.setdefault(row["atoms"], {})[row["operator"]] = row[
+                "seconds_per_pair"
+            ]
+        for atoms, per_op in sorted(by_atoms.items()):
+            kb_models = next(r["kb_models"] for r in rows if r["atoms"] == atoms)
+            cells = " ".join(
+                f"{per_op[op.name]:>14.6f}" for op in scaling_operators()
+            )
+            print(f"{atoms:>5} {kb_models:>9} {cells}")
+    assert rows
+
+
+@pytest.mark.parametrize(
+    "operator", scaling_operators(), ids=lambda op: op.name
+)
+def test_e9_benchmark_operator(benchmark, operator):
+    checksum = benchmark(run_workload, operator, WORKLOAD)
+    assert checksum >= 0

@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_eN_*.py`` file regenerates one experiment from DESIGN.md's
+index: it asserts the paper-vs-measured rows (so a benchmark run doubles
+as a reproduction check) and times the underlying computation with
+pytest-benchmark.
+"""
+
+collect_ignore_glob: list[str] = []

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The paper's classroom scenarios: Examples 3.1 and 4.1, verbatim.
+
+Example 3.1 — an instructor willing to teach Datalog only, or SQL and
+Datalog, must fit three students' wishes; model-fitting with ``odist``
+picks {S, D}, whereas Dalal's revision would satisfy one student perfectly
+and risk losing the other two.
+
+Example 4.1 — the same class scaled to 35 students with weights; weighted
+arbitration (``wdist``) sides with the 20-student majority and the answer
+flips to {D}.
+
+Run:  python examples/classroom.py
+"""
+
+from repro import (
+    DalalRevision,
+    ReveszFitting,
+    Vocabulary,
+    WeightedKnowledgeBase,
+    WeightedModelFitting,
+    models,
+    parse,
+)
+
+
+def example_3_1() -> None:
+    print("=== Example 3.1: three students, odist model-fitting ===")
+    vocabulary = Vocabulary(["S", "D", "Q"])
+    instructor = parse("(!S & D & !Q) | (S & D & !Q)")   # Datalog, or SQL+Datalog
+    students = parse("(S & !D & !Q) | (!S & D & !Q) | (S & D & Q)")
+
+    print("instructor offers  mu  =", instructor)
+    print("students request   psi =", students)
+
+    psi_models = models(students, vocabulary)
+    for candidate in models(instructor, vocabulary):
+        odist = max(
+            candidate.hamming_distance(student_model)
+            for student_model in psi_models
+        )
+        print(f"  odist(psi, {candidate!r}) = {odist}")
+
+    fitting = ReveszFitting()
+    print("model-fitting result:", models(fitting.apply(students, instructor, vocabulary), vocabulary))
+    print("  -> teach both SQL and Datalog: every student within 1 topic of a wish")
+
+    revision = DalalRevision()
+    print("Dalal revision result:", models(revision.apply(students, instructor, vocabulary), vocabulary))
+    print("  -> teach Datalog only: one student perfectly happy, two may drop")
+    print()
+
+
+def example_4_1() -> None:
+    print("=== Example 4.1: 35 students, weighted arbitration ===")
+    vocabulary = Vocabulary(["S", "D", "Q"])
+    instructor = WeightedKnowledgeBase.from_weights(
+        vocabulary,
+        {
+            vocabulary.interpretation({"D"}): 1,
+            vocabulary.interpretation({"S", "D"}): 1,
+        },
+    )
+    students = WeightedKnowledgeBase.from_weights(
+        vocabulary,
+        {
+            vocabulary.interpretation({"S"}): 10,        # 10 want SQL only
+            vocabulary.interpretation({"D"}): 20,        # 20 want Datalog only
+            vocabulary.interpretation({"S", "D", "Q"}): 5,  # 5 want everything
+        },
+    )
+    for label, atoms in (("{D}", {"D"}), ("{S,D}", {"S", "D"})):
+        print(
+            f"  wdist(students, {label}) =",
+            students.wdist(vocabulary.interpretation(atoms)),
+        )
+    result = WeightedModelFitting().apply(students, instructor)
+    print("weighted fitting result:", result)
+    print("  -> the 20-student Datalog majority flips the Example 3.1 outcome")
+
+
+if __name__ == "__main__":
+    example_3_1()
+    example_4_1()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Merging heterogeneous databases — the paper's motivating application.
+
+Three department databases of one company hold partially conflicting
+information about a product line (is it active? certified? exported?
+subsidized?).  No department outranks another, so neither revision nor
+update applies: the integration layer needs arbitration.
+
+The example merges the sources twice — once with every department an equal
+voice (unweighted odist arbitration) and once weighted by each
+department's audit quality — and prints per-source satisfaction reports.
+
+Run:  python examples/heterogeneous_merge.py
+"""
+
+from repro import MergeSession
+
+
+ATOMS = ["active", "certified", "exported", "subsidized"]
+
+
+def build_session() -> MergeSession:
+    session = MergeSession(ATOMS)
+    # Sales: the product is active and exported (they sell it abroad).
+    session.add("sales", "active & exported", weight=2)
+    # Compliance: exported products must be certified; this one is not.
+    session.add("compliance", "(exported -> certified) & !certified", weight=3)
+    # Finance: it is subsidized, and subsidized products must be active.
+    session.add("finance", "subsidized & (subsidized -> active)", weight=1)
+    return session
+
+
+def main() -> None:
+    session = build_session()
+    print("sources:")
+    for source in session.sources:
+        print("  -", source)
+    print()
+
+    equal = session.merge()
+    print(equal.describe())
+    print()
+
+    weighted = session.merge_weighted()
+    print(weighted.describe())
+    print()
+
+    print("Observations:")
+    print(" * sales and compliance conflict outright (exported & uncertified),")
+    print("   so no conjunction of all three sources exists;")
+    print(" * arbitration still returns a consensus theory that every")
+    print("   department is within a small number of atom-flips of;")
+    print(" * weighting compliance higher pulls the consensus toward")
+    print("   dropping the export claim rather than certifying the product.")
+
+
+if __name__ == "__main__":
+    main()

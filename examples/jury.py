@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The paper's jury metaphor: one trial, three kinds of witnesses.
+
+Section 1 of the paper explains when a jury needs each kind of theory
+change:
+
+* **revision** — the prosecution orders witnesses from least to most
+  reliable (distant relative: "social drinker"; close relative:
+  "alcoholic");
+* **update** — witnesses appear chronologically (bought a gun in January;
+  sold the gun in February);
+* **arbitration** — a crowd of equally credible witnesses disagrees
+  (nine say A started the brawl, two say B), and the jury must reach a
+  consensus.
+
+Run:  python examples/jury.py
+"""
+
+from repro import (
+    KnowledgeBase,
+    Vocabulary,
+    WeightedArbitration,
+    WeightedKnowledgeBase,
+    parse,
+)
+
+
+def reliability_ordered_witnesses() -> None:
+    print("=== revision: witnesses ordered by reliability ===")
+    # social_drinker / alcoholic describe the defendant's drinking.
+    jury = KnowledgeBase(
+        "social_drinker & !alcoholic",
+        atoms=["social_drinker", "alcoholic"],
+    )
+    print("after the distant relative:", jury.to_formula())
+    # The close relative is more reliable: revise.
+    jury = jury.revise("alcoholic")
+    print("after the close relative:  ", jury.to_formula())
+    print("  the more reliable testimony wins:", jury.entails("alcoholic"))
+    print()
+
+
+def chronological_witnesses() -> None:
+    print("=== update: witnesses ordered chronologically ===")
+    jury = KnowledgeBase("owns_gun", atoms=["owns_gun"])
+    print("after 'bought a gun in January':", jury.to_formula())
+    # February's sale is newer information about a changing world: update.
+    jury = jury.update("!owns_gun")
+    print("after 'sold the gun in February':", jury.to_formula())
+    print("  the world changed; the newer fact stands:", jury.entails("!owns_gun"))
+    print()
+
+
+def crowd_of_equal_witnesses() -> None:
+    print("=== arbitration: nine witnesses vs two ===")
+    vocabulary = Vocabulary(["a_started", "b_started"])
+    nine = WeightedKnowledgeBase.from_formula(
+        parse("a_started & !b_started"), vocabulary, weight=9
+    )
+    two = WeightedKnowledgeBase.from_formula(
+        parse("!a_started & b_started"), vocabulary, weight=2
+    )
+    verdict = WeightedArbitration().apply(nine, two)
+    print("nine witnesses: A started it (weight 9)")
+    print("two witnesses:  B started it (weight 2)")
+    print("weighted-arbitration consensus:", verdict.support())
+    print("  the jury sides with the majority — but through a symmetric,")
+    print("  commutative operator, not by discarding the minority up front:")
+    reversed_verdict = WeightedArbitration().apply(two, nine)
+    print("  arbitrate(two, nine) gives the same verdict:",
+          verdict.equivalent(reversed_verdict))
+    print()
+
+    print("with a 2-vs-2 split the consensus keeps both accounts open:")
+    two_a = WeightedKnowledgeBase.from_formula(
+        parse("a_started & !b_started"), vocabulary, weight=2
+    )
+    tied = WeightedArbitration().apply(two_a, two)
+    print("  consensus support:", tied.support())
+
+
+if __name__ == "__main__":
+    reliability_ordered_witnesses()
+    chronological_witnesses()
+    crowd_of_equal_witnesses()

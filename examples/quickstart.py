@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: the three kinds of theory change on one database.
+
+Reproduces the paper's introductory example — the propositional database
+{A, B, A∧B→C} receiving the new information ¬C — and shows how revision,
+update, and arbitration each resolve it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import KnowledgeBase
+
+
+def main() -> None:
+    kb = KnowledgeBase("A & B & (A & B -> C)", atoms=["A", "B", "C"])
+    print("initial theory:", kb.to_formula())
+    print("models:", kb.model_set)
+    print()
+
+    revised = kb.revise("!C")
+    print("revise with !C   (new info is more reliable):")
+    print("  ->", revised.to_formula())
+    print("  models:", revised.model_set)
+    print("  A and B survive:", revised.entails("A & B"))
+    print()
+
+    updated = kb.update("!C")
+    print("update with !C   (new info is more recent):")
+    print("  ->", updated.to_formula())
+    print("  models:", updated.model_set)
+    print()
+
+    arbitrated = kb.arbitrate("!C")
+    print("arbitrate with !C (new info is one voice among equals):")
+    print("  ->", arbitrated.to_formula())
+    print("  models:", arbitrated.model_set)
+    print("  compromise worlds where one of A, B is also given up are kept")
+    print()
+
+    print("provenance of the arbitrated KB:")
+    for record in arbitrated.history:
+        print("  ", record)
+
+
+if __name__ == "__main__":
+    main()

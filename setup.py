@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only
+enables legacy ``pip install -e . --no-use-pep517`` editable installs in
+offline environments where PEP 660 builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

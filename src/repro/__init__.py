@@ -1,0 +1,114 @@
+"""repro — a reproduction of Revesz, *On the Semantics of Theory Change:
+Arbitration between Old and New Information* (PODS 1993).
+
+The package implements the paper's arbitration and model-fitting operators
+together with everything they stand on: a propositional-logic substrate
+with its own SAT solver and model enumeration, the classical revision and
+update baselines, executable postulate sets (R1–R6, U1–U8, A1–A8, F1–F8),
+the characterization-theorem machinery, and weighted knowledge bases.
+
+Quickstart::
+
+    from repro import KnowledgeBase
+
+    kb = KnowledgeBase("A & B & (A & B -> C)", atoms=["A", "B", "C"])
+    kb.revise("!C").to_formula()     # new info wins
+    kb.update("!C").to_formula()     # new info is more recent
+    kb.arbitrate("!C").to_formula()  # new info is one voice among equals
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.core import (
+    ArbitrationOperator,
+    LeximaxFitting,
+    ModelFittingOperator,
+    PriorityFitting,
+    ReveszFitting,
+    SumFitting,
+    WeightedArbitration,
+    WeightedKnowledgeBase,
+    WeightedModelFitting,
+    arbitrate,
+    merge,
+)
+from repro.kb import KnowledgeBase, MergeSession
+from repro.relational import (
+    Fact,
+    Relation,
+    RelationalDatabase,
+    RelationalKnowledgeBase,
+    Schema,
+)
+from repro.logic import (
+    Atom,
+    Formula,
+    Interpretation,
+    ModelSet,
+    Vocabulary,
+    entails,
+    equivalent,
+    form_formula,
+    is_satisfiable,
+    models,
+    parse,
+)
+from repro.operators import (
+    BorgidaRevision,
+    DalalRevision,
+    ForbusUpdate,
+    OperatorFamily,
+    SatohRevision,
+    TheoryChangeOperator,
+    WeberRevision,
+    WinslettUpdate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # logic
+    "Formula",
+    "Atom",
+    "parse",
+    "Vocabulary",
+    "Interpretation",
+    "ModelSet",
+    "models",
+    "is_satisfiable",
+    "entails",
+    "equivalent",
+    "form_formula",
+    # operators
+    "TheoryChangeOperator",
+    "OperatorFamily",
+    "DalalRevision",
+    "SatohRevision",
+    "BorgidaRevision",
+    "WeberRevision",
+    "WinslettUpdate",
+    "ForbusUpdate",
+    # core
+    "ModelFittingOperator",
+    "ReveszFitting",
+    "PriorityFitting",
+    "SumFitting",
+    "LeximaxFitting",
+    "ArbitrationOperator",
+    "arbitrate",
+    "merge",
+    "WeightedKnowledgeBase",
+    "WeightedModelFitting",
+    "WeightedArbitration",
+    # applications
+    "KnowledgeBase",
+    "MergeSession",
+    # relational layer
+    "Schema",
+    "Relation",
+    "Fact",
+    "RelationalDatabase",
+    "RelationalKnowledgeBase",
+]

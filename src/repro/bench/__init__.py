@@ -1,0 +1,58 @@
+"""Shared experiment drivers for the ``benchmarks/`` harness and
+EXPERIMENTS.md regeneration."""
+
+from repro.bench.experiments import (
+    ExperimentResult,
+    ExperimentRow,
+    run_e1_intro_example,
+    run_e2_dalal_revision,
+    run_e3_classroom_fitting,
+    run_e4_weighted_classroom,
+    run_e5_characterization,
+    run_e6_disjointness,
+    run_e7_postulate_matrix,
+    run_e8_arbitration,
+    standard_operators,
+)
+from repro.bench.complexity import (
+    CostReport,
+    CountingDistance,
+    cost_report,
+    measure_distance_evaluations,
+    predicted_distance_evaluations,
+)
+from repro.bench.scaling import (
+    ScalingWorkload,
+    make_formula_workload,
+    make_model_set_workload,
+    measure_engine_crossover,
+    measure_operator_sweep,
+    run_workload,
+    scaling_operators,
+)
+
+__all__ = [
+    "ExperimentRow",
+    "ExperimentResult",
+    "run_e1_intro_example",
+    "run_e2_dalal_revision",
+    "run_e3_classroom_fitting",
+    "run_e4_weighted_classroom",
+    "run_e5_characterization",
+    "run_e6_disjointness",
+    "run_e7_postulate_matrix",
+    "run_e8_arbitration",
+    "standard_operators",
+    "ScalingWorkload",
+    "make_model_set_workload",
+    "make_formula_workload",
+    "scaling_operators",
+    "run_workload",
+    "measure_operator_sweep",
+    "measure_engine_crossover",
+    "CostReport",
+    "CountingDistance",
+    "cost_report",
+    "measure_distance_evaluations",
+    "predicted_distance_evaluations",
+]

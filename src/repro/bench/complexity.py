@@ -1,0 +1,139 @@
+"""Cost instrumentation for the Section 5 complexity open problem.
+
+Wall-clock comparisons (E9) depend on the machine; this module adds a
+machine-independent measure — the number of interpretation-distance
+evaluations an operator performs — together with closed-form predictions,
+so E12 can check that the implementation has the asymptotics the analysis
+says it should.
+
+Predictions (n = |𝒯|, p = |Mod(ψ)|, m = |Mod(μ)|):
+
+* Dalal / odist / priority-lex / sum / leximax build the ``≤ψ`` ranking
+  once per knowledge base: one distance per (interpretation, ψ-model)
+  pair → ``2^n · p`` evaluations, then rank lookups for Min.
+* Forbus evaluates one distance per (ψ-model, μ-model) pair → ``p · m``.
+* Satoh / Winslett / Borgida / Weber compare *diff sets*, not distances —
+  their cost is XOR/subset work counted separately by their
+  ``p · m`` pair loops (they perform no distance evaluations at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distances.base import HammingDistance
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.core.fitting import (
+    LeximaxFitting,
+    PriorityFitting,
+    ReveszFitting,
+    SumFitting,
+)
+from repro.operators.revision import DalalRevision
+from repro.operators.update import ForbusUpdate
+
+__all__ = [
+    "CountingDistance",
+    "predicted_distance_evaluations",
+    "measure_distance_evaluations",
+    "CostReport",
+    "cost_report",
+]
+
+
+class CountingDistance:
+    """A Hamming distance that counts how often it is evaluated."""
+
+    def __init__(self) -> None:
+        self._inner = HammingDistance()
+        self.calls = 0
+
+    def between_masks(self, left: int, right: int, vocabulary: Vocabulary) -> int:
+        self.calls += 1
+        return self._inner.between_masks(left, right, vocabulary)
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.calls = 0
+
+
+#: Operator factories accepting a distance, keyed by report name.
+_DISTANCE_OPERATORS = {
+    "dalal": DalalRevision,
+    "forbus": ForbusUpdate,
+    "revesz-odist": ReveszFitting,
+    "priority-lex": PriorityFitting,
+    "sum-fitting": SumFitting,
+    "leximax-fitting": LeximaxFitting,
+}
+
+
+def predicted_distance_evaluations(
+    name: str, num_atoms: int, kb_models: int, input_models: int
+) -> int:
+    """Closed-form prediction of distance evaluations for one application
+    (cold cache)."""
+    if name == "forbus":
+        return kb_models * input_models
+    if name in _DISTANCE_OPERATORS:
+        return (1 << num_atoms) * kb_models
+    raise KeyError(f"no cost model for operator {name!r}")
+
+
+def measure_distance_evaluations(
+    name: str, psi: ModelSet, mu: ModelSet
+) -> int:
+    """Actual distance evaluations for one cold application."""
+    factory = _DISTANCE_OPERATORS.get(name)
+    if factory is None:
+        raise KeyError(f"operator {name!r} is not distance-based")
+    counter = CountingDistance()
+    operator = factory(distance=counter)
+    operator.apply_models(psi, mu)
+    return counter.calls
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Predicted vs measured distance evaluations for one scenario."""
+
+    operator: str
+    num_atoms: int
+    kb_models: int
+    input_models: int
+    predicted: int
+    measured: int
+
+    @property
+    def exact(self) -> bool:
+        """Whether the prediction matched exactly."""
+        return self.predicted == self.measured
+
+    def __str__(self) -> str:
+        mark = "OK " if self.exact else "DIFF"
+        return (
+            f"[{mark}] {self.operator}: n={self.num_atoms} p={self.kb_models} "
+            f"m={self.input_models}: predicted {self.predicted}, "
+            f"measured {self.measured}"
+        )
+
+
+def cost_report(psi: ModelSet, mu: ModelSet) -> list[CostReport]:
+    """Predicted-vs-measured for every distance-based operator on one
+    scenario."""
+    reports = []
+    for name in sorted(_DISTANCE_OPERATORS):
+        reports.append(
+            CostReport(
+                operator=name,
+                num_atoms=psi.vocabulary.size,
+                kb_models=len(psi),
+                input_models=len(mu),
+                predicted=predicted_distance_evaluations(
+                    name, psi.vocabulary.size, len(psi), len(mu)
+                ),
+                measured=measure_distance_evaluations(name, psi, mu),
+            )
+        )
+    return reports

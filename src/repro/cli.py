@@ -1,0 +1,306 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``models``       enumerate the models of a formula
+``count``        count models without enumerating (BDD-backed)
+``change``       apply a named theory-change operator to ψ and μ
+``arbitrate``    arbitration ψ Δ φ (optionally weighted by vote counts)
+``merge``        n-ary consensus over named sources
+``audit``        the operator × axiom satisfaction matrix
+``experiments``  run the paper-reproduction drivers E1–E8
+
+Formulas use the library's surface syntax (``!``, ``&``, ``|``, ``->``,
+``<->``, ``^``); the vocabulary defaults to the atoms mentioned, or pass
+``--atoms a,b,c`` to fix 𝒯 explicitly (it matters: distances depend on it).
+
+Examples::
+
+    python -m repro models "a -> b" --atoms a,b
+    python -m repro change --op dalal "A & B & (A & B -> C)" "!C"
+    python -m repro arbitrate "A & B & (A & B -> C)" "!C"
+    python -m repro merge sales="active & exported" compliance="!certified"
+    python -m repro audit --atoms-count 2
+    python -m repro experiments --only E3 E4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench.experiments import (
+    run_e1_intro_example,
+    run_e2_dalal_revision,
+    run_e3_classroom_fitting,
+    run_e4_weighted_classroom,
+    run_e5_characterization,
+    run_e6_disjointness,
+    run_e7_postulate_matrix,
+    run_e8_arbitration,
+    standard_operators,
+)
+from repro.core.arbitration import ArbitrationOperator
+from repro.core.fitting import PriorityFitting, ReveszFitting
+from repro.core.weighted import WeightedArbitration, WeightedKnowledgeBase
+from repro.errors import ReproError
+from repro.kb.merge import MergeSession
+from repro.logic.bdd import BddEngine
+from repro.logic.enumeration import DpllEngine, TruthTableEngine, models
+from repro.logic.implicants import minimal_formula
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.operators.revision import (
+    BorgidaRevision,
+    DalalRevision,
+    SatohRevision,
+    WeberRevision,
+)
+from repro.operators.update import ForbusUpdate, WinslettUpdate
+from repro.postulates.matrix import compute_matrix, render_matrix
+
+__all__ = ["main"]
+
+_OPERATORS = {
+    "dalal": DalalRevision,
+    "satoh": SatohRevision,
+    "borgida": BorgidaRevision,
+    "weber": WeberRevision,
+    "winslett": WinslettUpdate,
+    "forbus": ForbusUpdate,
+    "odist": ReveszFitting,
+    "priority": PriorityFitting,
+}
+
+_ENGINES = {
+    "tt": TruthTableEngine,
+    "dpll": DpllEngine,
+    "bdd": BddEngine,
+}
+
+_EXPERIMENTS = {
+    "E1": run_e1_intro_example,
+    "E2": run_e2_dalal_revision,
+    "E3": run_e3_classroom_fitting,
+    "E4": run_e4_weighted_classroom,
+    "E5": run_e5_characterization,
+    "E6": run_e6_disjointness,
+    "E7": run_e7_postulate_matrix,
+    "E8": run_e8_arbitration,
+}
+
+
+def _vocabulary(args_atoms: Optional[str], *formulas) -> Vocabulary:
+    if args_atoms:
+        return Vocabulary([name.strip() for name in args_atoms.split(",")])
+    return Vocabulary.from_formulas(*formulas)
+
+
+def _print_models(model_set, out) -> None:
+    print(f"{len(model_set)} model(s) over {list(model_set.vocabulary.atoms)}:", file=out)
+    for interpretation in model_set:
+        print(f"  {interpretation!r}", file=out)
+
+
+def _cmd_models(args, out) -> int:
+    formula = parse(args.formula)
+    vocabulary = _vocabulary(args.atoms, formula)
+    engine = _ENGINES[args.engine]()
+    _print_models(engine.models(formula, vocabulary), out)
+    return 0
+
+
+def _cmd_count(args, out) -> int:
+    formula = parse(args.formula)
+    vocabulary = _vocabulary(args.atoms, formula)
+    count = BddEngine().count_models(formula, vocabulary)
+    print(f"{count} model(s) over {vocabulary.size} atom(s)", file=out)
+    return 0
+
+
+def _cmd_change(args, out) -> int:
+    psi = parse(args.psi)
+    mu = parse(args.mu)
+    vocabulary = _vocabulary(args.atoms, psi, mu)
+    operator = _OPERATORS[args.op]()
+    result = models(operator.apply(psi, mu, vocabulary), vocabulary)
+    print(f"{operator.name}(ψ, μ) = {minimal_formula(result)}", file=out)
+    _print_models(result, out)
+    return 0
+
+
+def _cmd_arbitrate(args, out) -> int:
+    psi = parse(args.psi)
+    phi = parse(args.phi)
+    vocabulary = _vocabulary(args.atoms, psi, phi)
+    if args.weights:
+        parts = [int(part) for part in args.weights.split(",")]
+        if len(parts) != 2:
+            raise ReproError("--weights expects two comma-separated integers")
+        left = WeightedKnowledgeBase.from_formula(psi, vocabulary, weight=parts[0])
+        right = WeightedKnowledgeBase.from_formula(phi, vocabulary, weight=parts[1])
+        consensus = WeightedArbitration().apply(left, right).support()
+        label = f"weighted Δ ({parts[0]} vs {parts[1]})"
+    else:
+        operator = ArbitrationOperator()
+        consensus = operator.apply_models(
+            models(psi, vocabulary), models(phi, vocabulary)
+        )
+        label = "ψ Δ φ"
+    print(f"{label} = {minimal_formula(consensus)}", file=out)
+    _print_models(consensus, out)
+    return 0
+
+
+def _cmd_merge(args, out) -> int:
+    parsed_sources = []
+    atom_names: set[str] = set()
+    for spec in args.sources:
+        if "=" not in spec:
+            raise ReproError(f"source spec must be name=formula[:weight]: {spec!r}")
+        name, _, rest = spec.partition("=")
+        weight = 1
+        if ":" in rest:
+            formula_text, _, weight_text = rest.rpartition(":")
+            if weight_text.isdigit():
+                rest, weight = formula_text, int(weight_text)
+        formula = parse(rest)
+        atom_names |= formula.atoms()
+        parsed_sources.append((name, formula, weight))
+    atoms = (
+        [name.strip() for name in args.atoms.split(",")]
+        if args.atoms
+        else sorted(atom_names)
+    )
+    session = MergeSession(atoms)
+    for name, formula, weight in parsed_sources:
+        session.add(name, formula, weight=weight)
+    report = session.merge_weighted() if args.weighted else session.merge()
+    print(report.describe(), file=out)
+    return 0
+
+
+def _cmd_audit(args, out) -> int:
+    vocabulary = Vocabulary(
+        [chr(ord("a") + index) for index in range(args.atoms_count)]
+    )
+    operators = standard_operators()
+    if args.operator:
+        wanted = set(args.operator)
+        operators = [op for op in operators if op.name in wanted]
+        if not operators:
+            raise ReproError(f"no such operators: {sorted(wanted)}")
+    matrix = compute_matrix(operators, vocabulary, max_scenarios=args.scenarios)
+    print(render_matrix(matrix), file=out)
+    return 0
+
+
+def _cmd_experiments(args, out) -> int:
+    wanted = args.only if args.only else sorted(_EXPERIMENTS)
+    all_ok = True
+    for key in wanted:
+        driver = _EXPERIMENTS.get(key.upper())
+        if driver is None:
+            raise ReproError(f"unknown experiment {key!r}; known: {sorted(_EXPERIMENTS)}")
+        result = driver()
+        print(result.describe(), file=out)
+        print(file=out)
+        all_ok = all_ok and result.all_match
+    print("ALL MATCH" if all_ok else "SOME ROWS DIFFER", file=out)
+    return 0 if all_ok else 1
+
+
+def _cmd_shell(args, out) -> int:
+    from repro.kb.shell import Shell
+
+    Shell(out).run(sys.stdin)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Theory change by arbitration (Revesz, PODS 1993) — CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    models_parser = subparsers.add_parser("models", help="enumerate models")
+    models_parser.add_argument("formula")
+    models_parser.add_argument("--atoms", help="comma-separated vocabulary 𝒯")
+    models_parser.add_argument(
+        "--engine", choices=sorted(_ENGINES), default="tt", help="enumeration engine"
+    )
+    models_parser.set_defaults(handler=_cmd_models)
+
+    count_parser = subparsers.add_parser("count", help="count models via BDD")
+    count_parser.add_argument("formula")
+    count_parser.add_argument("--atoms")
+    count_parser.set_defaults(handler=_cmd_count)
+
+    change_parser = subparsers.add_parser("change", help="apply an operator")
+    change_parser.add_argument("--op", choices=sorted(_OPERATORS), required=True)
+    change_parser.add_argument("psi")
+    change_parser.add_argument("mu")
+    change_parser.add_argument("--atoms")
+    change_parser.set_defaults(handler=_cmd_change)
+
+    arbitrate_parser = subparsers.add_parser("arbitrate", help="ψ Δ φ")
+    arbitrate_parser.add_argument("psi")
+    arbitrate_parser.add_argument("phi")
+    arbitrate_parser.add_argument("--atoms")
+    arbitrate_parser.add_argument(
+        "--weights", help="two vote counts, e.g. 9,2 — switches to weighted Δ"
+    )
+    arbitrate_parser.set_defaults(handler=_cmd_arbitrate)
+
+    merge_parser = subparsers.add_parser("merge", help="n-ary consensus")
+    merge_parser.add_argument(
+        "sources", nargs="+", metavar="name=formula[:weight]"
+    )
+    merge_parser.add_argument("--atoms")
+    merge_parser.add_argument(
+        "--weighted", action="store_true", help="weighted (wdist) merge"
+    )
+    merge_parser.set_defaults(handler=_cmd_merge)
+
+    audit_parser = subparsers.add_parser("audit", help="postulate matrix")
+    audit_parser.add_argument("--atoms-count", type=int, default=2)
+    audit_parser.add_argument("--scenarios", type=int, default=5000)
+    audit_parser.add_argument(
+        "--operator", action="append", help="restrict to named operators"
+    )
+    audit_parser.set_defaults(handler=_cmd_audit)
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="run the paper-reproduction drivers"
+    )
+    experiments_parser.add_argument(
+        "--only", nargs="*", help="experiment ids, e.g. E3 E4"
+    )
+    experiments_parser.set_defaults(handler=_cmd_experiments)
+
+    shell_parser = subparsers.add_parser(
+        "shell", help="interactive theory-change session"
+    )
+    shell_parser.set_defaults(handler=_cmd_shell)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""The paper's primary contribution: model-fitting, arbitration, and the
+weighted generalization (Sections 3 and 4).
+
+* ``ψ ▷ μ`` — model-fitting operators (:mod:`repro.core.fitting`).
+* ``ψ Δ φ = (ψ ∨ φ) ▷ ⊤`` — arbitration (:mod:`repro.core.arbitration`).
+* weighted knowledge bases, ``wdist``, weighted fitting and arbitration
+  (:mod:`repro.core.weighted`).
+"""
+
+from repro.core.arbitration import ArbitrationOperator, arbitrate, merge
+from repro.core.iterated import (
+    Trace,
+    fold_arbitration,
+    iterate_arbitration,
+    order_sensitivity,
+)
+from repro.core.fitting import (
+    LeximaxFitting,
+    ModelFittingOperator,
+    PriorityFitting,
+    ReveszFitting,
+    SumFitting,
+)
+from repro.core.ic_merging import (
+    IC_AXIOMS,
+    GMaxMerge,
+    IcMergeOperator,
+    MaxMerge,
+    Profile,
+    SumMerge,
+    audit_ic_operator,
+    check_ic_axiom,
+)
+from repro.core.pairwise import LiberatoreSchaerfArbitration
+from repro.core.weighted import (
+    WeightedArbitration,
+    WeightedKnowledgeBase,
+    WeightedLoyalAssignment,
+    WeightedLoyaltyViolation,
+    WeightedModelFitting,
+    check_weighted_loyal,
+    wdist_assignment,
+)
+
+__all__ = [
+    "ModelFittingOperator",
+    "ReveszFitting",
+    "PriorityFitting",
+    "SumFitting",
+    "LeximaxFitting",
+    "ArbitrationOperator",
+    "arbitrate",
+    "merge",
+    "Trace",
+    "iterate_arbitration",
+    "fold_arbitration",
+    "order_sensitivity",
+    "LiberatoreSchaerfArbitration",
+    "Profile",
+    "IcMergeOperator",
+    "SumMerge",
+    "GMaxMerge",
+    "MaxMerge",
+    "IC_AXIOMS",
+    "check_ic_axiom",
+    "audit_ic_operator",
+    "WeightedKnowledgeBase",
+    "WeightedLoyalAssignment",
+    "WeightedLoyaltyViolation",
+    "WeightedModelFitting",
+    "WeightedArbitration",
+    "wdist_assignment",
+    "check_weighted_loyal",
+]

@@ -1,0 +1,394 @@
+"""IC merging (Konieczny–Pino Pérez) — the framework this paper seeded.
+
+The paper's arbitration is the historical root of *belief merging under
+integrity constraints*: given a **profile** ``E`` (a multiset of equally
+reliable knowledge bases) and a constraint ``μ``, produce ``Δ_μ(E)``,
+the consensus among the models of μ.  Konieczny & Pino Pérez axiomatized
+the framework with postulates **IC0–IC8** and identified two families:
+
+* **majority** operators (``ΔΣ``: minimize the *sum* of per-base
+  distances) — the weighted Section 4 of this paper, reborn;
+* **arbitration** operators (``ΔGMax``: minimize the *leximax* vector of
+  per-base distances) — the egalitarian spirit of the paper's ``odist``,
+  repaired: GMax over per-base distances (not per-model!) is loyal to the
+  multiset structure because profiles concatenate instead of unioning.
+
+This module implements profiles, the ``ΔΣ``/``ΔGMax``/``ΔMax`` operators,
+and all nine postulates as executable checks, mirroring
+:mod:`repro.postulates` for the binary operators.  The known
+classification (ΔΣ and ΔGMax satisfy IC0–IC8; ΔMax fails IC6) is verified
+by the test suite — tying the paper's A8 story to its modern resolution:
+what failed for max-over-models holds for leximax-over-bases.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.distances.base import HammingDistance, InterpretationDistance
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+
+__all__ = [
+    "Profile",
+    "IcMergeOperator",
+    "SumMerge",
+    "GMaxMerge",
+    "MaxMerge",
+    "IcAxiom",
+    "IC_AXIOMS",
+    "IcCounterexample",
+    "check_ic_axiom",
+    "audit_ic_operator",
+]
+
+
+class Profile:
+    """A multiset of knowledge bases (model sets) over one vocabulary.
+
+    Multiset semantics matter: merging ``{K, K}`` is *not* merging
+    ``{K}`` — a base repeated twice counts twice (exactly the distinction
+    the paper's weighted Section 4 draws with ⊔ versus ∨).
+    """
+
+    __slots__ = ("_vocabulary", "_bases")
+
+    def __init__(self, bases: Iterable[ModelSet]):
+        base_list = list(bases)
+        if not base_list:
+            raise VocabularyError("a profile needs at least one knowledge base")
+        vocabulary = base_list[0].vocabulary
+        for base in base_list:
+            if base.vocabulary != vocabulary:
+                raise VocabularyError("profile bases span multiple vocabularies")
+        self._vocabulary = vocabulary
+        # Sort for canonical form: profiles are unordered multisets.
+        self._bases = tuple(sorted(base_list, key=lambda ms: ms.masks))
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The shared vocabulary."""
+        return self._vocabulary
+
+    @property
+    def bases(self) -> tuple[ModelSet, ...]:
+        """The member knowledge bases (canonically ordered)."""
+        return self._bases
+
+    def __len__(self) -> int:
+        return len(self._bases)
+
+    def combine(self, other: "Profile") -> "Profile":
+        """Multiset union ``E₁ ⊔ E₂`` (concatenation)."""
+        if self._vocabulary != other._vocabulary:
+            raise VocabularyError("profiles are over different vocabularies")
+        return Profile(self._bases + other._bases)
+
+    def conjunction(self) -> ModelSet:
+        """``Mod(∧E)`` — the intersection of all bases."""
+        result = self._bases[0]
+        for base in self._bases[1:]:
+            result = result.intersection(base)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Profile):
+            return NotImplemented
+        return (
+            self._vocabulary == other._vocabulary
+            and Counter(self._bases) == Counter(other._bases)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._vocabulary, self._bases))
+
+    def __repr__(self) -> str:
+        return f"Profile({list(self._bases)!r})"
+
+
+class IcMergeOperator:
+    """Distance-based IC merging: ``Δ_μ(E) = argmin_{I ∈ Mod(μ)} agg(d_I)``
+    where ``d_I`` lists ``dist(I, K) = min_{J ∈ Mod(K)} dist(I, J)`` for
+    each base ``K`` of the profile.
+
+    Subclasses fix the aggregation ``agg``; unsatisfiable bases contribute
+    distance 0 by convention (they carry no information).
+    """
+
+    name = "ic-merge"
+
+    def __init__(self, distance: Optional[InterpretationDistance] = None):
+        self._distance = distance if distance is not None else HammingDistance()
+
+    def _aggregate(self, distances: Sequence[int]):
+        raise NotImplementedError
+
+    def _base_distance(self, mask: int, base: ModelSet) -> int:
+        if base.is_empty:
+            return 0
+        vocabulary = base.vocabulary
+        return min(
+            self._distance.between_masks(mask, base_mask, vocabulary)
+            for base_mask in base.masks
+        )
+
+    def merge(self, profile: Profile, constraint: ModelSet) -> ModelSet:
+        """``Δ_μ(E)``: the constraint models at minimal aggregate key."""
+        if profile.vocabulary != constraint.vocabulary:
+            raise VocabularyError("profile and constraint vocabularies differ")
+        if constraint.is_empty:
+            return constraint
+        best_key = None
+        chosen: list[int] = []
+        for mask in constraint.masks:
+            key = self._aggregate(
+                [self._base_distance(mask, base) for base in profile.bases]
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                chosen = [mask]
+            elif key == best_key:
+                chosen.append(mask)
+        return ModelSet(constraint.vocabulary, chosen)
+
+    def __repr__(self) -> str:
+        return f"<IcMergeOperator {self.name!r}>"
+
+
+class SumMerge(IcMergeOperator):
+    """``ΔΣ``: minimize the total distance — the majority family (and the
+    Section 4 ``wdist`` semantics with unit weights per base)."""
+
+    name = "ic-sum"
+
+    def _aggregate(self, distances: Sequence[int]) -> int:
+        return sum(distances)
+
+
+class GMaxMerge(IcMergeOperator):
+    """``ΔGMax``: minimize the leximax vector of per-base distances — the
+    arbitration family (egalitarian, like the paper's odist, but loyal to
+    the multiset structure)."""
+
+    name = "ic-gmax"
+
+    def _aggregate(self, distances: Sequence[int]) -> tuple[int, ...]:
+        return tuple(sorted(distances, reverse=True))
+
+
+class MaxMerge(IcMergeOperator):
+    """``ΔMax``: minimize the worst per-base distance — the direct lift of
+    the paper's odist to profiles.  Fails IC6 for the same tie-hides-strict
+    reason odist fails A8."""
+
+    name = "ic-max"
+
+    def _aggregate(self, distances: Sequence[int]) -> int:
+        return max(distances)
+
+
+# -- executable IC postulates ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IcCounterexample:
+    """A witnessed violation of one IC postulate."""
+
+    axiom: str
+    operator: str
+    description: str
+
+    def __str__(self) -> str:
+        return f"{self.operator} violates ({self.axiom}): {self.description}"
+
+
+@dataclass(frozen=True)
+class IcAxiom:
+    """One executable IC postulate.
+
+    ``roles`` names the quantified objects: ``"E"``/``"E1"``/``"E2"`` are
+    profiles, ``"mu"``/``"mu1"``/``"mu2"`` are constraint model sets.
+    """
+
+    name: str
+    statement: str
+    roles: tuple[str, ...]
+    checker: Callable
+
+    def check_instance(self, operator, scenario) -> Optional[IcCounterexample]:
+        """Check one concrete instantiation."""
+        return self.checker(operator, scenario)
+
+
+def _check_ic0(op, scenario):
+    profile, mu = scenario
+    if not op.merge(profile, mu).issubset(mu):
+        return IcCounterexample("IC0", op.name, "Δ_μ(E) must imply μ")
+    return None
+
+
+def _check_ic1(op, scenario):
+    profile, mu = scenario
+    if not mu.is_empty and op.merge(profile, mu).is_empty:
+        return IcCounterexample("IC1", op.name, "μ consistent but Δ_μ(E) is not")
+    return None
+
+
+def _check_ic2(op, scenario):
+    profile, mu = scenario
+    agreement = profile.conjunction().intersection(mu)
+    if agreement.is_empty:
+        return None
+    if op.merge(profile, mu) != agreement:
+        return IcCounterexample(
+            "IC2", op.name, "∧E ∧ μ consistent, so Δ_μ(E) must equal it"
+        )
+    return None
+
+
+def _check_ic3(op, scenario):
+    # Syntax independence holds by construction (profiles are canonical
+    # multisets of model sets); check determinism instead.
+    profile, mu = scenario
+    if op.merge(profile, mu) != op.merge(profile, mu):
+        return IcCounterexample("IC3", op.name, "operator is not deterministic")
+    return None
+
+
+def _check_ic4(op, scenario):
+    """Fairness: for two bases both implying μ, the merge cannot side with
+    one and not the other."""
+    profile, mu = scenario
+    if len(profile) != 2:
+        return None
+    base1, base2 = profile.bases
+    if not (base1.issubset(mu) and base2.issubset(mu)):
+        return None
+    result = op.merge(profile, mu)
+    with_first = not result.intersection(base1).is_empty
+    with_second = not result.intersection(base2).is_empty
+    if with_first != with_second:
+        return IcCounterexample(
+            "IC4", op.name,
+            "merge is consistent with exactly one of two μ-respecting bases",
+        )
+    return None
+
+
+def _check_ic5(op, scenario):
+    profile1, profile2, mu = scenario
+    joint = op.merge(profile1, mu).intersection(op.merge(profile2, mu))
+    combined = op.merge(profile1.combine(profile2), mu)
+    if not joint.issubset(combined):
+        return IcCounterexample(
+            "IC5", op.name, "Δ_μ(E₁) ∧ Δ_μ(E₂) must imply Δ_μ(E₁⊔E₂)"
+        )
+    return None
+
+
+def _check_ic6(op, scenario):
+    profile1, profile2, mu = scenario
+    joint = op.merge(profile1, mu).intersection(op.merge(profile2, mu))
+    if joint.is_empty:
+        return None
+    combined = op.merge(profile1.combine(profile2), mu)
+    if not combined.issubset(joint):
+        return IcCounterexample(
+            "IC6", op.name,
+            "Δ_μ(E₁) ∧ Δ_μ(E₂) is consistent, so Δ_μ(E₁⊔E₂) must imply it",
+        )
+    return None
+
+
+def _check_ic7(op, scenario):
+    profile, mu1, mu2 = scenario
+    left = op.merge(profile, mu1).intersection(mu2)
+    right = op.merge(profile, mu1.intersection(mu2))
+    if not left.issubset(right):
+        return IcCounterexample(
+            "IC7", op.name, "Δ_μ₁(E) ∧ μ₂ must imply Δ_{μ₁∧μ₂}(E)"
+        )
+    return None
+
+
+def _check_ic8(op, scenario):
+    profile, mu1, mu2 = scenario
+    left = op.merge(profile, mu1).intersection(mu2)
+    if left.is_empty:
+        return None
+    right = op.merge(profile, mu1.intersection(mu2))
+    if not right.issubset(left):
+        return IcCounterexample(
+            "IC8", op.name,
+            "Δ_μ₁(E) ∧ μ₂ is consistent, so Δ_{μ₁∧μ₂}(E) must imply it",
+        )
+    return None
+
+
+IC_AXIOMS: tuple[IcAxiom, ...] = (
+    IcAxiom("IC0", "Δ_μ(E) implies μ", ("E", "mu"), _check_ic0),
+    IcAxiom("IC1", "μ consistent ⇒ Δ_μ(E) consistent", ("E", "mu"), _check_ic1),
+    IcAxiom("IC2", "∧E ∧ μ consistent ⇒ Δ_μ(E) = ∧E ∧ μ", ("E", "mu"), _check_ic2),
+    IcAxiom("IC3", "syntax independence / determinism", ("E", "mu"), _check_ic3),
+    IcAxiom("IC4", "fairness between two μ-respecting bases", ("E", "mu"), _check_ic4),
+    IcAxiom("IC5", "Δ_μ(E₁) ∧ Δ_μ(E₂) implies Δ_μ(E₁⊔E₂)", ("E1", "E2", "mu"), _check_ic5),
+    IcAxiom("IC6", "converse of IC5 under consistency", ("E1", "E2", "mu"), _check_ic6),
+    IcAxiom("IC7", "Δ_μ₁(E) ∧ μ₂ implies Δ_{μ₁∧μ₂}(E)", ("E", "mu1", "mu2"), _check_ic7),
+    IcAxiom("IC8", "converse of IC7 under consistency", ("E", "mu1", "mu2"), _check_ic8),
+)
+
+
+def _random_profile(vocabulary: Vocabulary, rng, max_bases: int = 3) -> Profile:
+    count = rng.randint(1, max_bases)
+    total = vocabulary.interpretation_count
+    bases = []
+    for _ in range(count):
+        bits = rng.getrandbits(total) or 1  # keep bases satisfiable
+        bases.append(
+            ModelSet(vocabulary, [m for m in range(total) if bits & (1 << m)])
+        )
+    return Profile(bases)
+
+
+def check_ic_axiom(
+    operator: IcMergeOperator,
+    axiom: IcAxiom,
+    vocabulary: Vocabulary,
+    scenarios: int = 400,
+    rng: int = 0,
+) -> Optional[IcCounterexample]:
+    """Sampled check of one IC postulate; first counterexample or None."""
+    import random
+
+    generator = random.Random(rng)
+    total = vocabulary.interpretation_count
+    for _ in range(scenarios):
+        scenario = []
+        for role in axiom.roles:
+            if role.startswith("E"):
+                scenario.append(_random_profile(vocabulary, generator))
+            else:
+                bits = generator.getrandbits(total)
+                scenario.append(
+                    ModelSet(vocabulary, [m for m in range(total) if bits & (1 << m)])
+                )
+        counterexample = axiom.check_instance(operator, tuple(scenario))
+        if counterexample is not None:
+            return counterexample
+    return None
+
+
+def audit_ic_operator(
+    operator: IcMergeOperator,
+    vocabulary: Vocabulary,
+    scenarios: int = 400,
+    rng: int = 0,
+) -> dict[str, Optional[IcCounterexample]]:
+    """Check all of IC0–IC8; results keyed by postulate name."""
+    return {
+        axiom.name: check_ic_axiom(operator, axiom, vocabulary, scenarios, rng)
+        for axiom in IC_AXIOMS
+    }

@@ -1,0 +1,161 @@
+"""Iterated theory change: deliberation dynamics for arbitration.
+
+The paper defines one-shot arbitration.  Its jury story, however, is
+inherently iterative — witnesses keep arriving, and the jury re-arbitrates.
+This module studies the resulting dynamics, which the paper's Section 5
+leaves open alongside the complexity question:
+
+* :func:`iterate_arbitration` — the fixed-point iteration
+  ``ψ₀ = ψ``, ``ψₙ₊₁ = ψₙ Δ φ``: does repeatedly arbitrating with the same
+  new information converge?  (Empirically: yes, quickly — the consensus
+  stops moving once it is distance-balanced; the E11 benchmark measures
+  the round distribution.)
+* :func:`fold_arbitration` — folding a list of sources pairwise,
+  ``(…(ψ₁ Δ ψ₂) Δ …) Δ ψₖ``.  Arbitration is commutative but **not
+  associative**, so the fold order matters; :func:`order_sensitivity`
+  quantifies how much, and the n-ary simultaneous merge
+  (:meth:`repro.core.arbitration.ArbitrationOperator.merge_models`) is the
+  order-independent alternative.
+
+Everything returns a :class:`Trace` so tests and benchmarks can inspect
+the whole trajectory, not just the limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Optional, Sequence
+
+from repro.core.arbitration import ArbitrationOperator
+from repro.core.fitting import ModelFittingOperator
+from repro.errors import OperatorError
+from repro.logic.semantics import ModelSet
+
+__all__ = [
+    "Trace",
+    "iterate_arbitration",
+    "fold_arbitration",
+    "order_sensitivity",
+]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A deliberation trajectory.
+
+    ``states[0]`` is the initial knowledge base; ``states[-1]`` the final
+    one.  ``converged`` is true when the last two states coincide (a fixed
+    point), false when the iteration was cut off by ``max_rounds``.
+    """
+
+    states: tuple[ModelSet, ...]
+
+    @property
+    def initial(self) -> ModelSet:
+        """The starting knowledge base."""
+        return self.states[0]
+
+    @property
+    def final(self) -> ModelSet:
+        """The last computed state."""
+        return self.states[-1]
+
+    @property
+    def rounds(self) -> int:
+        """Number of change steps performed."""
+        return len(self.states) - 1
+
+    @property
+    def converged(self) -> bool:
+        """Whether a fixed point was reached (last step was a no-op)."""
+        return len(self.states) >= 2 and self.states[-1] == self.states[-2]
+
+    @property
+    def cycle_length(self) -> Optional[int]:
+        """Length of the limit cycle if the trajectory revisits a state
+        (1 for a fixed point), or ``None`` if no repeat was observed."""
+        seen: dict[ModelSet, int] = {}
+        for index, state in enumerate(self.states):
+            if state in seen:
+                return index - seen[state]
+            seen[state] = index
+        return None
+
+
+def iterate_arbitration(
+    psi: ModelSet,
+    phi: ModelSet,
+    fitting: Optional[ModelFittingOperator] = None,
+    max_rounds: int = 32,
+) -> Trace:
+    """Iterate ``ψₙ₊₁ = ψₙ Δ φ`` until a fixed point or ``max_rounds``.
+
+    Because each state is a subset of the finite interpretation space, the
+    trajectory must eventually repeat; this function stops at the first
+    repeat of the immediately preceding state (a fixed point).  Longer
+    cycles — which do occur for some inputs — are exposed through
+    :attr:`Trace.cycle_length` by letting the iteration run on.
+    """
+    operator = ArbitrationOperator(fitting)
+    states = [psi]
+    for _ in range(max_rounds):
+        next_state = operator.apply_models(states[-1], phi)
+        states.append(next_state)
+        if next_state == states[-2]:
+            break
+    return Trace(tuple(states))
+
+
+def fold_arbitration(
+    sources: Sequence[ModelSet],
+    fitting: Optional[ModelFittingOperator] = None,
+) -> Trace:
+    """Left-fold pairwise arbitration over the sources.
+
+    ``states[k]`` is the consensus after incorporating the first ``k+1``
+    sources.  Raises for an empty source list.
+    """
+    if not sources:
+        raise OperatorError("fold_arbitration requires at least one source")
+    operator = ArbitrationOperator(fitting)
+    states = [sources[0]]
+    for source in sources[1:]:
+        states.append(operator.apply_models(states[-1], source))
+    return Trace(tuple(states))
+
+
+def order_sensitivity(
+    sources: Sequence[ModelSet],
+    fitting: Optional[ModelFittingOperator] = None,
+    max_orders: int = 24,
+) -> dict[str, object]:
+    """How much the pairwise fold depends on source order.
+
+    Evaluates the fold under up to ``max_orders`` permutations and the
+    order-independent simultaneous n-ary merge, returning:
+
+    ``distinct_outcomes``
+        number of distinct fold results across the tried orders;
+    ``outcomes``
+        the distinct results themselves;
+    ``simultaneous``
+        the n-ary merge result (always order-independent);
+    ``simultaneous_reachable``
+        whether some fold order reproduces the simultaneous merge.
+    """
+    if not sources:
+        raise OperatorError("order_sensitivity requires at least one source")
+    operator = ArbitrationOperator(fitting)
+    outcomes: set[ModelSet] = set()
+    for index, order in enumerate(permutations(sources)):
+        if index >= max_orders:
+            break
+        outcomes.add(fold_arbitration(order, fitting).final)
+    simultaneous = operator.merge_models(list(sources))
+    return {
+        "distinct_outcomes": len(outcomes),
+        "outcomes": outcomes,
+        "simultaneous": simultaneous,
+        "simultaneous_reachable": simultaneous in outcomes,
+    }

@@ -1,0 +1,48 @@
+"""Liberatore–Schaerf pairwise arbitration (successor literature).
+
+Shortly after this paper, Liberatore & Schaerf ("Arbitration (or How to
+Merge Knowledge Bases)", 1995/1998) proposed a different arbitration
+semantics: instead of fitting the whole interpretation space to the union
+of both voices, *select between the two theories* using a revision
+operator in both directions:
+
+    ``ψ △ φ  =  (ψ ∘ φ) ∨ (φ ∘ ψ)``
+
+Commutativity is again immediate.  The outcomes differ characteristically
+from the paper's consensus operator: LS-arbitration always lands **inside
+ψ ∨ φ** (one of the voices is adopted, moved minimally toward the other),
+whereas Revesz-arbitration may settle on *compromise worlds satisfying
+neither voice exactly*.  ``examples/merging_frameworks.py`` and the tests
+contrast the two on the paper's scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic.semantics import ModelSet
+from repro.operators.base import OperatorFamily, TheoryChangeOperator
+from repro.operators.revision import DalalRevision
+
+__all__ = ["LiberatoreSchaerfArbitration"]
+
+class LiberatoreSchaerfArbitration(TheoryChangeOperator):
+    """``ψ △ φ = (ψ ∘ φ) ∨ (φ ∘ ψ)`` for a pluggable revision ∘
+    (Dalal by default, as in Liberatore–Schaerf's concrete instance)."""
+
+    family = OperatorFamily.ARBITRATION
+
+    def __init__(self, revision: Optional[TheoryChangeOperator] = None):
+        self._revision = revision if revision is not None else DalalRevision()
+        self.name = f"ls-arbitration[{self._revision.name}]"
+
+    @property
+    def revision(self) -> TheoryChangeOperator:
+        """The underlying revision operator ∘."""
+        return self._revision
+
+    def apply_models(self, psi: ModelSet, phi: ModelSet) -> ModelSet:
+        self._check_vocabularies(psi, phi)
+        forward = self._revision.apply_models(psi, phi)
+        backward = self._revision.apply_models(phi, psi)
+        return forward.union(backward)

@@ -1,0 +1,37 @@
+"""Distances between interpretations and their aggregation into orderings.
+
+``dist`` (Dalal's Hamming distance, Section 2 of the paper) plus the
+aggregators that turn per-model distances into the closeness pre-orders
+underlying every operator family in :mod:`repro.operators` and
+:mod:`repro.core`.
+"""
+
+from repro.distances.aggregators import (
+    Aggregator,
+    LeximaxAggregator,
+    LeximinAggregator,
+    MaxAggregator,
+    MinAggregator,
+    SumAggregator,
+)
+from repro.distances.base import (
+    DrasticDistance,
+    HammingDistance,
+    InterpretationDistance,
+    WeightedHammingDistance,
+    hamming,
+)
+
+__all__ = [
+    "InterpretationDistance",
+    "HammingDistance",
+    "WeightedHammingDistance",
+    "DrasticDistance",
+    "hamming",
+    "Aggregator",
+    "MinAggregator",
+    "MaxAggregator",
+    "SumAggregator",
+    "LeximaxAggregator",
+    "LeximinAggregator",
+]

@@ -1,0 +1,118 @@
+"""Aggregation of per-model distances into an overall closeness key.
+
+Every distance-based theory-change operator in this library follows one
+recipe: compute ``dist(I, J)`` from a candidate interpretation ``I`` to
+each model ``J`` of the knowledge base, aggregate those numbers into a
+single comparable key, and order candidates by key.  The aggregator is
+what distinguishes the operator families:
+
+====================  =========================================================
+Aggregator            Operator it induces
+====================  =========================================================
+:class:`MinAggregator`      Dalal's revision (``dist(ψ, I) = min_J dist``)
+:class:`MaxAggregator`      the paper's model-fitting ``odist = max_J dist``
+:class:`SumAggregator`      weighted fitting with unit weights (majority-ish)
+:class:`LeximaxAggregator`  GMax-style refinement of max (breaks max ties by
+                            the next-largest distance, and so on)
+====================  =========================================================
+
+Keys only need to be *comparable among candidates for the same knowledge
+base*; all aggregators here return totally ordered keys (numbers or equal-
+length tuples), which is what makes the induced pre-orders total.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+__all__ = [
+    "Aggregator",
+    "MinAggregator",
+    "MaxAggregator",
+    "SumAggregator",
+    "LeximaxAggregator",
+    "LeximinAggregator",
+]
+
+
+class Aggregator(Protocol):
+    """Collapse the distances from one candidate to every KB model."""
+
+    def combine(self, distances: Sequence[float]) -> object:
+        """An order key; smaller keys mean closer to the knowledge base.
+
+        ``distances`` is non-empty (operators special-case the unsatisfiable
+        knowledge base before aggregation, per axiom A2/F2).
+        """
+        ...
+
+
+class MinAggregator:
+    """Closeness to the *nearest* model: Dalal's revision ordering."""
+
+    def combine(self, distances: Sequence[float]) -> float:
+        return min(distances)
+
+    def __repr__(self) -> str:
+        return "MinAggregator()"
+
+
+class MaxAggregator:
+    """Closeness to the *farthest* model: the paper's ``odist``.
+
+    This is the egalitarian reading of arbitration — an interpretation is
+    only as good as its treatment of the worst-served model.
+    """
+
+    def combine(self, distances: Sequence[float]) -> float:
+        return max(distances)
+
+    def __repr__(self) -> str:
+        return "MaxAggregator()"
+
+
+class SumAggregator:
+    """Total distance to all models: the utilitarian/majoritarian reading.
+
+    Coincides with the paper's ``wdist`` when every model has weight 1 —
+    but note the subtle difference under disjunction: regular knowledge
+    bases take the *union* of model sets (duplicates collapse) while
+    weighted ones take the *sum* of weight functions (duplicates add).
+    """
+
+    def combine(self, distances: Sequence[float]) -> float:
+        return sum(distances)
+
+    def __repr__(self) -> str:
+        return "SumAggregator()"
+
+
+class LeximaxAggregator:
+    """Distances sorted in decreasing order, compared lexicographically.
+
+    Refines :class:`MaxAggregator`: ties on the largest distance are broken
+    by the second largest, and so on.  Known as *GMax* in the belief-merging
+    literature (Konieczny & Pino Pérez).  Keys are tuples; candidates for
+    the same knowledge base always produce equal-length tuples, so the
+    lexicographic comparison is total.
+    """
+
+    def combine(self, distances: Sequence[float]) -> tuple[float, ...]:
+        return tuple(sorted(distances, reverse=True))
+
+    def __repr__(self) -> str:
+        return "LeximaxAggregator()"
+
+
+class LeximinAggregator:
+    """Distances sorted in increasing order, compared lexicographically.
+
+    Refines :class:`MinAggregator` the way leximax refines max; included
+    for the operator-design ablation (experiment E10).
+    """
+
+    def combine(self, distances: Sequence[float]) -> tuple[float, ...]:
+        return tuple(sorted(distances))
+
+    def __repr__(self) -> str:
+        return "LeximinAggregator()"

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common cases (parse errors, vocabulary mismatches,
+and semantic violations of the paper's definitions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ParseError(ReproError):
+    """A formula string could not be parsed.
+
+    Attributes
+    ----------
+    text:
+        The input string that failed to parse.
+    position:
+        Zero-based character offset at which the error was detected.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.position >= 0:
+            marker = " " * self.position + "^"
+            return f"{base}\n  {self.text}\n  {marker}"
+        return base
+
+
+class VocabularyError(ReproError):
+    """An operation mixed interpretations or formulas over incompatible
+    vocabularies, or referenced an atom missing from the vocabulary."""
+
+
+class WeightError(ReproError):
+    """A weighted knowledge base was given a negative or non-numeric weight.
+
+    Section 4 of the paper defines weighted knowledge bases as functions from
+    interpretations to *non-negative* reals; this error enforces that domain.
+    """
+
+
+class OperatorError(ReproError):
+    """A theory-change operator was applied outside its defined domain
+    (for example, updating with an unsatisfiable input where the operator's
+    definition requires satisfiability)."""
+
+
+class PostulateError(ReproError):
+    """The postulate-checking harness was configured inconsistently
+    (unknown axiom name, empty scenario space, and so on)."""

@@ -1,0 +1,27 @@
+"""Application layer: knowledge-base façade and heterogeneous merging."""
+
+from repro.kb.knowledge_base import ChangeRecord, KnowledgeBase
+from repro.kb.merge import MergeReport, MergeSession, Source, SourceReport
+from repro.kb.serialize import (
+    knowledge_base_from_json,
+    knowledge_base_to_json,
+    model_set_from_dict,
+    model_set_to_dict,
+    weighted_kb_from_dict,
+    weighted_kb_to_dict,
+)
+
+__all__ = [
+    "KnowledgeBase",
+    "ChangeRecord",
+    "MergeSession",
+    "MergeReport",
+    "Source",
+    "SourceReport",
+    "knowledge_base_to_json",
+    "knowledge_base_from_json",
+    "model_set_to_dict",
+    "model_set_from_dict",
+    "weighted_kb_to_dict",
+    "weighted_kb_from_dict",
+]

@@ -1,0 +1,152 @@
+"""JSON serialization for knowledge-base state.
+
+A database application needs its theories to survive a restart.  This
+module round-trips the library's semantic objects through plain JSON:
+
+* :class:`~repro.logic.semantics.ModelSet` — vocabulary + mask list;
+* :class:`~repro.core.weighted.WeightedKnowledgeBase` — vocabulary +
+  ``mask -> "num/den"`` weight map (fractions stay exact as strings);
+* :class:`~repro.kb.knowledge_base.KnowledgeBase` — current models plus the
+  provenance log (operator names and the incoming formulas as text).
+
+Operators themselves are configuration, not data: loading a knowledge base
+reattaches whatever operators the caller passes (defaults otherwise).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any
+
+from repro.core.weighted import WeightedKnowledgeBase
+from repro.errors import ReproError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.logic.enumeration import form_formula
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+
+__all__ = [
+    "model_set_to_dict",
+    "model_set_from_dict",
+    "weighted_kb_to_dict",
+    "weighted_kb_from_dict",
+    "knowledge_base_to_json",
+    "knowledge_base_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def model_set_to_dict(model_set: ModelSet) -> dict[str, Any]:
+    """Plain-JSON representation of a model set."""
+    return {
+        "version": _FORMAT_VERSION,
+        "kind": "model-set",
+        "atoms": list(model_set.vocabulary.atoms),
+        "masks": list(model_set.masks),
+    }
+
+
+def model_set_from_dict(data: dict[str, Any]) -> ModelSet:
+    """Inverse of :func:`model_set_to_dict`."""
+    if data.get("kind") != "model-set":
+        raise ReproError(f"not a serialized model set: kind={data.get('kind')!r}")
+    vocabulary = Vocabulary(data["atoms"])
+    return ModelSet(vocabulary, data["masks"])
+
+
+def weighted_kb_to_dict(kb: WeightedKnowledgeBase) -> dict[str, Any]:
+    """Plain-JSON representation of a weighted knowledge base; weights are
+    serialized as exact ``"numerator/denominator"`` strings."""
+    weights = {
+        str(interpretation.mask): f"{weight.numerator}/{weight.denominator}"
+        for interpretation, weight in kb.items()
+    }
+    return {
+        "version": _FORMAT_VERSION,
+        "kind": "weighted-kb",
+        "atoms": list(kb.vocabulary.atoms),
+        "weights": weights,
+    }
+
+
+def weighted_kb_from_dict(data: dict[str, Any]) -> WeightedKnowledgeBase:
+    """Inverse of :func:`weighted_kb_to_dict`."""
+    if data.get("kind") != "weighted-kb":
+        raise ReproError(
+            f"not a serialized weighted knowledge base: kind={data.get('kind')!r}"
+        )
+    vocabulary = Vocabulary(data["atoms"])
+    weights = {
+        int(mask): Fraction(weight_text)
+        for mask, weight_text in data["weights"].items()
+    }
+    return WeightedKnowledgeBase(vocabulary, weights)
+
+
+def knowledge_base_to_json(kb: KnowledgeBase) -> str:
+    """Serialize a knowledge base (state + provenance) to a JSON string."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "kind": "knowledge-base",
+        "atoms": list(kb.vocabulary.atoms),
+        "masks": list(kb.model_set.masks),
+        "constraints": str(kb.constraints) if kb.constraints is not None else None,
+        "history": [
+            {
+                "operation": record.operation,
+                "operator": record.operator,
+                "incoming": str(record.incoming),
+                "before": list(record.before.masks),
+                "after": list(record.after.masks),
+            }
+            for record in kb.history
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def knowledge_base_from_json(
+    text: str,
+    revision=None,
+    update=None,
+    fitting=None,
+) -> KnowledgeBase:
+    """Rebuild a knowledge base from :func:`knowledge_base_to_json` output.
+
+    The provenance log is restored as data (it is inspectable but the
+    ``before``/``after`` records are not re-derived); operators are
+    reattached from the keyword arguments or library defaults.
+    """
+    data = json.loads(text)
+    if data.get("kind") != "knowledge-base":
+        raise ReproError(
+            f"not a serialized knowledge base: kind={data.get('kind')!r}"
+        )
+    vocabulary = Vocabulary(data["atoms"])
+    model_set = ModelSet(vocabulary, data["masks"])
+    from repro.kb.knowledge_base import ChangeRecord
+
+    history = tuple(
+        ChangeRecord(
+            operation=entry["operation"],
+            operator=entry["operator"],
+            incoming=parse(entry["incoming"]),
+            before=ModelSet(vocabulary, entry["before"]),
+            after=ModelSet(vocabulary, entry["after"]),
+        )
+        for entry in data.get("history", [])
+    )
+    constraints_text = data.get("constraints")
+    return KnowledgeBase(
+        form_formula(model_set) if not model_set.is_empty else parse("false"),
+        atoms=list(vocabulary.atoms),
+        revision=revision,
+        update=update,
+        fitting=fitting,
+        constraints=parse(constraints_text) if constraints_text else None,
+        _models=model_set,
+        _history=history,
+    )

@@ -1,0 +1,120 @@
+"""Propositional-logic substrate (the paper's Section 2 preliminaries).
+
+This package is self-contained: formula syntax, a parser, bitmask
+interpretations over an explicit vocabulary 𝒯, model-set semantics, normal
+forms, a from-scratch DPLL SAT solver, and two model-enumeration engines.
+Everything above it (distances, pre-orders, the theory-change operators)
+consumes only this layer's public API.
+"""
+
+from repro.logic.bdd import BddEngine, BddManager
+from repro.logic.enumeration import (
+    DpllEngine,
+    TruthTableEngine,
+    cube_formula,
+    default_engine,
+    entails,
+    equivalent,
+    form_formula,
+    is_satisfiable,
+    is_valid,
+    models,
+)
+from repro.logic.forgetting import forget, forget_models
+from repro.logic.implicants import minimal_formula, prime_implicants
+from repro.logic.interpretation import Interpretation, Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet, evaluate, truth_table
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Xor,
+    atoms_of,
+    conjoin,
+    disjoin,
+    formula_depth,
+    formula_size,
+    rename_atoms,
+    subformulas,
+    substitute,
+)
+from repro.logic.transform import (
+    eliminate_sugar,
+    is_cnf,
+    is_dnf,
+    is_nnf,
+    simplify,
+    to_cnf,
+    to_dnf,
+    to_nnf,
+)
+
+__all__ = [
+    # syntax
+    "Formula",
+    "Atom",
+    "Top",
+    "Bottom",
+    "TOP",
+    "BOTTOM",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Xor",
+    "conjoin",
+    "disjoin",
+    "atoms_of",
+    "subformulas",
+    "substitute",
+    "rename_atoms",
+    "formula_size",
+    "formula_depth",
+    # parsing
+    "parse",
+    # interpretations
+    "Vocabulary",
+    "Interpretation",
+    # semantics
+    "ModelSet",
+    "evaluate",
+    "truth_table",
+    # transforms
+    "eliminate_sugar",
+    "simplify",
+    "to_nnf",
+    "to_cnf",
+    "to_dnf",
+    "is_nnf",
+    "is_cnf",
+    "is_dnf",
+    # enumeration
+    "models",
+    "is_satisfiable",
+    "is_valid",
+    "entails",
+    "equivalent",
+    "form_formula",
+    "cube_formula",
+    "TruthTableEngine",
+    "DpllEngine",
+    "BddEngine",
+    "BddManager",
+    "default_engine",
+    # minimization
+    "minimal_formula",
+    "prime_implicants",
+    # forgetting
+    "forget",
+    "forget_models",
+]

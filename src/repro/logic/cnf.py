@@ -1,0 +1,230 @@
+"""Clause-level CNF representation, Tseitin encoding, and DIMACS I/O.
+
+The SAT engine (:mod:`repro.logic.sat`) works on integer clauses in the
+DIMACS convention: variables are ``1..n`` and a negative literal ``-v``
+denotes the negation of variable ``v``.  :class:`CnfProblem` packages the
+clause list together with the mapping from vocabulary atoms to solver
+variables, including any auxiliary Tseitin variables.
+
+Two encoders are provided:
+
+* :func:`clauses_from_cnf_formula` — direct translation of a formula that is
+  already in CNF (exact, no new variables).
+* :func:`tseitin` — linear-size equisatisfiable encoding of an arbitrary
+  formula.  Every model of the original formula extends to exactly one model
+  of the encoding, so *projected* model enumeration over the original atoms
+  is exact (this is what the DPLL enumeration engine relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TextIO
+
+from repro.errors import ReproError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.transform import eliminate_sugar, is_cnf, to_nnf
+
+__all__ = ["Clause", "CnfProblem", "clauses_from_cnf_formula", "tseitin"]
+
+#: A clause is a tuple of non-zero DIMACS literals.
+Clause = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CnfProblem:
+    """A CNF instance plus the atom-to-variable bookkeeping.
+
+    Attributes
+    ----------
+    clauses:
+        The clause list (DIMACS literals).
+    num_variables:
+        Total number of solver variables, auxiliary ones included.
+    vocabulary:
+        The propositional vocabulary of the source formula.
+    atom_variables:
+        ``atom_variables[i]`` is the solver variable for vocabulary atom
+        ``i``; always ``i + 1`` for encoders in this module.
+    """
+
+    clauses: tuple[Clause, ...]
+    num_variables: int
+    vocabulary: Vocabulary
+    atom_variables: tuple[int, ...]
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    def to_dimacs(self) -> str:
+        """Serialize to DIMACS CNF text."""
+        lines = [f"p cnf {self.num_variables} {self.num_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def write_dimacs(self, stream: TextIO) -> None:
+        """Write DIMACS CNF text to a file-like object."""
+        stream.write(self.to_dimacs())
+
+
+def parse_dimacs(text: str) -> tuple[list[Clause], int]:
+    """Parse DIMACS CNF text into ``(clauses, num_variables)``.
+
+    Comment lines (``c ...``) are skipped; the problem line is validated.
+    """
+    clauses: list[Clause] = []
+    num_variables = 0
+    declared_clauses = -1
+    current: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ReproError(f"malformed DIMACS problem line: {line!r}")
+            num_variables = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                clauses.append(tuple(current))
+                current = []
+            else:
+                if abs(literal) > num_variables:
+                    num_variables = abs(literal)
+                current.append(literal)
+    if current:
+        clauses.append(tuple(current))
+    if declared_clauses >= 0 and declared_clauses != len(clauses):
+        raise ReproError(
+            f"DIMACS header declared {declared_clauses} clauses, found {len(clauses)}"
+        )
+    return clauses, num_variables
+
+
+def _literal(node: Formula, vocabulary: Vocabulary) -> int:
+    if isinstance(node, Atom):
+        return vocabulary.index(node.name) + 1
+    if isinstance(node, Not) and isinstance(node.child, Atom):
+        return -(vocabulary.index(node.child.name) + 1)
+    raise ReproError(f"not a literal: {node}")
+
+
+def clauses_from_cnf_formula(
+    formula: Formula, vocabulary: Vocabulary
+) -> CnfProblem:
+    """Translate a formula already in CNF into integer clauses.
+
+    ``⊤`` maps to zero clauses; ``⊥`` maps to the empty clause (which is
+    unsatisfiable by convention).
+    """
+    if not is_cnf(formula):
+        raise ReproError(
+            "formula is not in CNF; convert with to_cnf() or use tseitin()"
+        )
+    clauses: list[Clause] = []
+    if isinstance(formula, Top):
+        pass
+    elif isinstance(formula, Bottom):
+        clauses.append(())
+    elif isinstance(formula, And):
+        for part in formula.operands:
+            clauses.append(_clause_literals(part, vocabulary))
+    else:
+        clauses.append(_clause_literals(formula, vocabulary))
+    return CnfProblem(
+        clauses=tuple(clauses),
+        num_variables=vocabulary.size,
+        vocabulary=vocabulary,
+        atom_variables=tuple(range(1, vocabulary.size + 1)),
+    )
+
+
+def _clause_literals(node: Formula, vocabulary: Vocabulary) -> Clause:
+    if isinstance(node, Or):
+        return tuple(_literal(op, vocabulary) for op in node.operands)
+    return (_literal(node, vocabulary),)
+
+
+def tseitin(formula: Formula, vocabulary: Vocabulary) -> CnfProblem:
+    """Tseitin encoding: linear-size CNF equisatisfiable with ``formula``.
+
+    Vocabulary atoms keep variables ``1..n``; each compound NNF subformula
+    receives a fresh definition variable.  The encoding is *projection
+    exact*: restricted to variables ``1..n``, its models are precisely the
+    models of ``formula`` (each extended uniquely to the auxiliaries),
+    because every definition variable is constrained by a biconditional.
+    """
+    nnf = to_nnf(eliminate_sugar(formula))
+    clauses: list[Clause] = []
+    next_variable = vocabulary.size + 1
+    cache: dict[Formula, int] = {}
+
+    def define(node: Formula) -> int:
+        """Return a literal equivalent to ``node``, adding definition
+        clauses for compound nodes."""
+        nonlocal next_variable
+        if isinstance(node, Atom):
+            return vocabulary.index(node.name) + 1
+        if isinstance(node, Not):
+            # NNF guarantees the child is an atom.
+            return -(vocabulary.index(node.child.name) + 1)
+        if node in cache:
+            return cache[node]
+        if isinstance(node, Top):
+            variable = next_variable
+            next_variable += 1
+            clauses.append((variable,))
+            cache[node] = variable
+            return variable
+        if isinstance(node, Bottom):
+            variable = next_variable
+            next_variable += 1
+            clauses.append((-variable,))
+            cache[node] = variable
+            return variable
+        if isinstance(node, And):
+            literals = [define(op) for op in node.operands]
+            variable = next_variable
+            next_variable += 1
+            # variable <-> AND(literals)
+            for literal in literals:
+                clauses.append((-variable, literal))
+            clauses.append(tuple([variable] + [-lit for lit in literals]))
+            cache[node] = variable
+            return variable
+        if isinstance(node, Or):
+            literals = [define(op) for op in node.operands]
+            variable = next_variable
+            next_variable += 1
+            # variable <-> OR(literals)
+            for literal in literals:
+                clauses.append((variable, -literal))
+            clauses.append(tuple([-variable] + literals))
+            cache[node] = variable
+            return variable
+        raise ReproError(f"unexpected NNF node {type(node).__name__}")
+
+    root = define(nnf)
+    clauses.append((root,))
+    return CnfProblem(
+        clauses=tuple(clauses),
+        num_variables=next_variable - 1,
+        vocabulary=vocabulary,
+        atom_variables=tuple(range(1, vocabulary.size + 1)),
+    )

@@ -1,0 +1,75 @@
+"""Variable forgetting (existential quantification over atoms).
+
+``forget(φ, A)`` is the strongest consequence of φ that is independent of
+the atoms in ``A`` — semantically, the projection of ``Mod(φ)`` along
+those atoms:
+
+    ``Mod(forget(φ, A)) = { I : ∃J ∈ Mod(φ), I and J agree outside A }``
+
+Forgetting is the logical core of several operators in this library —
+Weber's revision is literally "forget the minimal-diff atoms of ψ, then
+conjoin μ" (cross-checked in the tests) — and a generally useful database
+operation (drop a column's influence without touching the rest of the
+theory).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.logic.enumeration import form_formula, models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.logic.syntax import Formula
+
+__all__ = ["forget_models", "forget"]
+
+
+def forget_models(model_set: ModelSet, atoms: Iterable[str]) -> ModelSet:
+    """Project a model set along the given atoms.
+
+    Every model is expanded to all interpretations agreeing with it
+    outside ``atoms`` — the smallest superset of the model set that is
+    independent of those atoms.
+    """
+    vocabulary = model_set.vocabulary
+    forget_mask = 0
+    for name in atoms:
+        forget_mask |= 1 << vocabulary.index(name)
+    if forget_mask == 0 or model_set.is_empty:
+        return model_set
+    keep_mask = ~forget_mask
+    kept_patterns = {mask & keep_mask for mask in model_set.masks}
+    forgotten_bits = [
+        1 << index
+        for index in range(vocabulary.size)
+        if forget_mask & (1 << index)
+    ]
+    expanded: set[int] = set()
+    for pattern in kept_patterns:
+        for combination in range(1 << len(forgotten_bits)):
+            extra = 0
+            for position, bit in enumerate(forgotten_bits):
+                if combination & (1 << position):
+                    extra |= bit
+            expanded.add(pattern | extra)
+    return ModelSet(vocabulary, expanded)
+
+
+def forget(
+    formula: Formula,
+    atoms: Iterable[str],
+    vocabulary: Optional[Vocabulary] = None,
+) -> Formula:
+    """Formula-level forgetting: the canonical formula of the projection.
+
+    >>> from repro.logic.parser import parse
+    >>> from repro.logic.interpretation import Vocabulary
+    >>> from repro.logic.enumeration import equivalent
+    >>> v = Vocabulary(["a", "b"])
+    >>> equivalent(forget(parse("a & b"), ["b"], v), parse("a"), v)
+    True
+    """
+    if vocabulary is None:
+        vocabulary = Vocabulary.from_formulas(formula)
+    return form_formula(forget_models(models(formula, vocabulary), atoms))

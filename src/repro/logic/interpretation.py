@@ -1,0 +1,294 @@
+"""Vocabularies and interpretations.
+
+The paper fixes a finite set 𝒯 of propositional terms and identifies an
+*interpretation* with a subset ``I ⊆ 𝒯`` — the atoms that are true.  We
+represent 𝒯 as an ordered :class:`Vocabulary` and each interpretation as an
+integer bitmask over it, which makes Dalal's distance between two
+interpretations a single ``popcount`` of an XOR (see
+:mod:`repro.distances.hamming`).
+
+Interpretations are value objects: two interpretations are equal iff they
+share the same vocabulary and the same set of true atoms.  A deterministic
+total order (by bitmask) is provided so that model sets print and iterate
+reproducibly.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator
+
+from repro.errors import VocabularyError
+
+__all__ = ["Vocabulary", "Interpretation"]
+
+
+class Vocabulary:
+    """An ordered, finite universe of atom names (the paper's 𝒯).
+
+    The order is significant only for the bitmask encoding and for
+    deterministic printing; the semantics of every operator depend only on
+    the *set* of atoms.  Vocabularies are immutable and hashable.
+
+    >>> v = Vocabulary(["s", "d", "q"])
+    >>> v.size
+    3
+    >>> v.index("d")
+    1
+    """
+
+    __slots__ = ("_atoms", "_index", "_hash")
+
+    def __init__(self, atoms: Iterable[str]):
+        atom_list = list(atoms)
+        seen: set[str] = set()
+        for name in atom_list:
+            if not isinstance(name, str) or not name:
+                raise VocabularyError(f"atom name must be a non-empty string: {name!r}")
+            if name in seen:
+                raise VocabularyError(f"duplicate atom in vocabulary: {name!r}")
+            seen.add(name)
+        self._atoms: tuple[str, ...] = tuple(atom_list)
+        self._index: dict[str, int] = {name: i for i, name in enumerate(self._atoms)}
+        self._hash = hash(self._atoms)
+
+    @classmethod
+    def from_formulas(cls, *formulas) -> "Vocabulary":
+        """The vocabulary of all atoms occurring in the given formulas,
+        in sorted order (so the result is independent of formula shape)."""
+        names: set[str] = set()
+        for formula in formulas:
+            names |= formula.atoms()
+        return cls(sorted(names))
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def atoms(self) -> tuple[str, ...]:
+        """The atom names, in vocabulary order."""
+        return self._atoms
+
+    @property
+    def size(self) -> int:
+        """Number of atoms (|𝒯|)."""
+        return len(self._atoms)
+
+    @property
+    def interpretation_count(self) -> int:
+        """Number of interpretations over this vocabulary (2^|𝒯|)."""
+        return 1 << len(self._atoms)
+
+    def index(self, name: str) -> int:
+        """Position of ``name`` in the vocabulary order."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise VocabularyError(f"atom {name!r} not in vocabulary {self._atoms}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    # -- encoding ------------------------------------------------------------
+
+    def mask_of(self, true_atoms: Iterable[str]) -> int:
+        """Bitmask with bit ``i`` set iff atom ``i`` is in ``true_atoms``."""
+        mask = 0
+        for name in true_atoms:
+            mask |= 1 << self.index(name)
+        return mask
+
+    def atoms_of_mask(self, mask: int) -> frozenset[str]:
+        """Inverse of :meth:`mask_of`."""
+        if mask < 0 or mask >= self.interpretation_count:
+            raise VocabularyError(
+                f"mask {mask} out of range for vocabulary of size {self.size}"
+            )
+        return frozenset(
+            name for i, name in enumerate(self._atoms) if mask & (1 << i)
+        )
+
+    def interpretation(self, true_atoms: Iterable[str]) -> "Interpretation":
+        """The interpretation making exactly ``true_atoms`` true."""
+        return Interpretation(self, self.mask_of(true_atoms))
+
+    def from_mask(self, mask: int) -> "Interpretation":
+        """The interpretation encoded by ``mask``."""
+        if mask < 0 or mask >= self.interpretation_count:
+            raise VocabularyError(
+                f"mask {mask} out of range for vocabulary of size {self.size}"
+            )
+        return Interpretation(self, mask)
+
+    def all_interpretations(self) -> Iterator["Interpretation"]:
+        """All 2^|𝒯| interpretations in bitmask order (the paper's ℳ)."""
+        for mask in range(self.interpretation_count):
+            yield Interpretation(self, mask)
+
+    # -- combination ---------------------------------------------------------
+
+    def union(self, other: "Vocabulary") -> "Vocabulary":
+        """Vocabulary over the union of atom sets, in sorted order."""
+        if self == other:
+            return self
+        return Vocabulary(sorted(set(self._atoms) | set(other._atoms)))
+
+    def extended(self, extra_atoms: Iterable[str]) -> "Vocabulary":
+        """This vocabulary plus any new atoms from ``extra_atoms`` (appended
+        in sorted order, keeping existing positions stable)."""
+        new = sorted(set(extra_atoms) - set(self._atoms))
+        if not new:
+            return self
+        return Vocabulary(self._atoms + tuple(new))
+
+    # -- value semantics -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Vocabulary({list(self._atoms)!r})"
+
+
+@total_ordering
+class Interpretation:
+    """A truth assignment: the subset of vocabulary atoms that are true.
+
+    Backed by an integer bitmask for speed; exposes set-like operations on
+    atom names.  Ordered by bitmask value (deterministic, vocabulary-order
+    dependent) so sorted model lists are reproducible.
+
+    >>> v = Vocabulary(["s", "d", "q"])
+    >>> i = v.interpretation({"s", "d"})
+    >>> "s" in i, "q" in i
+    (True, False)
+    >>> sorted(i.true_atoms)
+    ['d', 's']
+    """
+
+    __slots__ = ("_vocabulary", "_mask")
+
+    def __init__(self, vocabulary: Vocabulary, mask: int):
+        if mask < 0 or mask >= vocabulary.interpretation_count:
+            raise VocabularyError(
+                f"mask {mask} out of range for vocabulary of size {vocabulary.size}"
+            )
+        self._vocabulary = vocabulary
+        self._mask = mask
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The vocabulary this interpretation assigns values over."""
+        return self._vocabulary
+
+    @property
+    def mask(self) -> int:
+        """The bitmask encoding (bit i == truth value of atom i)."""
+        return self._mask
+
+    @property
+    def true_atoms(self) -> frozenset[str]:
+        """The set of atoms assigned true (the paper's ``I`` itself)."""
+        return self._vocabulary.atoms_of_mask(self._mask)
+
+    @property
+    def false_atoms(self) -> frozenset[str]:
+        """The complement set of atoms assigned false."""
+        full = (1 << self._vocabulary.size) - 1
+        return self._vocabulary.atoms_of_mask(full ^ self._mask)
+
+    def value(self, atom: str) -> bool:
+        """Truth value of ``atom`` under this interpretation."""
+        return bool(self._mask & (1 << self._vocabulary.index(atom)))
+
+    def __contains__(self, atom: object) -> bool:
+        if not isinstance(atom, str):
+            return False
+        if atom not in self._vocabulary:
+            return False
+        return self.value(atom)
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate over the true atoms in vocabulary order."""
+        for i, name in enumerate(self._vocabulary.atoms):
+            if self._mask & (1 << i):
+                yield name
+
+    def __len__(self) -> int:
+        """Number of true atoms."""
+        return self._mask.bit_count()
+
+    # -- set algebra on atoms ------------------------------------------------
+
+    def _check_same_vocabulary(self, other: "Interpretation") -> None:
+        if self._vocabulary != other._vocabulary:
+            raise VocabularyError(
+                "interpretations are over different vocabularies: "
+                f"{self._vocabulary!r} vs {other._vocabulary!r}"
+            )
+
+    def symmetric_difference(self, other: "Interpretation") -> frozenset[str]:
+        """Atoms on which the two interpretations disagree:
+        ``(I \\ J) ∪ (J \\ I)`` in the paper's notation."""
+        self._check_same_vocabulary(other)
+        return self._vocabulary.atoms_of_mask(self._mask ^ other._mask)
+
+    def hamming_distance(self, other: "Interpretation") -> int:
+        """Dalal's ``dist(I, J)``: the number of atoms the two
+        interpretations disagree on."""
+        self._check_same_vocabulary(other)
+        return (self._mask ^ other._mask).bit_count()
+
+    def flipped(self, atom: str) -> "Interpretation":
+        """A copy with the truth value of ``atom`` toggled."""
+        return Interpretation(
+            self._vocabulary, self._mask ^ (1 << self._vocabulary.index(atom))
+        )
+
+    def restricted_to(self, vocabulary: Vocabulary) -> "Interpretation":
+        """Project onto a (sub-)vocabulary; atoms absent from ``self``'s
+        vocabulary are assigned false."""
+        mask = 0
+        for i, name in enumerate(vocabulary.atoms):
+            if name in self._vocabulary and self.value(name):
+                mask |= 1 << i
+        return Interpretation(vocabulary, mask)
+
+    # -- value semantics -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interpretation):
+            return NotImplemented
+        return self._vocabulary == other._vocabulary and self._mask == other._mask
+
+    def __lt__(self, other: "Interpretation") -> bool:
+        if not isinstance(other, Interpretation):
+            return NotImplemented
+        self._check_same_vocabulary(other)
+        return self._mask < other._mask
+
+    def __hash__(self) -> int:
+        return hash((self._vocabulary, self._mask))
+
+    def __repr__(self) -> str:
+        inside = ", ".join(self)
+        return f"{{{inside}}}"
+
+
+def sort_interpretations(
+    interpretations: Iterable[Interpretation],
+) -> list[Interpretation]:
+    """Sort interpretations by bitmask for deterministic output."""
+    return sorted(interpretations, key=lambda i: i.mask)

@@ -1,0 +1,151 @@
+"""Seeded random workload generators.
+
+The paper's evaluation artifacts are worked examples, but the Section 5
+open problem asks about the comparative complexity of revision, update, and
+arbitration.  The scaling benchmarks (experiment E9) need workloads; these
+generators produce them deterministically from an explicit
+:class:`random.Random` (or seed), so every benchmark run sees the same
+instances.
+
+All generators draw atoms from a supplied :class:`Vocabulary` so that the
+theory-change semantics (which depend on 𝒯) stay explicit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.logic.syntax import (
+    Atom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Xor,
+    conjoin,
+    disjoin,
+)
+
+__all__ = [
+    "make_rng",
+    "random_vocabulary",
+    "random_kcnf",
+    "random_formula",
+    "random_model_set",
+    "random_satisfiable_formula",
+]
+
+
+def make_rng(seed: int | random.Random) -> random.Random:
+    """Normalize a seed or existing generator into a ``random.Random``."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_vocabulary(size: int, prefix: str = "p") -> Vocabulary:
+    """A vocabulary ``p0..p{size-1}`` (deterministic, no randomness)."""
+    if size < 0:
+        raise ReproError(f"vocabulary size must be non-negative, got {size}")
+    return Vocabulary([f"{prefix}{i}" for i in range(size)])
+
+
+def random_kcnf(
+    vocabulary: Vocabulary,
+    num_clauses: int,
+    clause_size: int,
+    rng: int | random.Random,
+) -> Formula:
+    """A random k-CNF formula: ``num_clauses`` clauses of ``clause_size``
+    distinct literals over distinct atoms, uniformly sampled."""
+    generator = make_rng(rng)
+    if clause_size > vocabulary.size:
+        raise ReproError(
+            f"clause size {clause_size} exceeds vocabulary size {vocabulary.size}"
+        )
+    clauses: list[Formula] = []
+    atoms = list(vocabulary.atoms)
+    for _ in range(num_clauses):
+        chosen = generator.sample(atoms, clause_size)
+        literals: list[Formula] = []
+        for name in chosen:
+            atom = Atom(name)
+            literals.append(atom if generator.random() < 0.5 else Not(atom))
+        clauses.append(disjoin(literals))
+    return conjoin(clauses)
+
+
+def random_formula(
+    vocabulary: Vocabulary,
+    depth: int,
+    rng: int | random.Random,
+    connectives: Sequence[str] = ("and", "or", "not", "implies", "iff", "xor"),
+) -> Formula:
+    """A random formula tree of at most ``depth`` connective levels."""
+    generator = make_rng(rng)
+    atoms = list(vocabulary.atoms)
+    if not atoms:
+        raise ReproError("cannot generate formulas over an empty vocabulary")
+
+    def build(level: int) -> Formula:
+        if level <= 0 or generator.random() < 0.25:
+            return Atom(generator.choice(atoms))
+        kind = generator.choice(list(connectives))
+        if kind == "not":
+            return Not(build(level - 1))
+        if kind == "and":
+            return conjoin([build(level - 1), build(level - 1)])
+        if kind == "or":
+            return disjoin([build(level - 1), build(level - 1)])
+        if kind == "implies":
+            return Implies(build(level - 1), build(level - 1))
+        if kind == "iff":
+            return Iff(build(level - 1), build(level - 1))
+        if kind == "xor":
+            return Xor(build(level - 1), build(level - 1))
+        raise ReproError(f"unknown connective kind {kind!r}")
+
+    return build(depth)
+
+
+def random_model_set(
+    vocabulary: Vocabulary,
+    count: int,
+    rng: int | random.Random,
+) -> ModelSet:
+    """A uniformly random set of exactly ``count`` distinct interpretations."""
+    generator = make_rng(rng)
+    total = vocabulary.interpretation_count
+    if count < 0 or count > total:
+        raise ReproError(
+            f"cannot choose {count} distinct interpretations out of {total}"
+        )
+    masks = generator.sample(range(total), count)
+    return ModelSet(vocabulary, masks)
+
+
+def random_satisfiable_formula(
+    vocabulary: Vocabulary,
+    depth: int,
+    rng: int | random.Random,
+    max_attempts: int = 64,
+    engine=None,
+) -> Formula:
+    """A random formula guaranteed to be satisfiable.
+
+    Retries :func:`random_formula` up to ``max_attempts`` times; the fall
+    back after exhausting attempts is a single positive atom (always
+    satisfiable), so the function is total.
+    """
+    from repro.logic.enumeration import is_satisfiable
+
+    generator = make_rng(rng)
+    for _ in range(max_attempts):
+        candidate = random_formula(vocabulary, depth, generator)
+        if is_satisfiable(candidate, vocabulary, engine):
+            return candidate
+    return Atom(vocabulary.atoms[0])

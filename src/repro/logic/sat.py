@@ -1,0 +1,203 @@
+"""A from-scratch DPLL SAT solver.
+
+The reproduction environment has no external SAT library, so the library
+ships its own solver: classic DPLL with unit propagation, pure-literal
+elimination, and a most-frequent-literal branching heuristic.  It is more
+than adequate for the paper's laptop-scale workloads (the semantics of
+arbitration only ever need model sets over modest vocabularies) while the
+numpy truth-table engine covers the dense small-vocabulary case.
+
+The solver is deterministic: given the same clause list it always explores
+branches in the same order, so model enumeration yields a stable order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, Optional, Sequence
+
+from repro.logic.cnf import Clause
+
+__all__ = ["solve", "enumerate_assignments", "SatStats"]
+
+
+class SatStats:
+    """Mutable counters describing one solver run (for the bench harness)."""
+
+    __slots__ = ("decisions", "propagations", "conflicts")
+
+    def __init__(self) -> None:
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SatStats(decisions={self.decisions}, "
+            f"propagations={self.propagations}, conflicts={self.conflicts})"
+        )
+
+
+def _propagate(
+    clauses: list[list[int]], assignment: dict[int, bool], stats: SatStats
+) -> Optional[list[list[int]]]:
+    """Simplify ``clauses`` under ``assignment`` with unit propagation.
+
+    Returns the residual clause list, or ``None`` on conflict.  New forced
+    literals are written into ``assignment``.
+    """
+    changed = True
+    current = clauses
+    while changed:
+        changed = False
+        residual: list[list[int]] = []
+        for clause in current:
+            satisfied = False
+            unassigned: list[int] = []
+            for literal in clause:
+                variable = abs(literal)
+                if variable in assignment:
+                    if assignment[variable] == (literal > 0):
+                        satisfied = True
+                        break
+                else:
+                    unassigned.append(literal)
+            if satisfied:
+                continue
+            if not unassigned:
+                stats.conflicts += 1
+                return None
+            if len(unassigned) == 1:
+                literal = unassigned[0]
+                assignment[abs(literal)] = literal > 0
+                stats.propagations += 1
+                changed = True
+            else:
+                residual.append(unassigned)
+        current = residual
+    return current
+
+
+def _pure_literals(clauses: list[list[int]]) -> list[int]:
+    """Literals whose complement never occurs in the residual clauses."""
+    polarity: dict[int, int] = {}
+    for clause in clauses:
+        for literal in clause:
+            variable = abs(literal)
+            sign = 1 if literal > 0 else -1
+            previous = polarity.get(variable)
+            if previous is None:
+                polarity[variable] = sign
+            elif previous != sign:
+                polarity[variable] = 0
+    return [
+        variable * sign for variable, sign in polarity.items() if sign != 0
+    ]
+
+
+def _choose_literal(clauses: list[list[int]]) -> int:
+    """Branching heuristic: the literal occurring most often, preferring
+    short clauses (literals are weighted by 2^-|clause|)."""
+    scores: Counter[int] = Counter()
+    for clause in clauses:
+        weight = 2.0 ** -len(clause)
+        for literal in clause:
+            scores[literal] += weight
+    # Deterministic tie-break on (score, literal).
+    best = max(scores.items(), key=lambda item: (item[1], -abs(item[0]), item[0]))
+    return best[0]
+
+
+def _search(
+    clauses: list[list[int]],
+    assignment: dict[int, bool],
+    stats: SatStats,
+    use_pure_literal: bool,
+) -> Optional[dict[int, bool]]:
+    residual = _propagate(clauses, assignment, stats)
+    if residual is None:
+        return None
+    if use_pure_literal:
+        pures = _pure_literals(residual)
+        while pures:
+            for literal in pures:
+                assignment[abs(literal)] = literal > 0
+            residual = _propagate(residual, assignment, stats)
+            if residual is None:
+                return None
+            pures = _pure_literals(residual)
+    if not residual:
+        return assignment
+    literal = _choose_literal(residual)
+    stats.decisions += 1
+    for value in (literal > 0, literal <= 0):
+        trail = dict(assignment)
+        trail[abs(literal)] = value
+        result = _search(residual, trail, stats, use_pure_literal)
+        if result is not None:
+            return result
+    return None
+
+
+def solve(
+    clauses: Sequence[Clause],
+    num_variables: int,
+    stats: Optional[SatStats] = None,
+) -> Optional[dict[int, bool]]:
+    """Find one satisfying assignment, or ``None`` if unsatisfiable.
+
+    The returned assignment is *total* over ``1..num_variables`` (variables
+    untouched by the search are assigned ``False``).
+    """
+    if stats is None:
+        stats = SatStats()
+    assignment = _search([list(c) for c in clauses], {}, stats, use_pure_literal=True)
+    if assignment is None:
+        return None
+    for variable in range(1, num_variables + 1):
+        assignment.setdefault(variable, False)
+    return assignment
+
+
+def enumerate_assignments(
+    clauses: Sequence[Clause],
+    num_variables: int,
+    project_to: Optional[Sequence[int]] = None,
+    stats: Optional[SatStats] = None,
+) -> Iterator[dict[int, bool]]:
+    """Yield every satisfying assignment, optionally projected.
+
+    When ``project_to`` is given, assignments are projected onto those
+    variables and each distinct projection is yielded once: after each model
+    the projection is excluded with a blocking clause, so duplicates are
+    impossible.  Without projection, total assignments over all variables
+    are enumerated (pure-literal elimination is disabled in that case, since
+    it is satisfiability-preserving but not model-preserving).
+
+    .. warning:: ``project_to`` must be *projection exact* for the intended
+       semantics — e.g. the original atoms of a Tseitin encoding, whose
+       auxiliary variables are functionally determined (see
+       :func:`repro.logic.cnf.tseitin`).
+    """
+    if stats is None:
+        stats = SatStats()
+    working: list[Clause] = [tuple(c) for c in clauses]
+    projection = tuple(project_to) if project_to is not None else tuple(
+        range(1, num_variables + 1)
+    )
+    while True:
+        assignment = _search(
+            [list(c) for c in working], {}, stats, use_pure_literal=False
+        )
+        if assignment is None:
+            return
+        for variable in range(1, num_variables + 1):
+            assignment.setdefault(variable, False)
+        projected = {variable: assignment[variable] for variable in projection}
+        yield projected
+        blocking = tuple(
+            -variable if value else variable for variable, value in projected.items()
+        )
+        if not blocking:
+            return
+        working.append(blocking)

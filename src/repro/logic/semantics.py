@@ -1,0 +1,300 @@
+"""Model-theoretic semantics for propositional formulas.
+
+Implements the paper's ``Mod(·)`` (Section 2) over an explicit, finite
+vocabulary.  Two evaluation paths are provided:
+
+* :func:`evaluate` — evaluate one formula under one interpretation.
+* :func:`truth_table` — a numpy boolean vector of length ``2^|𝒯|`` whose
+  ``m``-th entry is the value of the formula under the interpretation with
+  bitmask ``m``.  This is the fast path used by the truth-table enumeration
+  engine for vocabularies up to ~20 atoms.
+
+:class:`ModelSet` is the library's canonical representation of ``Mod(φ)``:
+an immutable set of bitmasks tagged with its vocabulary, supporting the
+boolean algebra the paper relies on (``Mod(ψ ∨ φ) = Mod(ψ) ∪ Mod(φ)`` and
+so on) plus conversion back to a formula via
+:func:`repro.logic.enumeration.form_formula`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Interpretation, Vocabulary
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Xor,
+)
+
+__all__ = ["evaluate", "truth_table", "ModelSet"]
+
+#: Largest vocabulary for which we allow materializing a full truth table
+#: (2^22 bools = 4 MiB per formula node; beyond that use the DPLL engine).
+MAX_TRUTH_TABLE_ATOMS = 22
+
+
+def evaluate(formula: Formula, interpretation: Interpretation) -> bool:
+    """Truth value of ``formula`` under ``interpretation``.
+
+    Atoms outside the interpretation's vocabulary raise
+    :class:`~repro.errors.VocabularyError` — the paper always works relative
+    to a fixed 𝒯, so a missing atom indicates a caller bug rather than a
+    "default false" situation.
+    """
+    if isinstance(formula, Atom):
+        return interpretation.value(formula.name)
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Not):
+        return not evaluate(formula.child, interpretation)
+    if isinstance(formula, And):
+        return all(evaluate(op, interpretation) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(evaluate(op, interpretation) for op in formula.operands)
+    if isinstance(formula, Implies):
+        return (not evaluate(formula.lhs, interpretation)) or evaluate(
+            formula.rhs, interpretation
+        )
+    if isinstance(formula, Iff):
+        return evaluate(formula.lhs, interpretation) == evaluate(
+            formula.rhs, interpretation
+        )
+    if isinstance(formula, Xor):
+        return evaluate(formula.lhs, interpretation) != evaluate(
+            formula.rhs, interpretation
+        )
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def truth_table(formula: Formula, vocabulary: Vocabulary) -> np.ndarray:
+    """Boolean vector ``t`` with ``t[m] == evaluate(formula, I_m)`` where
+    ``I_m`` is the interpretation with bitmask ``m``.
+
+    Runs one vectorized pass over the syntax tree; each atom contributes a
+    periodic bit pattern extracted from ``arange(2^n)``.
+    """
+    n = vocabulary.size
+    if n > MAX_TRUTH_TABLE_ATOMS:
+        raise VocabularyError(
+            f"vocabulary of {n} atoms exceeds the truth-table limit of "
+            f"{MAX_TRUTH_TABLE_ATOMS}; use the DPLL enumeration engine"
+        )
+    indices = np.arange(1 << n, dtype=np.uint32)
+
+    def walk(node: Formula) -> np.ndarray:
+        if isinstance(node, Atom):
+            bit = vocabulary.index(node.name)
+            return ((indices >> np.uint32(bit)) & np.uint32(1)).astype(bool)
+        if isinstance(node, Top):
+            return np.ones(1 << n, dtype=bool)
+        if isinstance(node, Bottom):
+            return np.zeros(1 << n, dtype=bool)
+        if isinstance(node, Not):
+            return ~walk(node.child)
+        if isinstance(node, And):
+            result = walk(node.operands[0])
+            for operand in node.operands[1:]:
+                result = result & walk(operand)
+            return result
+        if isinstance(node, Or):
+            result = walk(node.operands[0])
+            for operand in node.operands[1:]:
+                result = result | walk(operand)
+            return result
+        if isinstance(node, Implies):
+            return ~walk(node.lhs) | walk(node.rhs)
+        if isinstance(node, Iff):
+            return walk(node.lhs) == walk(node.rhs)
+        if isinstance(node, Xor):
+            return walk(node.lhs) != walk(node.rhs)
+        raise TypeError(f"unknown formula node {type(node).__name__}")
+
+    return walk(formula)
+
+
+class ModelSet:
+    """An immutable set of interpretations over a fixed vocabulary.
+
+    This is the library's concrete ``Mod(φ)``.  Masks are stored sorted for
+    deterministic iteration; membership tests use a frozenset.  The boolean
+    algebra mirrors the paper's semantics of the connectives.
+
+    >>> v = Vocabulary(["a", "b"])
+    >>> ms = ModelSet(v, [0b01, 0b11])
+    >>> len(ms)
+    2
+    >>> v.interpretation({"a"}) in ms
+    True
+    """
+
+    __slots__ = ("_vocabulary", "_masks", "_mask_set")
+
+    def __init__(self, vocabulary: Vocabulary, masks: Iterable[int]):
+        mask_set = frozenset(masks)
+        limit = vocabulary.interpretation_count
+        for mask in mask_set:
+            if mask < 0 or mask >= limit:
+                raise VocabularyError(
+                    f"mask {mask} out of range for vocabulary of size {vocabulary.size}"
+                )
+        self._vocabulary = vocabulary
+        self._mask_set = mask_set
+        self._masks: tuple[int, ...] = tuple(sorted(mask_set))
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, vocabulary: Vocabulary) -> "ModelSet":
+        """``Mod(⊥)``: no models."""
+        return cls(vocabulary, ())
+
+    @classmethod
+    def universe(cls, vocabulary: Vocabulary) -> "ModelSet":
+        """``Mod(⊤)``: every interpretation (the paper's ℳ)."""
+        return cls(vocabulary, range(vocabulary.interpretation_count))
+
+    @classmethod
+    def of_interpretations(
+        cls, interpretations: Iterable[Interpretation]
+    ) -> "ModelSet":
+        """Model set containing exactly the given interpretations, which
+        must all share one vocabulary."""
+        interps = list(interpretations)
+        if not interps:
+            raise VocabularyError(
+                "cannot infer a vocabulary from zero interpretations; "
+                "use ModelSet.empty(vocabulary)"
+            )
+        vocabulary = interps[0].vocabulary
+        for interp in interps[1:]:
+            if interp.vocabulary != vocabulary:
+                raise VocabularyError("interpretations span multiple vocabularies")
+        return cls(vocabulary, (interp.mask for interp in interps))
+
+    @classmethod
+    def from_truth_table(
+        cls, vocabulary: Vocabulary, table: np.ndarray
+    ) -> "ModelSet":
+        """Model set of the interpretations whose table entry is true."""
+        if table.shape != (vocabulary.interpretation_count,):
+            raise VocabularyError(
+                f"truth table of shape {table.shape} does not match vocabulary "
+                f"of size {vocabulary.size}"
+            )
+        return cls(vocabulary, np.flatnonzero(table).tolist())
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The vocabulary all member interpretations range over."""
+        return self._vocabulary
+
+    @property
+    def masks(self) -> tuple[int, ...]:
+        """The member bitmasks, sorted ascending."""
+        return self._masks
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff this is ``Mod(⊥)`` — i.e. the source formula is
+        unsatisfiable."""
+        return not self._masks
+
+    @property
+    def is_universe(self) -> bool:
+        """True iff every interpretation is a model (a valid formula)."""
+        return len(self._masks) == self._vocabulary.interpretation_count
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def __iter__(self) -> Iterator[Interpretation]:
+        for mask in self._masks:
+            yield Interpretation(self._vocabulary, mask)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Interpretation):
+            return (
+                item.vocabulary == self._vocabulary and item.mask in self._mask_set
+            )
+        if isinstance(item, int):
+            return item in self._mask_set
+        return False
+
+    def interpretations(self) -> list[Interpretation]:
+        """The members as a sorted list of interpretations."""
+        return list(self)
+
+    # -- boolean algebra -----------------------------------------------------------
+
+    def _check_same_vocabulary(self, other: "ModelSet") -> None:
+        if self._vocabulary != other._vocabulary:
+            raise VocabularyError(
+                "model sets are over different vocabularies: "
+                f"{self._vocabulary!r} vs {other._vocabulary!r}"
+            )
+
+    def union(self, other: "ModelSet") -> "ModelSet":
+        """``Mod(ψ) ∪ Mod(φ) = Mod(ψ ∨ φ)``."""
+        self._check_same_vocabulary(other)
+        return ModelSet(self._vocabulary, self._mask_set | other._mask_set)
+
+    def intersection(self, other: "ModelSet") -> "ModelSet":
+        """``Mod(ψ) ∩ Mod(φ) = Mod(ψ ∧ φ)``."""
+        self._check_same_vocabulary(other)
+        return ModelSet(self._vocabulary, self._mask_set & other._mask_set)
+
+    def difference(self, other: "ModelSet") -> "ModelSet":
+        """``Mod(ψ) \\ Mod(φ) = Mod(ψ ∧ ¬φ)``."""
+        self._check_same_vocabulary(other)
+        return ModelSet(self._vocabulary, self._mask_set - other._mask_set)
+
+    def complement(self) -> "ModelSet":
+        """``ℳ \\ Mod(φ) = Mod(¬φ)``."""
+        return ModelSet(
+            self._vocabulary,
+            set(range(self._vocabulary.interpretation_count)) - self._mask_set,
+        )
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    def issubset(self, other: "ModelSet") -> bool:
+        """Model-set inclusion — semantic implication of the sources."""
+        self._check_same_vocabulary(other)
+        return self._mask_set <= other._mask_set
+
+    def __le__(self, other: "ModelSet") -> bool:
+        return self.issubset(other)
+
+    # -- value semantics --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ModelSet):
+            return NotImplemented
+        return (
+            self._vocabulary == other._vocabulary
+            and self._mask_set == other._mask_set
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._vocabulary, self._mask_set))
+
+    def __repr__(self) -> str:
+        members = ", ".join(repr(interp) for interp in self)
+        return f"ModelSet[{members}]"

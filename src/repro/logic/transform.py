@@ -1,0 +1,279 @@
+"""Normal-form conversions and formula simplification.
+
+Provides the classical pipeline used by the SAT engine:
+
+* :func:`eliminate_sugar` — rewrite ``->``, ``<->``, ``^`` into the paper's
+  core connectives (¬, ∧, ∨).
+* :func:`to_nnf` — negation normal form (negations pushed onto atoms).
+* :func:`to_cnf` — conjunctive normal form by distribution.  Exact (no new
+  atoms) but worst-case exponential; used for small formulas and as a test
+  oracle for the Tseitin encoding in :mod:`repro.logic.cnf`.
+* :func:`to_dnf` — disjunctive normal form by distribution.
+* :func:`simplify` — bottom-up constant folding, involution, idempotence,
+  and complement elimination.  Equivalence-preserving and cheap; *not* a
+  minimizer.
+"""
+
+from __future__ import annotations
+
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    Atom,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Xor,
+    conjoin,
+    disjoin,
+    transform_bottom_up,
+)
+
+__all__ = [
+    "eliminate_sugar",
+    "to_nnf",
+    "to_cnf",
+    "to_dnf",
+    "simplify",
+    "is_nnf",
+    "is_cnf",
+    "is_dnf",
+]
+
+
+def eliminate_sugar(formula: Formula) -> Formula:
+    """Rewrite implication, biconditional, and xor into ¬/∧/∨."""
+
+    def visit(node: Formula) -> Formula:
+        if isinstance(node, Implies):
+            return disjoin([Not(node.lhs), node.rhs])
+        if isinstance(node, Iff):
+            return disjoin(
+                [
+                    conjoin([node.lhs, node.rhs]),
+                    conjoin([Not(node.lhs), Not(node.rhs)]),
+                ]
+            )
+        if isinstance(node, Xor):
+            return disjoin(
+                [
+                    conjoin([node.lhs, Not(node.rhs)]),
+                    conjoin([Not(node.lhs), node.rhs]),
+                ]
+            )
+        return node
+
+    return transform_bottom_up(formula, visit)
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: sugar eliminated, negation only on atoms,
+    constants pushed out of negations."""
+    return _nnf(eliminate_sugar(formula), negate=False)
+
+
+def _nnf(node: Formula, negate: bool) -> Formula:
+    if isinstance(node, Atom):
+        return Not(node) if negate else node
+    if isinstance(node, Top):
+        return BOTTOM if negate else TOP
+    if isinstance(node, Bottom):
+        return TOP if negate else BOTTOM
+    if isinstance(node, Not):
+        return _nnf(node.child, not negate)
+    if isinstance(node, And):
+        parts = [_nnf(op, negate) for op in node.operands]
+        return disjoin(parts) if negate else conjoin(parts)
+    if isinstance(node, Or):
+        parts = [_nnf(op, negate) for op in node.operands]
+        return conjoin(parts) if negate else disjoin(parts)
+    raise TypeError(
+        f"unexpected node {type(node).__name__} after sugar elimination"
+    )
+
+
+def _distribute_or_over_and(parts: list[Formula]) -> Formula:
+    """Given NNF disjuncts, distribute ∨ over ∧ to produce a CNF formula."""
+    # Separate conjunction operands; the cross product of one pick per
+    # disjunct yields the CNF clauses.
+    choice_lists: list[tuple[Formula, ...]] = []
+    for part in parts:
+        if isinstance(part, And):
+            choice_lists.append(part.operands)
+        else:
+            choice_lists.append((part,))
+    clauses: list[Formula] = []
+    indices = [0] * len(choice_lists)
+    while True:
+        clause = disjoin(choice_lists[i][indices[i]] for i in range(len(choice_lists)))
+        clauses.append(clause)
+        # odometer increment
+        for position in range(len(indices) - 1, -1, -1):
+            indices[position] += 1
+            if indices[position] < len(choice_lists[position]):
+                break
+            indices[position] = 0
+        else:
+            break
+    return conjoin(clauses)
+
+
+def to_cnf(formula: Formula) -> Formula:
+    """Conjunctive normal form via NNF + distribution.
+
+    Exact and vocabulary-preserving but worst-case exponential in size;
+    use the Tseitin encoding (:func:`repro.logic.cnf.tseitin`) for large
+    inputs where equisatisfiability suffices.
+    """
+
+    def visit(node: Formula) -> Formula:
+        if isinstance(node, Or):
+            return _distribute_or_over_and(list(node.operands))
+        return node
+
+    return simplify(transform_bottom_up(to_nnf(formula), visit))
+
+
+def to_dnf(formula: Formula) -> Formula:
+    """Disjunctive normal form via NNF + distribution (dual of CNF)."""
+
+    def visit(node: Formula) -> Formula:
+        if isinstance(node, And):
+            choice_lists: list[tuple[Formula, ...]] = []
+            for part in node.operands:
+                if isinstance(part, Or):
+                    choice_lists.append(part.operands)
+                else:
+                    choice_lists.append((part,))
+            terms: list[Formula] = []
+            indices = [0] * len(choice_lists)
+            while True:
+                term = conjoin(
+                    choice_lists[i][indices[i]] for i in range(len(choice_lists))
+                )
+                terms.append(term)
+                for position in range(len(indices) - 1, -1, -1):
+                    indices[position] += 1
+                    if indices[position] < len(choice_lists[position]):
+                        break
+                    indices[position] = 0
+                else:
+                    break
+            return disjoin(terms)
+        return node
+
+    return simplify(transform_bottom_up(to_nnf(formula), visit))
+
+
+def simplify(formula: Formula) -> Formula:
+    """Equivalence-preserving structural simplification.
+
+    Applies, bottom-up: double-negation elimination, constant folding
+    (``φ ∧ ⊤ = φ`` etc.), idempotence (duplicate operands dropped), and
+    complement detection (``φ ∧ ¬φ = ⊥``, ``φ ∨ ¬φ = ⊤``).
+    """
+
+    def visit(node: Formula) -> Formula:
+        if isinstance(node, Not):
+            child = node.child
+            if isinstance(child, Not):
+                return child.child
+            if isinstance(child, Top):
+                return BOTTOM
+            if isinstance(child, Bottom):
+                return TOP
+            return node
+        if isinstance(node, And):
+            kept: list[Formula] = []
+            seen: set[Formula] = set()
+            for operand in node.operands:
+                if isinstance(operand, Bottom):
+                    return BOTTOM
+                if isinstance(operand, Top) or operand in seen:
+                    continue
+                seen.add(operand)
+                kept.append(operand)
+            for operand in kept:
+                complement = (
+                    operand.child if isinstance(operand, Not) else Not(operand)
+                )
+                if complement in seen:
+                    return BOTTOM
+            return conjoin(kept)
+        if isinstance(node, Or):
+            kept = []
+            seen = set()
+            for operand in node.operands:
+                if isinstance(operand, Top):
+                    return TOP
+                if isinstance(operand, Bottom) or operand in seen:
+                    continue
+                seen.add(operand)
+                kept.append(operand)
+            for operand in kept:
+                complement = (
+                    operand.child if isinstance(operand, Not) else Not(operand)
+                )
+                if complement in seen:
+                    return TOP
+            return disjoin(kept)
+        return node
+
+    return transform_bottom_up(formula, visit)
+
+
+# -- normal-form recognizers ---------------------------------------------------
+
+
+def _is_literal(node: Formula) -> bool:
+    return isinstance(node, Atom) or (
+        isinstance(node, Not) and isinstance(node.child, Atom)
+    )
+
+
+def is_nnf(formula: Formula) -> bool:
+    """True iff negations apply only to atoms and there is no sugar."""
+    if isinstance(formula, (Atom, Top, Bottom)):
+        return True
+    if isinstance(formula, Not):
+        return isinstance(formula.child, Atom)
+    if isinstance(formula, (And, Or)):
+        return all(is_nnf(op) for op in formula.operands)
+    return False
+
+
+def _is_clause(node: Formula) -> bool:
+    if _is_literal(node):
+        return True
+    return isinstance(node, Or) and all(_is_literal(op) for op in node.operands)
+
+
+def _is_term(node: Formula) -> bool:
+    if _is_literal(node):
+        return True
+    return isinstance(node, And) and all(_is_literal(op) for op in node.operands)
+
+
+def is_cnf(formula: Formula) -> bool:
+    """True iff the formula is a conjunction of clauses (or simpler)."""
+    if isinstance(formula, (Top, Bottom)):
+        return True
+    if _is_clause(formula):
+        return True
+    return isinstance(formula, And) and all(
+        _is_clause(op) for op in formula.operands
+    )
+
+
+def is_dnf(formula: Formula) -> bool:
+    """True iff the formula is a disjunction of terms (or simpler)."""
+    if isinstance(formula, (Top, Bottom)):
+        return True
+    if _is_term(formula):
+        return True
+    return isinstance(formula, Or) and all(_is_term(op) for op in formula.operands)

@@ -1,0 +1,55 @@
+"""Baseline theory-change operators from the literature the paper builds on.
+
+Revision operators (Dalal, Satoh, Borgida, Weber) satisfy R2 and therefore
+— by Theorem 3.2 — cannot be model-fitting operators; update operators
+(Winslett, Forbus) satisfy U8 with the same consequence.  The paper's own
+operators live in :mod:`repro.core`.
+"""
+
+from repro.operators.base import (
+    AssignmentOperator,
+    OperatorFamily,
+    TheoryChangeOperator,
+)
+from repro.operators.revision import (
+    BorgidaRevision,
+    DalalRevision,
+    SatohRevision,
+    WeberRevision,
+)
+from repro.operators.contraction import (
+    CONTRACTION_AXIOMS,
+    ContractionOperator,
+    ErasureOperator,
+    check_contraction_axiom,
+)
+from repro.operators.dilation import (
+    DilationDalalRevision,
+    DilationFitting,
+    ball,
+    dilate,
+)
+from repro.operators.simple import DrasticFitting, FullMeetRevision
+from repro.operators.update import ForbusUpdate, WinslettUpdate
+
+__all__ = [
+    "TheoryChangeOperator",
+    "AssignmentOperator",
+    "OperatorFamily",
+    "DalalRevision",
+    "SatohRevision",
+    "BorgidaRevision",
+    "WeberRevision",
+    "WinslettUpdate",
+    "ForbusUpdate",
+    "FullMeetRevision",
+    "DrasticFitting",
+    "ContractionOperator",
+    "ErasureOperator",
+    "CONTRACTION_AXIOMS",
+    "check_contraction_axiom",
+    "DilationDalalRevision",
+    "DilationFitting",
+    "dilate",
+    "ball",
+]

@@ -1,0 +1,188 @@
+"""Contraction and erasure — the retraction duals of revision and update.
+
+The AGM tradition the paper builds on (Alchourrón–Gärdenfors–Makinson
+[AGM85], Katsuno–Mendelzon [KM91/KM92]) pairs each *addition* operator with
+a *retraction* operator through the Harper identity:
+
+* **contraction** (dual of revision):  ``Mod(ψ − μ) = Mod(ψ) ∪ Mod(ψ ∘ ¬μ)``
+  — stop believing μ, keeping as much of ψ as possible;
+* **erasure** (dual of update):        ``Mod(ψ ⊖ μ) = Mod(ψ) ∪ Mod(ψ ⋄ ¬μ)``
+  — make μ no longer necessarily true after a change of the world.
+
+Both are *derived* operators: wrap any revision (or update) operator and
+the identity does the rest.  The classical KM contraction postulates
+(C1–C5 in their propositional rendering) are provided as executable checks
+so the harness can audit derived retractions the same way it audits
+additions — completing the theory-change family around the paper's
+arbitration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.logic.semantics import ModelSet
+from repro.operators.base import OperatorFamily, TheoryChangeOperator
+from repro.postulates.counterexample import Counterexample
+
+__all__ = [
+    "ContractionOperator",
+    "ErasureOperator",
+    "ContractionAxiom",
+    "CONTRACTION_AXIOMS",
+    "check_contraction_axiom",
+]
+
+
+class ContractionOperator(TheoryChangeOperator):
+    """Contraction derived from a revision operator via the Harper
+    identity: ``Mod(ψ − μ) = Mod(ψ) ∪ Mod(ψ ∘ ¬μ)``."""
+
+    family = OperatorFamily.OTHER
+
+    def __init__(self, revision: TheoryChangeOperator):
+        self._revision = revision
+        self.name = f"contraction[{revision.name}]"
+
+    @property
+    def base_operator(self) -> TheoryChangeOperator:
+        """The revision operator the contraction is derived from."""
+        return self._revision
+
+    def apply_models(self, psi: ModelSet, mu: ModelSet) -> ModelSet:
+        self._check_vocabularies(psi, mu)
+        not_mu = mu.complement()
+        return psi.union(self._revision.apply_models(psi, not_mu))
+
+
+class ErasureOperator(TheoryChangeOperator):
+    """Erasure derived from an update operator:
+    ``Mod(ψ ⊖ μ) = Mod(ψ) ∪ Mod(ψ ⋄ ¬μ)`` (KM's symmetric erasure)."""
+
+    family = OperatorFamily.OTHER
+
+    def __init__(self, update: TheoryChangeOperator):
+        self._update = update
+        self.name = f"erasure[{update.name}]"
+
+    @property
+    def base_operator(self) -> TheoryChangeOperator:
+        """The update operator the erasure is derived from."""
+        return self._update
+
+    def apply_models(self, psi: ModelSet, mu: ModelSet) -> ModelSet:
+        self._check_vocabularies(psi, mu)
+        not_mu = mu.complement()
+        return psi.union(self._update.apply_models(psi, not_mu))
+
+
+# -- executable contraction postulates (KM propositional rendering) -----------
+
+
+@dataclass(frozen=True)
+class ContractionAxiom:
+    """One executable contraction postulate."""
+
+    name: str
+    statement: str
+    checker: "object"
+
+    def check_instance(
+        self, operator: TheoryChangeOperator, scenario: Sequence[ModelSet]
+    ) -> Optional[Counterexample]:
+        """Check one (ψ, μ) instance."""
+        return self.checker(operator, scenario)
+
+
+def _ce(name, operator, psi, mu, observed, explanation):
+    return Counterexample(
+        axiom=name,
+        operator=operator.name,
+        roles={"psi": psi, "mu": mu},
+        observed=observed,
+        explanation=explanation,
+    )
+
+
+def _check_c1(operator, scenario):
+    """C1 (inclusion): ψ implies ψ − μ."""
+    psi, mu = scenario
+    result = operator.apply_models(psi, mu)
+    if not psi.issubset(result):
+        return _ce("C1", operator, psi, mu, {"result": result},
+                   "ψ must imply ψ − μ (contraction only retracts)")
+    return None
+
+
+def _check_c2(operator, scenario):
+    """C2 (vacuity): if ψ does not imply μ then ψ − μ ≡ ψ."""
+    psi, mu = scenario
+    if psi.issubset(mu):
+        return None
+    result = operator.apply_models(psi, mu)
+    if result != psi:
+        return _ce("C2", operator, psi, mu, {"result": result},
+                   "ψ ⊭ μ, so contraction must change nothing")
+    return None
+
+
+def _check_c3(operator, scenario):
+    """C3 (success): if μ is not a tautology then ψ − μ does not imply μ
+    (for satisfiable ψ)."""
+    psi, mu = scenario
+    if mu.is_universe or psi.is_empty:
+        return None
+    result = operator.apply_models(psi, mu)
+    if result.issubset(mu):
+        return _ce("C3", operator, psi, mu, {"result": result},
+                   "μ is no tautology, so ψ − μ must not still imply μ")
+    return None
+
+
+def _check_c4(operator, scenario):
+    """C4 (recovery): (ψ − μ) ∧ μ implies ψ."""
+    psi, mu = scenario
+    result = operator.apply_models(psi, mu).intersection(mu)
+    if not result.issubset(psi):
+        return _ce("C4", operator, psi, mu, {"(ψ−μ)∧μ": result},
+                   "re-adding μ after contracting it must recover ψ")
+    return None
+
+
+def _check_c5(operator, scenario):
+    """C5 (extensionality at the model level): the result depends only on
+    Mod(μ) — structurally true for model-set operators; checked as
+    determinism."""
+    psi, mu = scenario
+    first = operator.apply_models(psi, mu)
+    second = operator.apply_models(psi, mu)
+    if first != second:
+        return _ce("C5", operator, psi, mu,
+                   {"first": first, "second": second},
+                   "operator is not deterministic")
+    return None
+
+
+CONTRACTION_AXIOMS: tuple[ContractionAxiom, ...] = (
+    ContractionAxiom("C1", "ψ implies ψ − μ", _check_c1),
+    ContractionAxiom("C2", "if ψ ⊭ μ then ψ − μ ≡ ψ", _check_c2),
+    ContractionAxiom("C3", "if ⊭ μ then ψ − μ ⊭ μ", _check_c3),
+    ContractionAxiom("C4", "(ψ − μ) ∧ μ implies ψ (recovery)", _check_c4),
+    ContractionAxiom("C5", "result depends only on Mod(μ)", _check_c5),
+)
+
+
+def check_contraction_axiom(
+    operator: TheoryChangeOperator,
+    axiom: ContractionAxiom,
+    knowledge_bases: Sequence[ModelSet],
+    inputs: Sequence[ModelSet],
+) -> Optional[Counterexample]:
+    """Check one contraction postulate over a scenario grid."""
+    for psi in knowledge_bases:
+        for mu in inputs:
+            counterexample = axiom.check_instance(operator, (psi, mu))
+            if counterexample is not None:
+                return counterexample
+    return None

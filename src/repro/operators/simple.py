@@ -1,0 +1,48 @@
+"""Degenerate baseline operators: full-meet revision and drastic fitting.
+
+These are the coarsest members of their families — what you get when the
+underlying distance cannot tell interpretations apart (the drastic
+distance).  They anchor the ablation axis of experiment E10 and give the
+postulate harness easy-to-reason-about subjects:
+
+* :class:`FullMeetRevision` — ``ψ ∧ μ`` when consistent, else ``μ``.
+  Equivalent to Dalal's construction over the drastic distance; a genuine
+  KM revision (satisfies R1–R6) and, like every R2 operator, barred from
+  model-fitting by Theorem 3.2.
+* :class:`DrasticFitting` — the paper's odist construction over the
+  drastic distance.  For a singleton ψ it behaves like full meet; for any
+  larger ψ every interpretation is at drastic-max distance 1 from *some*
+  model, so the pre-order collapses and ``ψ ▷ μ = μ``.
+"""
+
+from __future__ import annotations
+
+from repro.core.fitting import ModelFittingOperator
+from repro.distances.base import DrasticDistance
+from repro.operators.base import AssignmentOperator, OperatorFamily
+from repro.orders.faithful import dalal_assignment
+from repro.orders.loyal import max_distance_assignment
+
+__all__ = ["FullMeetRevision", "DrasticFitting"]
+
+
+class FullMeetRevision(AssignmentOperator):
+    """Full-meet (drastic) revision: keep ``ψ ∧ μ`` if consistent, else
+    accept ``μ`` whole."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            dalal_assignment(DrasticDistance()),
+            name="full-meet",
+            family=OperatorFamily.REVISION,
+            unsat_base="accept-new",
+        )
+
+
+class DrasticFitting(ModelFittingOperator):
+    """Model-fitting over the drastic distance (coarsest odist)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            max_distance_assignment(DrasticDistance()), name="drastic-fitting"
+        )

@@ -1,0 +1,84 @@
+"""Baseline update operators: Winslett's PMA and Forbus's operator.
+
+Updates (KM postulates U1–U8, Appendix A of the paper) treat the new
+information as *more recent*: every model of the old knowledge base is
+moved independently to its closest μ-models, and the results are unioned
+(axiom U8 is exactly this per-model independence).
+
+* Winslett's *possible models approach* compares symmetric differences by
+  set inclusion (a genuinely partial order per model).
+* Forbus's operator compares them by cardinality (Dalal's metric applied
+  per model).
+
+Theorem 3.2 uses the fact that Winslett's operator satisfies (U2) and (U8)
+to conclude it cannot be a model-fitting operator; the E7 matrix verifies
+this mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.distances.base import HammingDistance, InterpretationDistance
+from repro.logic.semantics import ModelSet
+from repro.operators.base import OperatorFamily, TheoryChangeOperator
+
+__all__ = ["WinslettUpdate", "ForbusUpdate"]
+
+
+class WinslettUpdate(TheoryChangeOperator):
+    """Winslett's PMA update, simplified to the propositional case.
+
+    ``Mod(ψ ⋄ μ) = ⋃_{J ∈ Mod(ψ)} Min(Mod(μ), ≤J)`` where ``I ≤J I'`` iff
+    ``I Δ J ⊆ I' Δ J``.
+    """
+
+    name = "winslett"
+    family = OperatorFamily.UPDATE
+
+    def apply_models(self, psi: ModelSet, mu: ModelSet) -> ModelSet:
+        self._check_vocabularies(psi, mu)
+        chosen: set[int] = set()
+        mu_masks = mu.masks
+        for psi_mask in psi.masks:
+            diffs = [(mu_mask ^ psi_mask, mu_mask) for mu_mask in mu_masks]
+            for diff, mu_mask in diffs:
+                dominated = False
+                for other_diff, _ in diffs:
+                    if other_diff != diff and (other_diff & diff) == other_diff:
+                        dominated = True
+                        break
+                if not dominated:
+                    chosen.add(mu_mask)
+        return ModelSet(mu.vocabulary, chosen)
+
+
+class ForbusUpdate(TheoryChangeOperator):
+    """Forbus's update: per-model cardinality-minimal change.
+
+    ``Mod(ψ ⋄ μ) = ⋃_{J ∈ Mod(ψ)} argmin_{I ∈ Mod(μ)} dist(I, J)``.
+    """
+
+    name = "forbus"
+    family = OperatorFamily.UPDATE
+
+    def __init__(self, distance: Optional[InterpretationDistance] = None):
+        self._distance = distance if distance is not None else HammingDistance()
+
+    def apply_models(self, psi: ModelSet, mu: ModelSet) -> ModelSet:
+        self._check_vocabularies(psi, mu)
+        vocabulary = mu.vocabulary
+        chosen: set[int] = set()
+        mu_masks = mu.masks
+        for psi_mask in psi.masks:
+            best: Optional[float] = None
+            closest: list[int] = []
+            for mu_mask in mu_masks:
+                d = self._distance.between_masks(mu_mask, psi_mask, vocabulary)
+                if best is None or d < best:
+                    best = d
+                    closest = [mu_mask]
+                elif d == best:
+                    closest.append(mu_mask)
+            chosen.update(closest)
+        return ModelSet(vocabulary, chosen)

@@ -1,0 +1,133 @@
+"""Faithful assignments (Katsuno–Mendelzon revision substrate).
+
+A *faithful assignment* maps every knowledge base ψ to a total pre-order
+``≤ψ`` such that (KM, quoted in Section 2 of the paper):
+
+1. if ``I, J ∈ Mod(ψ)`` then ``I <ψ J`` does not hold;
+2. if ``I ∈ Mod(ψ)`` and ``J ∉ Mod(ψ)`` then ``I <ψ J``;
+3. ``ψ₁ ↔ ψ₂`` implies ``≤ψ₁ = ≤ψ₂``.
+
+Revision operators satisfying the AGM/KM postulates are exactly those of
+the form ``Mod(ψ ∘ μ) = Min(Mod(μ), ≤ψ)`` for a faithful assignment; the
+library uses this to implement Dalal's operator and to *check* faithfulness
+of arbitrary assignments in the test suite.
+
+Assignments here are keyed by the **model set** of ψ, which makes
+condition 3 hold by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.distances.base import HammingDistance, InterpretationDistance
+from repro.logic.semantics import ModelSet
+from repro.orders.preorder import TotalPreorder
+
+__all__ = [
+    "FaithfulAssignment",
+    "dalal_assignment",
+    "check_faithful",
+    "FaithfulnessViolation",
+]
+
+
+class FaithfulAssignment:
+    """A function from knowledge bases (as model sets) to total pre-orders.
+
+    Wraps a builder callable and memoizes per model set.  Because the key
+    is the model set, logically equivalent knowledge bases receive the
+    identical pre-order (KM condition 3).
+    """
+
+    def __init__(
+        self,
+        builder: Callable[[ModelSet], TotalPreorder],
+        name: str = "faithful",
+    ):
+        self._builder = builder
+        self._cache: dict[ModelSet, TotalPreorder] = {}
+        self.name = name
+
+    def order_for(self, knowledge_base: ModelSet) -> TotalPreorder:
+        """The pre-order ``≤ψ`` for a knowledge base given by its models."""
+        order = self._cache.get(knowledge_base)
+        if order is None:
+            order = self._builder(knowledge_base)
+            self._cache[knowledge_base] = order
+        return order
+
+    def __call__(self, knowledge_base: ModelSet) -> TotalPreorder:
+        return self.order_for(knowledge_base)
+
+    def __repr__(self) -> str:
+        return f"FaithfulAssignment({self.name!r})"
+
+
+def dalal_assignment(
+    distance: Optional[InterpretationDistance] = None,
+) -> FaithfulAssignment:
+    """Dalal's faithful assignment: rank by distance to the nearest model.
+
+    ``I ≤ψ J  iff  dist(ψ, I) ≤ dist(ψ, J)`` with
+    ``dist(ψ, I) = min_{J ∈ Mod(ψ)} dist(I, J)``.  Models of ψ get rank 0,
+    so faithfulness conditions 1–2 hold whenever ψ is satisfiable.
+    """
+    metric = distance if distance is not None else HammingDistance()
+
+    def build(knowledge_base: ModelSet) -> TotalPreorder:
+        vocabulary = knowledge_base.vocabulary
+        kb_masks = knowledge_base.masks
+
+        def key(mask: int) -> float:
+            if not kb_masks:
+                return 0.0
+            return min(
+                metric.between_masks(mask, kb_mask, vocabulary)
+                for kb_mask in kb_masks
+            )
+
+        return TotalPreorder.from_key(vocabulary, key)
+
+    return FaithfulAssignment(build, name="dalal")
+
+
+class FaithfulnessViolation:
+    """A witnessed failure of one of the KM faithfulness conditions."""
+
+    def __init__(self, condition: int, detail: str):
+        self.condition = condition
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"FaithfulnessViolation(condition={self.condition}, {self.detail})"
+
+
+def check_faithful(
+    assignment: FaithfulAssignment, knowledge_base: ModelSet
+) -> Optional[FaithfulnessViolation]:
+    """Check KM conditions 1–2 for one knowledge base.
+
+    Condition 3 holds by construction (assignments are keyed by model set).
+    Returns the first violation found, or ``None``.
+    """
+    order = assignment.order_for(knowledge_base)
+    inside = knowledge_base.masks
+    outside = [
+        mask
+        for mask in range(knowledge_base.vocabulary.interpretation_count)
+        if mask not in knowledge_base
+    ]
+    for left in inside:
+        for right in inside:
+            if order.lt_masks(left, right):
+                return FaithfulnessViolation(
+                    1, f"models {left} < {right} inside Mod(ψ)"
+                )
+    for left in inside:
+        for right in outside:
+            if not order.lt_masks(left, right):
+                return FaithfulnessViolation(
+                    2, f"model {left} not strictly below non-model {right}"
+                )
+    return None

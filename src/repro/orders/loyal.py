@@ -1,0 +1,287 @@
+"""Loyal assignments (Section 3 of the paper) and concrete instances.
+
+A *loyal assignment* maps each knowledge base ψ to a pre-order ``≤ψ`` over
+ℳ such that for all interpretations ``I, J`` and knowledge bases ψ₁, ψ₂:
+
+1. ``ψ₁ ↔ ψ₂``  implies  ``≤ψ₁ = ≤ψ₂``;
+2. ``I <ψ₁ J`` and ``I ≤ψ₂ J``  imply  ``I <ψ₁∨ψ₂ J``;
+3. ``I ≤ψ₁ J`` and ``I ≤ψ₂ J``  imply  ``I ≤ψ₁∨ψ₂ J``.
+
+Theorem 3.1 characterizes the model-fitting operators (axioms A1–A8) as
+exactly ``Mod(ψ ▷ μ) = Min(Mod(μ), ≤ψ)`` for loyal assignments of *total*
+pre-orders.
+
+Concrete assignments provided here:
+
+* :func:`max_distance_assignment` — the paper's ``odist`` (max Hamming
+  distance to the models of ψ).  **Reproduction note:** the paper asserts
+  this is "clearly" loyal, but mechanical checking (see
+  :func:`check_loyal` and the E6/E7 experiments) exhibits violations of
+  condition 2 — and correspondingly of axiom A8 — when a max-tie hides a
+  strict sub-preference.  Minimal counterexample, vocabulary ``{a,b,c}``:
+  ψ₁ = form(∅), ψ₂ = form({a,b,c}, {b,c}), I = ∅, J = {a}; then I <ψ₁ J
+  (0 < 1) and I ≤ψ₂ J (3 = 3), but odist over ψ₁∨ψ₂ ties at 3.
+* :func:`sum_distance_assignment` — total distance; fails condition 2 the
+  same way (take Mod(ψ₁) ⊆ Mod(ψ₂): the union discards ψ₁'s strictness).
+* :func:`leximax_distance_assignment` — GMax refinement of odist; closer,
+  but still not loyal in general (the union merges *sets*, not multisets).
+* :func:`priority_distance_assignment` — distances to the models of ψ read
+  as a vector in a fixed global priority order and compared
+  lexicographically.  This assignment **is** loyal (the first differing
+  coordinate of the union vector is the first differing coordinate of one
+  of the operands, and both operands weakly favor the same side), so by
+  Theorem 3.1 it induces a genuine A1–A8 model-fitting operator.  The
+  library ships it as the corrected existence witness for the theorem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.distances.base import HammingDistance, InterpretationDistance
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.orders.preorder import TotalPreorder
+
+__all__ = [
+    "LoyalAssignment",
+    "max_distance_assignment",
+    "sum_distance_assignment",
+    "leximax_distance_assignment",
+    "priority_distance_assignment",
+    "LoyaltyViolation",
+    "check_loyal",
+    "check_loyal_exhaustive",
+]
+
+
+class LoyalAssignment:
+    """A function from knowledge bases (as model sets) to total pre-orders.
+
+    Keyed by model set, so loyalty condition 1 (syntax irrelevance) holds
+    by construction.  Conditions 2–3 are properties of the builder and can
+    be audited with :func:`check_loyal`.
+    """
+
+    def __init__(
+        self,
+        builder: Callable[[ModelSet], TotalPreorder],
+        name: str = "loyal",
+    ):
+        self._builder = builder
+        self._cache: dict[ModelSet, TotalPreorder] = {}
+        self.name = name
+
+    def order_for(self, knowledge_base: ModelSet) -> TotalPreorder:
+        """The pre-order ``≤ψ`` for a knowledge base given by its models."""
+        order = self._cache.get(knowledge_base)
+        if order is None:
+            order = self._builder(knowledge_base)
+            self._cache[knowledge_base] = order
+        return order
+
+    def __call__(self, knowledge_base: ModelSet) -> TotalPreorder:
+        return self.order_for(knowledge_base)
+
+    def __repr__(self) -> str:
+        return f"LoyalAssignment({self.name!r})"
+
+
+def _distance_rows(
+    knowledge_base: ModelSet, metric: InterpretationDistance
+) -> Callable[[int], list[float]]:
+    vocabulary = knowledge_base.vocabulary
+    kb_masks = knowledge_base.masks
+
+    def row(mask: int) -> list[float]:
+        return [
+            metric.between_masks(mask, kb_mask, vocabulary) for kb_mask in kb_masks
+        ]
+
+    return row
+
+
+def max_distance_assignment(
+    distance: Optional[InterpretationDistance] = None,
+) -> LoyalAssignment:
+    """The paper's ``odist`` ordering: ``I ≤ψ J iff max-dist(ψ,I) ≤
+    max-dist(ψ,J)``.  See the module docstring for its known loyalty
+    defect."""
+    metric = distance if distance is not None else HammingDistance()
+
+    def build(knowledge_base: ModelSet) -> TotalPreorder:
+        row = _distance_rows(knowledge_base, metric)
+        if knowledge_base.is_empty:
+            return TotalPreorder.from_key(knowledge_base.vocabulary, lambda m: 0)
+        return TotalPreorder.from_key(
+            knowledge_base.vocabulary, lambda mask: max(row(mask))
+        )
+
+    return LoyalAssignment(build, name="odist(max)")
+
+
+def sum_distance_assignment(
+    distance: Optional[InterpretationDistance] = None,
+) -> LoyalAssignment:
+    """Total-distance ordering (unit-weight ``wdist`` read back onto
+    regular knowledge bases)."""
+    metric = distance if distance is not None else HammingDistance()
+
+    def build(knowledge_base: ModelSet) -> TotalPreorder:
+        row = _distance_rows(knowledge_base, metric)
+        if knowledge_base.is_empty:
+            return TotalPreorder.from_key(knowledge_base.vocabulary, lambda m: 0)
+        return TotalPreorder.from_key(
+            knowledge_base.vocabulary, lambda mask: sum(row(mask))
+        )
+
+    return LoyalAssignment(build, name="sumdist")
+
+
+def leximax_distance_assignment(
+    distance: Optional[InterpretationDistance] = None,
+) -> LoyalAssignment:
+    """GMax ordering: distance multiset sorted descending, lexicographic."""
+    metric = distance if distance is not None else HammingDistance()
+
+    def build(knowledge_base: ModelSet) -> TotalPreorder:
+        row = _distance_rows(knowledge_base, metric)
+        if knowledge_base.is_empty:
+            return TotalPreorder.from_key(knowledge_base.vocabulary, lambda m: ())
+        return TotalPreorder.from_key(
+            knowledge_base.vocabulary,
+            lambda mask: tuple(sorted(row(mask), reverse=True)),
+        )
+
+    return LoyalAssignment(build, name="leximax")
+
+
+def priority_distance_assignment(
+    distance: Optional[InterpretationDistance] = None,
+    priority: Optional[Callable[[int], int]] = None,
+) -> LoyalAssignment:
+    """The corrected, provably loyal assignment.
+
+    Fix a global priority order on interpretations (by default the bitmask
+    order).  For a knowledge base ψ list its models ``m₁ < m₂ < …`` in
+    priority order and read the candidate's distances as the vector
+    ``(dist(I, m₁), dist(I, m₂), …)``; compare vectors lexicographically.
+
+    Loyalty argument: the vector for ψ₁ ∨ ψ₂ interleaves the coordinates of
+    the operand vectors (shared models appear once).  The first coordinate
+    where two candidates differ under the union is also the first differing
+    coordinate of whichever operand contains that model — and loyalty's
+    premises say each operand's first difference (if any) favors the same
+    candidate.  Hence conditions 2 and 3 hold; condition 1 holds because
+    the construction only reads ``Mod(ψ)``.
+    """
+    metric = distance if distance is not None else HammingDistance()
+    rank = priority if priority is not None else (lambda mask: mask)
+
+    def build(knowledge_base: ModelSet) -> TotalPreorder:
+        vocabulary = knowledge_base.vocabulary
+        ordered_models = sorted(knowledge_base.masks, key=rank)
+
+        def key(mask: int) -> tuple[float, ...]:
+            return tuple(
+                metric.between_masks(mask, model, vocabulary)
+                for model in ordered_models
+            )
+
+        return TotalPreorder.from_key(vocabulary, key)
+
+    return LoyalAssignment(build, name="priority-lex")
+
+
+@dataclass(frozen=True)
+class LoyaltyViolation:
+    """A witnessed failure of loyalty condition 2 or 3.
+
+    Attributes name the knowledge bases (as model sets), the pair of
+    interpretations, and which condition broke.
+    """
+
+    condition: int
+    kb1: ModelSet
+    kb2: ModelSet
+    left_mask: int
+    right_mask: int
+
+    def describe(self) -> str:
+        """Human-readable account of the violation."""
+        vocabulary = self.kb1.vocabulary
+        left = vocabulary.from_mask(self.left_mask)
+        right = vocabulary.from_mask(self.right_mask)
+        relation = "<" if self.condition == 2 else "≤"
+        return (
+            f"condition ({self.condition}) fails: I={left!r}, J={right!r}, "
+            f"Mod(ψ₁)={self.kb1!r}, Mod(ψ₂)={self.kb2!r}: premises hold but "
+            f"not I {relation} J under ψ₁∨ψ₂"
+        )
+
+
+def _violations_for_pair(
+    assignment: LoyalAssignment, kb1: ModelSet, kb2: ModelSet
+) -> Iterable[LoyaltyViolation]:
+    order1 = assignment.order_for(kb1)
+    order2 = assignment.order_for(kb2)
+    union = assignment.order_for(kb1.union(kb2))
+    total = kb1.vocabulary.interpretation_count
+    for left in range(total):
+        for right in range(total):
+            if left == right:
+                continue
+            leq1 = order1.leq_masks(left, right)
+            leq2 = order2.leq_masks(left, right)
+            if not (leq1 and leq2):
+                continue
+            lt1 = order1.lt_masks(left, right)
+            lt2 = order2.lt_masks(left, right)
+            if (lt1 or lt2) and not union.lt_masks(left, right):
+                yield LoyaltyViolation(2, kb1, kb2, left, right)
+            elif not union.leq_masks(left, right):
+                yield LoyaltyViolation(3, kb1, kb2, left, right)
+
+
+def check_loyal(
+    assignment: LoyalAssignment,
+    knowledge_bases: Sequence[ModelSet],
+) -> Optional[LoyaltyViolation]:
+    """Check loyalty conditions 2–3 over all pairs from ``knowledge_bases``.
+
+    Condition 1 holds by construction.  Returns the first violation found,
+    or ``None`` if the assignment is loyal on this sample.
+    """
+    for kb1, kb2 in combinations(knowledge_bases, 2):
+        for violation in _violations_for_pair(assignment, kb1, kb2):
+            return violation
+    for kb in knowledge_bases:
+        # ψ₁ = ψ₂ is a legal instantiation of the conditions too.
+        for violation in _violations_for_pair(assignment, kb, kb):
+            return violation
+    return None
+
+
+def check_loyal_exhaustive(
+    assignment: LoyalAssignment,
+    vocabulary: Vocabulary,
+    include_empty: bool = False,
+) -> Optional[LoyaltyViolation]:
+    """Check loyalty over *every* knowledge base of the vocabulary.
+
+    Exponential in 2^|𝒯| — intended for |𝒯| ≤ 3 in tests.  ``include_empty``
+    adds the unsatisfiable knowledge base to the sample (the paper's
+    conditions quantify over knowledge bases generally; operators
+    special-case unsatisfiability via axiom A2, so the default leaves it
+    out).
+    """
+    subsets: list[ModelSet] = []
+    total = vocabulary.interpretation_count
+    for bits in range(1 << total):
+        if bits == 0 and not include_empty:
+            continue
+        masks = [mask for mask in range(total) if bits & (1 << mask)]
+        subsets.append(ModelSet(vocabulary, masks))
+    return check_loyal(assignment, subsets)

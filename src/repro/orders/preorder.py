@@ -1,0 +1,250 @@
+"""Pre-orders over the interpretation space and the ``Min`` operation.
+
+The paper's Section 2 defines a pre-order ``≤`` over ℳ, the strict part
+``<``, and ``Min(S, ≤) = {I ∈ S : ¬∃ I' ∈ S, I' < I}``.  Two concrete
+representations are provided:
+
+* :class:`TotalPreorder` — a ranking: each interpretation gets a comparable
+  key, ``I ≤ J`` iff ``key(I) ≤ key(J)``.  Every ranking is automatically
+  reflexive, transitive, and total; conversely every total pre-order over a
+  finite set arises this way, so nothing is lost.  ``Min`` is a single scan.
+* :class:`PartialPreorder` — an explicit ``leq`` predicate (used by the
+  update operators, whose per-model orders compare symmetric-difference
+  *sets* by inclusion and are genuinely partial).  ``Min`` is the quadratic
+  pairwise definition, verbatim from the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Interpretation, Vocabulary
+from repro.logic.semantics import ModelSet
+
+__all__ = ["TotalPreorder", "PartialPreorder", "minimal_by_leq"]
+
+
+class TotalPreorder:
+    """A total pre-order over all interpretations of a vocabulary,
+    represented by an order key per bitmask.
+
+    Keys may be any mutually comparable values (ints, floats, equal-length
+    tuples).  ``I ≤ J  iff  key[I] <= key[J]``.
+
+    >>> v = Vocabulary(["a", "b"])
+    >>> order = TotalPreorder.from_key(v, lambda mask: mask.bit_count())
+    >>> order.leq_masks(0b00, 0b11)
+    True
+    >>> order.minimal(ModelSet.universe(v)).masks
+    (0,)
+    """
+
+    __slots__ = ("_vocabulary", "_keys")
+
+    def __init__(self, vocabulary: Vocabulary, keys: Sequence[object]):
+        if len(keys) != vocabulary.interpretation_count:
+            raise VocabularyError(
+                f"need one key per interpretation "
+                f"({vocabulary.interpretation_count}), got {len(keys)}"
+            )
+        self._vocabulary = vocabulary
+        self._keys = tuple(keys)
+
+    @classmethod
+    def from_key(
+        cls, vocabulary: Vocabulary, key: Callable[[int], object]
+    ) -> "TotalPreorder":
+        """Build from a key function on bitmasks."""
+        return cls(
+            vocabulary, [key(mask) for mask in range(vocabulary.interpretation_count)]
+        )
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The interpretation space this pre-order ranks."""
+        return self._vocabulary
+
+    def key_of_mask(self, mask: int) -> object:
+        """The order key of the interpretation with this bitmask."""
+        return self._keys[mask]
+
+    def key_of(self, interpretation: Interpretation) -> object:
+        """The order key of an interpretation."""
+        self._check(interpretation.vocabulary)
+        return self._keys[interpretation.mask]
+
+    def _check(self, vocabulary: Vocabulary) -> None:
+        if vocabulary != self._vocabulary:
+            raise VocabularyError(
+                "pre-order and interpretation use different vocabularies"
+            )
+
+    # -- comparisons ------------------------------------------------------------
+
+    def leq_masks(self, left: int, right: int) -> bool:
+        """``I ≤ J`` on bitmasks."""
+        return self._keys[left] <= self._keys[right]  # type: ignore[operator]
+
+    def lt_masks(self, left: int, right: int) -> bool:
+        """``I < J`` (``I ≤ J`` and not ``J ≤ I``) on bitmasks."""
+        return self._keys[left] < self._keys[right]  # type: ignore[operator]
+
+    def equivalent_masks(self, left: int, right: int) -> bool:
+        """``I ≤ J`` and ``J ≤ I`` on bitmasks."""
+        return self._keys[left] == self._keys[right]
+
+    def leq(self, left: Interpretation, right: Interpretation) -> bool:
+        """``I ≤ J`` on interpretations."""
+        self._check(left.vocabulary)
+        self._check(right.vocabulary)
+        return self.leq_masks(left.mask, right.mask)
+
+    def lt(self, left: Interpretation, right: Interpretation) -> bool:
+        """``I < J`` on interpretations."""
+        self._check(left.vocabulary)
+        self._check(right.vocabulary)
+        return self.lt_masks(left.mask, right.mask)
+
+    # -- Min ---------------------------------------------------------------------
+
+    def minimal(self, candidates: ModelSet) -> ModelSet:
+        """The paper's ``Min(S, ≤)`` for this pre-order.
+
+        For a ranking this is simply the candidates achieving the smallest
+        key; the result is empty iff ``candidates`` is empty.
+        """
+        self._check(candidates.vocabulary)
+        if candidates.is_empty:
+            return candidates
+        best: object = None
+        chosen: list[int] = []
+        for mask in candidates.masks:
+            key = self._keys[mask]
+            if best is None or key < best:  # type: ignore[operator]
+                best = key
+                chosen = [mask]
+            elif key == best:
+                chosen.append(mask)
+        return ModelSet(self._vocabulary, chosen)
+
+    def levels(self) -> list[ModelSet]:
+        """Equivalence classes in increasing key order (the "rings" around
+        the knowledge base)."""
+        by_key: dict[object, list[int]] = {}
+        for mask, key in enumerate(self._keys):
+            by_key.setdefault(key, []).append(mask)
+        return [
+            ModelSet(self._vocabulary, masks)
+            for _, masks in sorted(by_key.items(), key=lambda item: item[0])  # type: ignore[arg-type]
+        ]
+
+    # -- value semantics -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Two pre-orders are equal iff they induce the same relation,
+        i.e. their keys are order-isomorphic; we compare the induced
+        comparison matrix via rank normalization."""
+        if not isinstance(other, TotalPreorder):
+            return NotImplemented
+        if self._vocabulary != other._vocabulary:
+            return False
+        return self._ranks() == other._ranks()
+
+    def _ranks(self) -> tuple[int, ...]:
+        distinct = sorted(set(self._keys))  # type: ignore[type-var]
+        position = {key: rank for rank, key in enumerate(distinct)}
+        return tuple(position[key] for key in self._keys)
+
+    def __hash__(self) -> int:
+        return hash((self._vocabulary, self._ranks()))
+
+    def __repr__(self) -> str:
+        parts = []
+        for level in self.levels():
+            parts.append("{" + ", ".join(repr(i) for i in level) + "}")
+        return "TotalPreorder(" + " < ".join(parts) + ")"
+
+
+def minimal_by_leq(
+    candidates: ModelSet, leq: Callable[[int, int], bool]
+) -> ModelSet:
+    """``Min(S, ≤)`` for an arbitrary (possibly partial) ``leq`` predicate.
+
+    Implements the paper's definition verbatim: keep ``I`` unless some
+    ``I' ∈ S`` satisfies ``I' ≤ I`` and not ``I ≤ I'``.
+    """
+    masks = candidates.masks
+    kept: list[int] = []
+    for candidate in masks:
+        dominated = False
+        for other in masks:
+            if other == candidate:
+                continue
+            if leq(other, candidate) and not leq(candidate, other):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(candidate)
+    return ModelSet(candidates.vocabulary, kept)
+
+
+class PartialPreorder:
+    """A (possibly partial) pre-order given by an explicit ``leq`` predicate
+    on bitmasks.
+
+    Reflexivity and transitivity are the caller's responsibility (the
+    update operators' inclusion orders satisfy both); :meth:`check` verifies
+    them exhaustively for small vocabularies when needed.
+    """
+
+    __slots__ = ("_vocabulary", "_leq")
+
+    def __init__(
+        self, vocabulary: Vocabulary, leq: Callable[[int, int], bool]
+    ):
+        self._vocabulary = vocabulary
+        self._leq = leq
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The interpretation space this pre-order relates."""
+        return self._vocabulary
+
+    def leq_masks(self, left: int, right: int) -> bool:
+        """``I ≤ J`` on bitmasks."""
+        return self._leq(left, right)
+
+    def lt_masks(self, left: int, right: int) -> bool:
+        """``I < J`` on bitmasks."""
+        return self._leq(left, right) and not self._leq(right, left)
+
+    def minimal(self, candidates: ModelSet) -> ModelSet:
+        """The paper's ``Min(S, ≤)`` by pairwise comparison."""
+        if candidates.vocabulary != self._vocabulary:
+            raise VocabularyError(
+                "pre-order and candidates use different vocabularies"
+            )
+        return minimal_by_leq(candidates, self._leq)
+
+    def check(self) -> None:
+        """Exhaustively verify reflexivity and transitivity.
+
+        Quadratic/cubic in 2^|𝒯| — intended for tests over small
+        vocabularies only.
+        """
+        total = self._vocabulary.interpretation_count
+        for i in range(total):
+            if not self._leq(i, i):
+                raise VocabularyError(f"leq is not reflexive at mask {i}")
+        for i in range(total):
+            for j in range(total):
+                if not self._leq(i, j):
+                    continue
+                for k in range(total):
+                    if self._leq(j, k) and not self._leq(i, k):
+                        raise VocabularyError(
+                            f"leq is not transitive at masks {i}, {j}, {k}"
+                        )

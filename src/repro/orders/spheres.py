@@ -1,0 +1,123 @@
+"""Grove's systems of spheres — the AGM-side view of faithful orders.
+
+Grove (1988) showed AGM revision is exactly "take the smallest sphere of
+plausibility that intersects the new information".  Over a finite
+propositional space a system of spheres is a nested chain
+
+    ``S₁ ⊆ S₂ ⊆ … ⊆ Sₖ = ℳ``
+
+and is interchangeable with a total pre-order (the spheres are the
+cumulative unions of the order's levels).  The library provides the
+translation both ways, Grove's revision construction, and checks — tying
+together the three classical presentations of the same operator that this
+repository implements: faithful assignment (KM), sphere system (Grove),
+and iterated dilation (Dalal's algorithm), all proven equal in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.orders.preorder import TotalPreorder
+
+__all__ = ["SphereSystem"]
+
+
+class SphereSystem:
+    """A nested chain of model sets over one vocabulary, outermost = ℳ.
+
+    >>> v = Vocabulary(["a", "b"])
+    >>> spheres = SphereSystem(v, [ModelSet(v, [0]), ModelSet.universe(v)])
+    >>> spheres.innermost.masks
+    (0,)
+    """
+
+    __slots__ = ("_vocabulary", "_spheres")
+
+    def __init__(self, vocabulary: Vocabulary, spheres: Sequence[ModelSet]):
+        sphere_list = list(spheres)
+        if not sphere_list:
+            raise VocabularyError("a sphere system needs at least one sphere")
+        previous: ModelSet | None = None
+        for sphere in sphere_list:
+            if sphere.vocabulary != vocabulary:
+                raise VocabularyError("sphere vocabulary mismatch")
+            if previous is not None and not previous.issubset(sphere):
+                raise VocabularyError("spheres must be nested (⊆-increasing)")
+            previous = sphere
+        if not sphere_list[-1].is_universe:
+            raise VocabularyError("the outermost sphere must be all of ℳ")
+        # Drop duplicate consecutive spheres for a canonical chain.
+        canonical: list[ModelSet] = []
+        for sphere in sphere_list:
+            if not canonical or canonical[-1] != sphere:
+                canonical.append(sphere)
+        self._vocabulary = vocabulary
+        self._spheres = tuple(canonical)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The interpretation space."""
+        return self._vocabulary
+
+    @property
+    def spheres(self) -> tuple[ModelSet, ...]:
+        """The canonical (strictly increasing) chain."""
+        return self._spheres
+
+    @property
+    def innermost(self) -> ModelSet:
+        """The most plausible worlds (Mod(ψ) for a faithful system)."""
+        return self._spheres[0]
+
+    def __len__(self) -> int:
+        return len(self._spheres)
+
+    # -- translations --------------------------------------------------------------
+
+    @classmethod
+    def from_preorder(cls, order: TotalPreorder) -> "SphereSystem":
+        """Spheres = cumulative unions of the pre-order's levels."""
+        cumulative: list[ModelSet] = []
+        running = ModelSet.empty(order.vocabulary)
+        for level in order.levels():
+            running = running.union(level)
+            cumulative.append(running)
+        return cls(order.vocabulary, cumulative)
+
+    def to_preorder(self) -> TotalPreorder:
+        """Rank every interpretation by the first sphere containing it."""
+
+        def key(mask: int) -> int:
+            for rank, sphere in enumerate(self._spheres):
+                if mask in sphere:
+                    return rank
+            raise AssertionError("outermost sphere must cover every mask")
+
+        return TotalPreorder.from_key(self._vocabulary, key)
+
+    # -- Grove's revision -------------------------------------------------------------
+
+    def smallest_intersecting(self, mu: ModelSet) -> ModelSet:
+        """The smallest sphere meeting ``Mod(μ)`` (ℳ itself if μ is
+        unsatisfiable, in which case the intersection is empty anyway)."""
+        for sphere in self._spheres:
+            if not sphere.intersection(mu).is_empty:
+                return sphere
+        return self._spheres[-1]
+
+    def revise(self, mu: ModelSet) -> ModelSet:
+        """Grove's construction: ``Mod(ψ ∘ μ) = c(μ) ∩ Mod(μ)`` where
+        ``c(μ)`` is the smallest sphere intersecting μ."""
+        if mu.vocabulary != self._vocabulary:
+            raise VocabularyError("sphere system and μ vocabularies differ")
+        return self.smallest_intersecting(mu).intersection(mu)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(len(sphere)) for sphere in self._spheres)
+        return f"SphereSystem(sizes=[{sizes}])"

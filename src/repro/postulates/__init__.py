@@ -1,0 +1,67 @@
+"""Executable postulates and the audit harness.
+
+R1–R6 (AGM/KM revision), U1–U8 (KM update), A1–A8 (the paper's
+model-fitting axioms), and F1–F8 (weighted fitting), each as a checkable
+object; plus exhaustive/sampled quantification, structured
+counterexamples, and the E7 satisfaction matrix.
+"""
+
+from repro.postulates.axioms import (
+    ALL_AXIOMS,
+    FITTING_AXIOMS,
+    REVISION_AXIOMS,
+    UPDATE_AXIOMS,
+    Axiom,
+    axiom_by_name,
+    check_syntax_irrelevance,
+)
+from repro.postulates.counterexample import CheckResult, Counterexample
+from repro.postulates.harness import (
+    all_model_sets,
+    audit_operator,
+    check_axiom,
+    exhaustive_scenarios,
+    sampled_scenarios,
+)
+from repro.postulates.minimize import minimize_scenario, minimized_counterexample
+from repro.postulates.matrix import (
+    SatisfactionMatrix,
+    compute_matrix,
+    render_matrix,
+)
+from repro.postulates.weighted_axioms import (
+    WEIGHTED_AXIOMS,
+    WeightedAxiom,
+    WeightedCounterexample,
+    audit_weighted_operator,
+    check_weighted_axiom,
+    random_weighted_kbs,
+)
+
+__all__ = [
+    "Axiom",
+    "axiom_by_name",
+    "REVISION_AXIOMS",
+    "UPDATE_AXIOMS",
+    "FITTING_AXIOMS",
+    "ALL_AXIOMS",
+    "check_syntax_irrelevance",
+    "Counterexample",
+    "CheckResult",
+    "all_model_sets",
+    "exhaustive_scenarios",
+    "sampled_scenarios",
+    "check_axiom",
+    "audit_operator",
+    "SatisfactionMatrix",
+    "compute_matrix",
+    "render_matrix",
+    "minimize_scenario",
+    "minimized_counterexample",
+    "WeightedAxiom",
+    "WEIGHTED_AXIOMS",
+    "WeightedCounterexample",
+    "random_weighted_kbs",
+    "check_weighted_axiom",
+    "audit_weighted_operator",
+]

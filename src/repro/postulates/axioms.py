@@ -1,0 +1,475 @@
+"""Executable axioms: R1–R6 (AGM/KM revision), U1–U8 (KM update), and
+A1–A8 (the paper's model-fitting postulates).
+
+Each axiom is an :class:`Axiom` object bundling
+
+* its identifier and informal statement,
+* the *scenario signature* — which roles it quantifies over
+  (``("psi", "mu")``, ``("psi", "mu", "phi")``, ``("psi1", "psi2", "mu")``,
+  or ``("psi", "mu1", "mu2")``), and
+* a checker that, given an operator and one concrete scenario of model
+  sets, returns ``None`` (instance holds) or a
+  :class:`~repro.postulates.counterexample.Counterexample`.
+
+The harness (:mod:`repro.postulates.harness`) drives the quantification:
+exhaustively over every knowledge base of a small vocabulary, or by seeded
+sampling for larger ones.
+
+Implication between formulas is model-set inclusion; equivalence is
+model-set equality — all checks run at the semantic level, which matches
+the paper's usage (its axioms are stated up to logical equivalence).
+Syntax-irrelevance (R4/U4/A4) is checked separately at the formula level
+by :func:`check_syntax_irrelevance`, since model-set-level operators
+satisfy it by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.logic.enumeration import models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.logic.syntax import Formula, Not
+from repro.logic.transform import to_nnf
+from repro.operators.base import TheoryChangeOperator
+from repro.postulates.counterexample import Counterexample
+
+__all__ = [
+    "Axiom",
+    "REVISION_AXIOMS",
+    "UPDATE_AXIOMS",
+    "FITTING_AXIOMS",
+    "ALL_AXIOMS",
+    "axiom_by_name",
+    "check_syntax_irrelevance",
+]
+
+Scenario = Sequence[ModelSet]
+Checker = Callable[[TheoryChangeOperator, Scenario], Optional[Counterexample]]
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """One executable postulate."""
+
+    name: str
+    statement: str
+    roles: tuple[str, ...]
+    checker: Checker
+
+    def check_instance(
+        self, operator: TheoryChangeOperator, scenario: Scenario
+    ) -> Optional[Counterexample]:
+        """Check one concrete instantiation of the axiom."""
+        return self.checker(operator, scenario)
+
+    def __repr__(self) -> str:
+        return f"Axiom({self.name}: {self.statement})"
+
+
+def _ce(
+    axiom: str,
+    operator: TheoryChangeOperator,
+    roles: dict[str, ModelSet],
+    observed: dict[str, ModelSet],
+    explanation: str,
+) -> Counterexample:
+    return Counterexample(
+        axiom=axiom,
+        operator=operator.name,
+        roles=roles,
+        observed=observed,
+        explanation=explanation,
+    )
+
+
+# -- success axioms (R1 = U1 = A1) ---------------------------------------------
+
+
+def _make_success(name: str) -> Axiom:
+    def check(op: TheoryChangeOperator, scenario: Scenario):
+        psi, mu = scenario
+        result = op.apply_models(psi, mu)
+        if not result.issubset(mu):
+            return _ce(
+                name,
+                op,
+                {"psi": psi, "mu": mu},
+                {"result": result},
+                "result must imply μ but has models outside Mod(μ)",
+            )
+        return None
+
+    return Axiom(name, "ψ * μ implies μ", ("psi", "mu"), check)
+
+
+# -- R2 --------------------------------------------------------------------------
+
+
+def _check_r2(op: TheoryChangeOperator, scenario: Scenario):
+    psi, mu = scenario
+    both = psi.intersection(mu)
+    if both.is_empty:
+        return None
+    result = op.apply_models(psi, mu)
+    if result != both:
+        return _ce(
+            "R2",
+            op,
+            {"psi": psi, "mu": mu},
+            {"result": result, "psi_and_mu": both},
+            "ψ ∧ μ is satisfiable so the result must equal ψ ∧ μ",
+        )
+    return None
+
+
+# -- R3 / A3 / U3 ------------------------------------------------------------------
+
+
+def _check_r3(op: TheoryChangeOperator, scenario: Scenario):
+    psi, mu = scenario
+    if mu.is_empty:
+        return None
+    result = op.apply_models(psi, mu)
+    if result.is_empty:
+        return _ce(
+            "R3",
+            op,
+            {"psi": psi, "mu": mu},
+            {"result": result},
+            "μ is satisfiable so the result must be satisfiable",
+        )
+    return None
+
+
+def _make_joint_satisfiability(name: str) -> Axiom:
+    def check(op: TheoryChangeOperator, scenario: Scenario):
+        psi, mu = scenario
+        if psi.is_empty or mu.is_empty:
+            return None
+        result = op.apply_models(psi, mu)
+        if result.is_empty:
+            return _ce(
+                name,
+                op,
+                {"psi": psi, "mu": mu},
+                {"result": result},
+                "ψ and μ are both satisfiable so the result must be",
+            )
+        return None
+
+    return Axiom(
+        name,
+        "if ψ and μ are satisfiable then ψ * μ is satisfiable",
+        ("psi", "mu"),
+        check,
+    )
+
+
+# -- R5/R6 (= U5, A5/A6) -------------------------------------------------------------
+
+
+def _make_conjunction_lower(name: str) -> Axiom:
+    def check(op: TheoryChangeOperator, scenario: Scenario):
+        psi, mu, phi = scenario
+        left = op.apply_models(psi, mu).intersection(phi)
+        right = op.apply_models(psi, mu.intersection(phi))
+        if not left.issubset(right):
+            return _ce(
+                name,
+                op,
+                {"psi": psi, "mu": mu, "phi": phi},
+                {"lhs (ψ*μ)∧φ": left, "rhs ψ*(μ∧φ)": right},
+                "(ψ * μ) ∧ φ must imply ψ * (μ ∧ φ)",
+            )
+        return None
+
+    return Axiom(
+        name, "(ψ * μ) ∧ φ implies ψ * (μ ∧ φ)", ("psi", "mu", "phi"), check
+    )
+
+
+def _make_conjunction_upper(name: str) -> Axiom:
+    def check(op: TheoryChangeOperator, scenario: Scenario):
+        psi, mu, phi = scenario
+        left = op.apply_models(psi, mu).intersection(phi)
+        if left.is_empty:
+            return None
+        right = op.apply_models(psi, mu.intersection(phi))
+        if not right.issubset(left):
+            return _ce(
+                name,
+                op,
+                {"psi": psi, "mu": mu, "phi": phi},
+                {"lhs (ψ*μ)∧φ": left, "rhs ψ*(μ∧φ)": right},
+                "(ψ * μ) ∧ φ is satisfiable so ψ * (μ ∧ φ) must imply it",
+            )
+        return None
+
+    return Axiom(
+        name,
+        "if (ψ * μ) ∧ φ is satisfiable then ψ * (μ ∧ φ) implies (ψ * μ) ∧ φ",
+        ("psi", "mu", "phi"),
+        check,
+    )
+
+
+# -- U2 ---------------------------------------------------------------------------
+
+
+def _check_u2(op: TheoryChangeOperator, scenario: Scenario):
+    psi, mu = scenario
+    if not psi.issubset(mu):
+        return None
+    result = op.apply_models(psi, mu)
+    if result != psi:
+        return _ce(
+            "U2",
+            op,
+            {"psi": psi, "mu": mu},
+            {"result": result},
+            "ψ implies μ so ψ * μ must be equivalent to ψ",
+        )
+    return None
+
+
+# -- U6 ---------------------------------------------------------------------------
+
+
+def _check_u6(op: TheoryChangeOperator, scenario: Scenario):
+    psi, mu1, mu2 = scenario
+    result1 = op.apply_models(psi, mu1)
+    result2 = op.apply_models(psi, mu2)
+    if result1.issubset(mu2) and result2.issubset(mu1) and result1 != result2:
+        return _ce(
+            "U6",
+            op,
+            {"psi": psi, "mu1": mu1, "mu2": mu2},
+            {"psi*mu1": result1, "psi*mu2": result2},
+            "ψ*μ₁ implies μ₂ and ψ*μ₂ implies μ₁, so the results must match",
+        )
+    return None
+
+
+# -- U7 ---------------------------------------------------------------------------
+
+
+def _check_u7(op: TheoryChangeOperator, scenario: Scenario):
+    psi, mu1, mu2 = scenario
+    if len(psi) != 1:
+        return None
+    left = op.apply_models(psi, mu1).intersection(op.apply_models(psi, mu2))
+    right = op.apply_models(psi, mu1.union(mu2))
+    if not left.issubset(right):
+        return _ce(
+            "U7",
+            op,
+            {"psi": psi, "mu1": mu1, "mu2": mu2},
+            {"lhs": left, "rhs": right},
+            "for singleton ψ, (ψ*μ₁) ∧ (ψ*μ₂) must imply ψ*(μ₁∨μ₂)",
+        )
+    return None
+
+
+# -- U8 ---------------------------------------------------------------------------
+
+
+def _check_u8(op: TheoryChangeOperator, scenario: Scenario):
+    psi1, psi2, mu = scenario
+    combined = op.apply_models(psi1.union(psi2), mu)
+    pointwise = op.apply_models(psi1, mu).union(op.apply_models(psi2, mu))
+    if combined != pointwise:
+        return _ce(
+            "U8",
+            op,
+            {"psi1": psi1, "psi2": psi2, "mu": mu},
+            {"(ψ1∨ψ2)*μ": combined, "(ψ1*μ)∨(ψ2*μ)": pointwise},
+            "(ψ₁∨ψ₂)*μ must equal (ψ₁*μ) ∨ (ψ₂*μ)",
+        )
+    return None
+
+
+# -- A2 ---------------------------------------------------------------------------
+
+
+def _check_a2(op: TheoryChangeOperator, scenario: Scenario):
+    psi, mu = scenario
+    if not psi.is_empty:
+        return None
+    result = op.apply_models(psi, mu)
+    if not result.is_empty:
+        return _ce(
+            "A2",
+            op,
+            {"psi": psi, "mu": mu},
+            {"result": result},
+            "ψ is unsatisfiable so ψ ▷ μ must be unsatisfiable",
+        )
+    return None
+
+
+# -- A7 / A8 ------------------------------------------------------------------------
+
+
+def _check_a7(op: TheoryChangeOperator, scenario: Scenario):
+    psi1, psi2, mu = scenario
+    left = op.apply_models(psi1, mu).intersection(op.apply_models(psi2, mu))
+    right = op.apply_models(psi1.union(psi2), mu)
+    if not left.issubset(right):
+        return _ce(
+            "A7",
+            op,
+            {"psi1": psi1, "psi2": psi2, "mu": mu},
+            {"(ψ1▷μ)∧(ψ2▷μ)": left, "(ψ1∨ψ2)▷μ": right},
+            "(ψ₁▷μ) ∧ (ψ₂▷μ) must imply (ψ₁∨ψ₂)▷μ",
+        )
+    return None
+
+
+def _check_a8(op: TheoryChangeOperator, scenario: Scenario):
+    psi1, psi2, mu = scenario
+    left = op.apply_models(psi1, mu).intersection(op.apply_models(psi2, mu))
+    if left.is_empty:
+        return None
+    right = op.apply_models(psi1.union(psi2), mu)
+    if not right.issubset(left):
+        return _ce(
+            "A8",
+            op,
+            {"psi1": psi1, "psi2": psi2, "mu": mu},
+            {"(ψ1▷μ)∧(ψ2▷μ)": left, "(ψ1∨ψ2)▷μ": right},
+            "(ψ₁▷μ) ∧ (ψ₂▷μ) is satisfiable so (ψ₁∨ψ₂)▷μ must imply it",
+        )
+    return None
+
+
+# -- syntax irrelevance (R4 = U4 = A4) ---------------------------------------------
+
+
+def check_syntax_irrelevance(
+    operator: TheoryChangeOperator,
+    psi: Formula,
+    mu: Formula,
+    vocabulary: Vocabulary,
+) -> Optional[Counterexample]:
+    """Formula-level (R4/U4/A4): applying the operator to syntactic
+    variants (double negations, NNF) must give equivalent results.
+
+    Model-set-level operators pass by construction; this guards operators
+    implemented directly on formulas.
+    """
+    variants = [
+        (psi, mu),
+        (Not(Not(psi)), mu),
+        (psi, Not(Not(mu))),
+        (to_nnf(psi), to_nnf(mu)),
+    ]
+    baseline = models(operator.apply(psi, mu, vocabulary), vocabulary)
+    for alt_psi, alt_mu in variants[1:]:
+        outcome = models(operator.apply(alt_psi, alt_mu, vocabulary), vocabulary)
+        if outcome != baseline:
+            return Counterexample(
+                axiom="A4",
+                operator=operator.name,
+                roles={
+                    "psi": models(psi, vocabulary),
+                    "mu": models(mu, vocabulary),
+                },
+                observed={"baseline": baseline, "variant": outcome},
+                explanation="logically equivalent inputs produced different results",
+            )
+    return None
+
+
+# -- axiom registries -----------------------------------------------------------------
+
+REVISION_AXIOMS: tuple[Axiom, ...] = (
+    _make_success("R1"),
+    Axiom(
+        "R2",
+        "if ψ ∧ μ is satisfiable then ψ ∘ μ ↔ ψ ∧ μ",
+        ("psi", "mu"),
+        _check_r2,
+    ),
+    Axiom(
+        "R3",
+        "if μ is satisfiable then ψ ∘ μ is satisfiable",
+        ("psi", "mu"),
+        _check_r3,
+    ),
+    _make_conjunction_lower("R5"),
+    _make_conjunction_upper("R6"),
+)
+
+UPDATE_AXIOMS: tuple[Axiom, ...] = (
+    _make_success("U1"),
+    Axiom(
+        "U2",
+        "if ψ implies μ then ψ ⋄ μ is equivalent to ψ",
+        ("psi", "mu"),
+        _check_u2,
+    ),
+    _make_joint_satisfiability("U3"),
+    _make_conjunction_lower("U5"),
+    Axiom(
+        "U6",
+        "if ψ⋄μ₁ implies μ₂ and ψ⋄μ₂ implies μ₁ then ψ⋄μ₁ ↔ ψ⋄μ₂",
+        ("psi", "mu1", "mu2"),
+        _check_u6,
+    ),
+    Axiom(
+        "U7",
+        "for singleton ψ, (ψ⋄μ₁) ∧ (ψ⋄μ₂) implies ψ⋄(μ₁∨μ₂)",
+        ("psi", "mu1", "mu2"),
+        _check_u7,
+    ),
+    Axiom(
+        "U8",
+        "(ψ₁∨ψ₂) ⋄ μ ↔ (ψ₁⋄μ) ∨ (ψ₂⋄μ)",
+        ("psi1", "psi2", "mu"),
+        _check_u8,
+    ),
+)
+
+FITTING_AXIOMS: tuple[Axiom, ...] = (
+    _make_success("A1"),
+    Axiom(
+        "A2",
+        "if ψ is unsatisfiable then ψ ▷ μ is unsatisfiable",
+        ("psi", "mu"),
+        _check_a2,
+    ),
+    _make_joint_satisfiability("A3"),
+    _make_conjunction_lower("A5"),
+    _make_conjunction_upper("A6"),
+    Axiom(
+        "A7",
+        "(ψ₁▷μ) ∧ (ψ₂▷μ) implies (ψ₁∨ψ₂)▷μ",
+        ("psi1", "psi2", "mu"),
+        _check_a7,
+    ),
+    Axiom(
+        "A8",
+        "if satisfiable, (ψ₁∨ψ₂)▷μ implies (ψ₁▷μ) ∧ (ψ₂▷μ)",
+        ("psi1", "psi2", "mu"),
+        _check_a8,
+    ),
+)
+
+ALL_AXIOMS: tuple[Axiom, ...] = REVISION_AXIOMS + UPDATE_AXIOMS + FITTING_AXIOMS
+
+_BY_NAME = {axiom.name: axiom for axiom in ALL_AXIOMS}
+
+
+def axiom_by_name(name: str) -> Axiom:
+    """Look up an axiom by its identifier (e.g. ``"A8"``)."""
+    from repro.errors import PostulateError
+
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise PostulateError(
+            f"unknown axiom {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,77 @@
+"""Structured counterexamples for postulate violations.
+
+When the harness finds an axiom failure it records the full scenario —
+which model sets played which role, what the operator produced, and what
+the axiom demanded — so the failure can be replayed, minimized, and quoted
+in EXPERIMENTS.md without re-running the search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.logic.enumeration import form_formula
+from repro.logic.semantics import ModelSet
+
+__all__ = ["Counterexample", "CheckResult"]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A witnessed violation of one axiom by one operator.
+
+    Attributes
+    ----------
+    axiom:
+        Axiom identifier, e.g. ``"A8"``.
+    operator:
+        The operator's ``name``.
+    roles:
+        The scenario inputs by role name (``psi``, ``mu``, ``phi``,
+        ``psi1`` …) as model sets.
+    observed:
+        Operator outputs relevant to the violation, by label.
+    explanation:
+        One-sentence account of what the axiom demanded and what happened.
+    """
+
+    axiom: str
+    operator: str
+    roles: Mapping[str, ModelSet]
+    observed: Mapping[str, ModelSet]
+    explanation: str
+
+    def describe(self) -> str:
+        """Multi-line human-readable report, with formulas for each role."""
+        lines = [f"{self.operator} violates ({self.axiom}): {self.explanation}"]
+        for role, model_set in self.roles.items():
+            lines.append(f"  {role} = {model_set!r}  i.e. {form_formula(model_set)}")
+        for label, model_set in self.observed.items():
+            lines.append(f"  {label} = {model_set!r}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of checking one axiom for one operator.
+
+    ``holds`` is ``True`` when no counterexample was found across
+    ``scenarios_checked`` scenarios; for sampled (non-exhaustive) searches
+    that is evidence, not proof, and ``exhaustive`` says which it was.
+    """
+
+    axiom: str
+    operator: str
+    holds: bool
+    scenarios_checked: int
+    exhaustive: bool
+    counterexample: Optional[Counterexample] = None
+
+    def __str__(self) -> str:
+        status = "holds" if self.holds else "FAILS"
+        mode = "exhaustive" if self.exhaustive else "sampled"
+        return (
+            f"({self.axiom}) {status} for {self.operator} "
+            f"[{self.scenarios_checked} scenarios, {mode}]"
+        )

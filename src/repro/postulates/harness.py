@@ -1,0 +1,156 @@
+"""Quantification harness: check axioms over scenario spaces.
+
+An axiom's roles are filled with knowledge bases drawn from a *scenario
+space*:
+
+* :func:`exhaustive_scenarios` — every tuple of subsets of the
+  interpretation space.  There are ``2^(2^|𝒯|)`` knowledge bases up to
+  logical equivalence, so this is feasible for |𝒯| ≤ 2 on three-role
+  axioms and |𝒯| ≤ 3 on two-role axioms.
+* :func:`sampled_scenarios` — seeded uniform sampling for anything larger.
+
+The search is semantic: knowledge bases are represented directly by model
+sets, which quotients out syntax exactly as the axioms do (axiom
+R4/U4/A4 is checked separately at formula level).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.operators.base import TheoryChangeOperator
+from repro.postulates.axioms import Axiom
+from repro.postulates.counterexample import CheckResult, Counterexample
+
+__all__ = [
+    "all_model_sets",
+    "exhaustive_scenarios",
+    "sampled_scenarios",
+    "check_axiom",
+    "audit_operator",
+]
+
+#: Role-count threshold above which exhaustive checking switches to
+#: sampling automatically (see :func:`check_axiom`).
+EXHAUSTIVE_LIMIT = 300_000
+
+
+def all_model_sets(
+    vocabulary: Vocabulary, include_empty: bool = True
+) -> list[ModelSet]:
+    """Every knowledge base over the vocabulary, as model sets.
+
+    ``2^(2^|𝒯|)`` sets — 4 for one atom, 16 for two, 256 for three.  The
+    empty set (the unsatisfiable KB) is included by default because several
+    axioms (A2, R3) quantify over it.
+    """
+    count = vocabulary.interpretation_count
+    sets: list[ModelSet] = []
+    for bits in range(1 << count):
+        if bits == 0 and not include_empty:
+            continue
+        masks = [mask for mask in range(count) if bits & (1 << mask)]
+        sets.append(ModelSet(vocabulary, masks))
+    return sets
+
+
+def exhaustive_scenarios(
+    vocabulary: Vocabulary, roles: int, include_empty: bool = True
+) -> Iterator[tuple[ModelSet, ...]]:
+    """All ``roles``-tuples of knowledge bases over the vocabulary."""
+    universe = all_model_sets(vocabulary, include_empty)
+    return product(universe, repeat=roles)
+
+
+def sampled_scenarios(
+    vocabulary: Vocabulary,
+    roles: int,
+    count: int,
+    rng: int | random.Random,
+    include_empty: bool = True,
+) -> Iterator[tuple[ModelSet, ...]]:
+    """``count`` seeded-random ``roles``-tuples of knowledge bases.
+
+    Each knowledge base is a uniformly random subset of the interpretation
+    space (biased neither sparse nor dense); the empty KB appears with its
+    natural probability unless excluded.
+    """
+    generator = rng if isinstance(rng, random.Random) else random.Random(rng)
+    total = vocabulary.interpretation_count
+    produced = 0
+    while produced < count:
+        scenario: list[ModelSet] = []
+        acceptable = True
+        for _ in range(roles):
+            bits = generator.getrandbits(total)
+            if bits == 0 and not include_empty:
+                acceptable = False
+                break
+            masks = [mask for mask in range(total) if bits & (1 << mask)]
+            scenario.append(ModelSet(vocabulary, masks))
+        if acceptable:
+            produced += 1
+            yield tuple(scenario)
+
+
+def check_axiom(
+    operator: TheoryChangeOperator,
+    axiom: Axiom,
+    vocabulary: Vocabulary,
+    max_scenarios: int = 50_000,
+    rng: int | random.Random = 0,
+    stop_at_first: bool = True,
+) -> CheckResult:
+    """Check one axiom for one operator over the vocabulary.
+
+    Uses exhaustive scenarios when the space fits in ``EXHAUSTIVE_LIMIT``
+    tuples (adjusted down to ``max_scenarios``), otherwise seeded sampling
+    of ``max_scenarios`` tuples.  Returns a :class:`CheckResult` carrying
+    the first counterexample found, if any.
+    """
+    roles = len(axiom.roles)
+    space = (1 << vocabulary.interpretation_count) ** roles
+    exhaustive = space <= min(EXHAUSTIVE_LIMIT, max_scenarios)
+    if exhaustive:
+        scenarios: Iterable[tuple[ModelSet, ...]] = exhaustive_scenarios(
+            vocabulary, roles
+        )
+    else:
+        scenarios = sampled_scenarios(vocabulary, roles, max_scenarios, rng)
+    checked = 0
+    first: Optional[Counterexample] = None
+    for scenario in scenarios:
+        checked += 1
+        counterexample = axiom.check_instance(operator, scenario)
+        if counterexample is not None:
+            first = counterexample
+            if stop_at_first:
+                break
+    return CheckResult(
+        axiom=axiom.name,
+        operator=operator.name,
+        holds=first is None,
+        scenarios_checked=checked,
+        exhaustive=exhaustive,
+        counterexample=first,
+    )
+
+
+def audit_operator(
+    operator: TheoryChangeOperator,
+    axioms: Sequence[Axiom],
+    vocabulary: Vocabulary,
+    max_scenarios: int = 50_000,
+    rng: int | random.Random = 0,
+) -> dict[str, CheckResult]:
+    """Check a whole axiom set for one operator; results keyed by axiom."""
+    results: dict[str, CheckResult] = {}
+    for axiom in axioms:
+        results[axiom.name] = check_axiom(
+            operator, axiom, vocabulary, max_scenarios, rng
+        )
+    return results

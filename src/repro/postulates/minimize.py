@@ -1,0 +1,78 @@
+"""Counterexample minimization (delta debugging for axiom violations).
+
+A counterexample found by sampling over a three-atom vocabulary can carry
+knowledge bases with many irrelevant models.  :func:`minimize_scenario`
+shrinks each role greedily — dropping one model at a time while the axiom
+instance still fails — yielding the locally minimal scenario, which is
+what EXPERIMENTS.md and the failure reports quote.
+
+Greedy one-at-a-time removal is the classic ddmin granularity-1 pass; for
+the model-set sizes involved here (≤ 8 per role) it is exact enough and
+always terminates in ``O(total_models²)`` axiom checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.logic.semantics import ModelSet
+from repro.operators.base import TheoryChangeOperator
+from repro.postulates.axioms import Axiom
+from repro.postulates.counterexample import Counterexample
+
+__all__ = ["minimize_scenario", "minimized_counterexample"]
+
+
+def _still_fails(
+    operator: TheoryChangeOperator, axiom: Axiom, scenario: Sequence[ModelSet]
+) -> bool:
+    return axiom.check_instance(operator, scenario) is not None
+
+
+def minimize_scenario(
+    operator: TheoryChangeOperator,
+    axiom: Axiom,
+    scenario: Sequence[ModelSet],
+) -> tuple[ModelSet, ...]:
+    """Shrink a failing scenario to a locally minimal one.
+
+    Precondition: the scenario must actually fail the axiom for the
+    operator (raises ``ValueError`` otherwise).  The result still fails,
+    and no single model can be removed from any role without the failure
+    disappearing.
+    """
+    current = list(scenario)
+    if not _still_fails(operator, axiom, current):
+        raise ValueError("scenario does not violate the axiom; nothing to minimize")
+    changed = True
+    while changed:
+        changed = False
+        for role_index, role in enumerate(current):
+            for mask in role.masks:
+                shrunk = ModelSet(
+                    role.vocabulary, [m for m in role.masks if m != mask]
+                )
+                candidate = list(current)
+                candidate[role_index] = shrunk
+                if _still_fails(operator, axiom, candidate):
+                    current = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return tuple(current)
+
+
+def minimized_counterexample(
+    operator: TheoryChangeOperator,
+    axiom: Axiom,
+    scenario: Sequence[ModelSet],
+) -> Optional[Counterexample]:
+    """Minimize a failing scenario and re-derive its counterexample.
+
+    Returns ``None`` when the scenario did not fail in the first place.
+    """
+    if not _still_fails(operator, axiom, scenario):
+        return None
+    minimal = minimize_scenario(operator, axiom, scenario)
+    return axiom.check_instance(operator, minimal)

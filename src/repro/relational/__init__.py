@@ -1,0 +1,25 @@
+"""Relational layer: finite-domain grounding of the paper's open problem.
+
+Section 5 asks for a first-order extension of arbitration.  Over finite
+domains the grounding route is exact: relations become families of ground
+propositional atoms, quantifiers expand over the domain, and every
+operator in the library applies unchanged.  This package provides the
+schema/grounding machinery, extensional databases with closed- and
+open-world readings, and a relational knowledge base with insert/delete/
+arbitrate verbs plus certain/possible query answers.
+"""
+
+from repro.relational.database import (
+    Fact,
+    RelationalDatabase,
+    RelationalKnowledgeBase,
+)
+from repro.relational.schema import Relation, Schema
+
+__all__ = [
+    "Relation",
+    "Schema",
+    "Fact",
+    "RelationalDatabase",
+    "RelationalKnowledgeBase",
+]

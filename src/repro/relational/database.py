@@ -1,0 +1,239 @@
+"""Relational databases with theory-change semantics.
+
+A :class:`RelationalDatabase` is a set of ground facts over a
+:class:`~repro.relational.schema.Schema` — read **closed-world** (absent
+facts are false) into one propositional interpretation, or **open** as the
+conjunction of its positive facts.  :class:`RelationalKnowledgeBase`
+grounds everything into the propositional engine and exposes the
+database-flavoured change verbs: insert and delete facts (by revision or
+update), enforce universally quantified integrity constraints, and
+arbitrate against another party's database — the heterogeneous-integration
+scenario of the paper's introduction, now with actual relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import VocabularyError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.logic.interpretation import Interpretation
+from repro.logic.syntax import Formula, Not, conjoin
+from repro.relational.schema import Schema
+
+__all__ = ["Fact", "RelationalDatabase", "RelationalKnowledgeBase"]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground fact ``R(c₁,…,cₖ)``."""
+
+    relation: str
+    constants: tuple[str, ...]
+
+    @classmethod
+    def of(cls, relation: str, *constants: str) -> "Fact":
+        """Convenience constructor: ``Fact.of("Likes", "ann", "bob")``."""
+        return cls(relation, tuple(constants))
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.constants)})"
+
+
+class RelationalDatabase:
+    """An extensional database: a finite set of ground facts."""
+
+    def __init__(self, schema: Schema, facts: Iterable[Fact] = ()):
+        self._schema = schema
+        validated: set[Fact] = set()
+        for fact in facts:
+            # atom_name validates relation/arity/constants.
+            schema.atom_name(fact.relation, *fact.constants)
+            validated.add(fact)
+        self._facts = frozenset(validated)
+
+    @property
+    def schema(self) -> Schema:
+        """The schema the facts range over."""
+        return self._schema
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        """The stored ground facts."""
+        return self._facts
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def with_fact(self, fact: Fact) -> "RelationalDatabase":
+        """A copy including ``fact``."""
+        return RelationalDatabase(self._schema, self._facts | {fact})
+
+    def without_fact(self, fact: Fact) -> "RelationalDatabase":
+        """A copy excluding ``fact``."""
+        return RelationalDatabase(self._schema, self._facts - {fact})
+
+    # -- propositional readings -------------------------------------------------
+
+    def closed_world_interpretation(self) -> Interpretation:
+        """The single interpretation making exactly the stored facts true."""
+        vocabulary = self._schema.vocabulary()
+        names = {
+            self._schema.atom_name(fact.relation, *fact.constants)
+            for fact in self._facts
+        }
+        return vocabulary.interpretation(names)
+
+    def closed_world_formula(self) -> Formula:
+        """The complete theory of the closed-world reading (every ground
+        atom asserted positively or negatively)."""
+        literals: list[Formula] = []
+        true_names = {
+            self._schema.atom_name(fact.relation, *fact.constants)
+            for fact in self._facts
+        }
+        for name in self._schema.ground_atoms():
+            atom = self._schema.atom(*name.split("__"))
+            literals.append(atom if name in true_names else Not(atom))
+        return conjoin(literals)
+
+    def open_world_formula(self) -> Formula:
+        """Just the positive facts, leaving unstated atoms open."""
+        if not self._facts:
+            from repro.logic.syntax import TOP
+
+            return TOP
+        return conjoin(
+            self._schema.atom(fact.relation, *fact.constants)
+            for fact in sorted(self._facts, key=str)
+        )
+
+    def __repr__(self) -> str:
+        inside = ", ".join(sorted(str(fact) for fact in self._facts))
+        return f"RelationalDatabase({{{inside}}})"
+
+
+class RelationalKnowledgeBase:
+    """A knowledge base over a relational schema, driven by the
+    propositional theory-change engine underneath.
+
+    ``closed_world=True`` (default) starts from the database's complete
+    theory; ``False`` keeps unstated facts open.  Integrity constraints are
+    enforced through the underlying constrained
+    :class:`~repro.kb.knowledge_base.KnowledgeBase`.
+    """
+
+    def __init__(
+        self,
+        database: RelationalDatabase,
+        constraints: Optional[Formula] = None,
+        closed_world: bool = True,
+        revision=None,
+        update=None,
+        fitting=None,
+    ):
+        self._schema = database.schema
+        source = (
+            database.closed_world_formula()
+            if closed_world
+            else database.open_world_formula()
+        )
+        self._kb = KnowledgeBase(
+            source,
+            atoms=list(self._schema.vocabulary().atoms),
+            constraints=constraints,
+            revision=revision,
+            update=update,
+            fitting=fitting,
+        )
+
+    @classmethod
+    def _wrap(cls, schema: Schema, kb: KnowledgeBase) -> "RelationalKnowledgeBase":
+        instance = cls.__new__(cls)
+        instance._schema = schema
+        instance._kb = kb
+        return instance
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The relational schema."""
+        return self._schema
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        """The underlying propositional knowledge base."""
+        return self._kb
+
+    @property
+    def satisfiable(self) -> bool:
+        """Whether the knowledge base is consistent."""
+        return self._kb.satisfiable
+
+    def _fact_atom(self, fact: Fact):
+        return self._schema.atom(fact.relation, *fact.constants)
+
+    # -- queries -----------------------------------------------------------------
+
+    def holds(self, fact: Fact) -> str:
+        """Three-valued fact query: ``"yes"``, ``"no"``, or ``"unknown"``."""
+        return self._kb.ask(self._fact_atom(fact))
+
+    def certain_facts(self) -> list[Fact]:
+        """Facts true in every model (the certain answers)."""
+        certain: list[Fact] = []
+        for relation in self._schema.relations:
+            for args in self._schema.tuples(relation.arity):
+                fact = Fact(relation.name, args)
+                if self._kb.entails(self._fact_atom(fact)):
+                    certain.append(fact)
+        return certain
+
+    def possible_facts(self) -> list[Fact]:
+        """Facts true in at least one model (the possible answers)."""
+        possible: list[Fact] = []
+        for relation in self._schema.relations:
+            for args in self._schema.tuples(relation.arity):
+                fact = Fact(relation.name, args)
+                if self._kb.consistent_with(self._fact_atom(fact)):
+                    possible.append(fact)
+        return possible
+
+    # -- change verbs -------------------------------------------------------------
+
+    def insert(self, fact: Fact, how: str = "revise") -> "RelationalKnowledgeBase":
+        """Add a fact (``how`` ∈ {"revise", "update"})."""
+        return self._change(how, self._fact_atom(fact))
+
+    def delete(self, fact: Fact, how: str = "revise") -> "RelationalKnowledgeBase":
+        """Remove a fact (assert its negation)."""
+        return self._change(how, Not(self._fact_atom(fact)))
+
+    def _change(self, how: str, formula: Formula) -> "RelationalKnowledgeBase":
+        if how == "revise":
+            changed = self._kb.revise(formula)
+        elif how == "update":
+            changed = self._kb.update(formula)
+        else:
+            raise VocabularyError(f"unknown change mode {how!r}")
+        return RelationalKnowledgeBase._wrap(self._schema, changed)
+
+    def arbitrate_with(
+        self, other: "RelationalKnowledgeBase | RelationalDatabase | Formula"
+    ) -> "RelationalKnowledgeBase":
+        """Consensus with another party's theory (equal voices)."""
+        if isinstance(other, RelationalKnowledgeBase):
+            voice: Formula = other._kb.to_formula(minimize=False)
+        elif isinstance(other, RelationalDatabase):
+            voice = other.closed_world_formula()
+        else:
+            voice = other
+        return RelationalKnowledgeBase._wrap(
+            self._schema, self._kb.arbitrate(voice)
+        )
+
+    def __repr__(self) -> str:
+        certain = ", ".join(str(fact) for fact in self.certain_facts())
+        return f"RelationalKB(certain=[{certain}])"

@@ -1,0 +1,163 @@
+"""Relational schemas over finite domains.
+
+The paper's first open problem asks for an extension of arbitration from
+propositional to first-order knowledge.  Over a *finite* domain the
+standard move — and the only fully tractable one — is grounding: every
+relation ``R`` of arity ``k`` contributes one propositional atom
+``R(c₁,…,cₖ)`` per tuple of domain constants, and first-order sentences
+with quantifiers ranging over the domain expand into finite conjunctions
+and disjunctions.  This module provides the schema and quantifier
+expansion; :mod:`repro.relational.database` builds databases and change
+operations on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.syntax import Atom, Formula, conjoin, disjoin
+
+__all__ = ["Relation", "Schema"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named relation of fixed arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name[0].isalpha():
+            raise VocabularyError(
+                f"relation name must start with a letter: {self.name!r}"
+            )
+        if "__" in self.name:
+            raise VocabularyError(
+                f"relation names must be free of '__' (it separates the "
+                f"ground-atom parts): {self.name!r}"
+            )
+        if self.arity < 0:
+            raise VocabularyError(f"arity must be non-negative: {self.arity}")
+
+
+class Schema:
+    """A finite domain plus a set of relations — the grounding context.
+
+    >>> schema = Schema(["ann", "bob"], [Relation("Likes", 2)])
+    >>> schema.atom_count
+    4
+    >>> str(schema.atom("Likes", "ann", "bob"))
+    'Likes__ann__bob'
+    """
+
+    def __init__(
+        self, domain: Sequence[str], relations: Iterable[Relation]
+    ):
+        domain_list = list(domain)
+        if not domain_list:
+            raise VocabularyError("the domain must contain at least one constant")
+        if len(set(domain_list)) != len(domain_list):
+            raise VocabularyError("domain constants must be distinct")
+        for constant in domain_list:
+            if not constant or "__" in constant:
+                raise VocabularyError(
+                    f"constants must be non-empty and free of '__': {constant!r}"
+                )
+        relation_list = list(relations)
+        names = [relation.name for relation in relation_list]
+        if len(set(names)) != len(names):
+            raise VocabularyError("relation names must be distinct")
+        self._domain = tuple(domain_list)
+        self._relations = {relation.name: relation for relation in relation_list}
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def domain(self) -> tuple[str, ...]:
+        """The domain constants, in declaration order."""
+        return self._domain
+
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        """The declared relations, sorted by name."""
+        return tuple(
+            self._relations[name] for name in sorted(self._relations)
+        )
+
+    @property
+    def atom_count(self) -> int:
+        """Total ground atoms: Σ |domain|^arity over relations."""
+        return sum(
+            len(self._domain) ** relation.arity
+            for relation in self._relations.values()
+        )
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise VocabularyError(
+                f"unknown relation {name!r}; known: {sorted(self._relations)}"
+            ) from None
+
+    # -- grounding ---------------------------------------------------------------
+
+    def atom_name(self, relation_name: str, *constants: str) -> str:
+        """The propositional atom name for a ground fact:
+        ``R__c1__c2`` (``__``-separated to stay identifier-like)."""
+        relation = self.relation(relation_name)
+        if len(constants) != relation.arity:
+            raise VocabularyError(
+                f"{relation_name} has arity {relation.arity}, "
+                f"got {len(constants)} argument(s)"
+            )
+        for constant in constants:
+            if constant not in self._domain:
+                raise VocabularyError(
+                    f"constant {constant!r} is not in the domain"
+                )
+        return "__".join((relation_name, *constants))
+
+    def atom(self, relation_name: str, *constants: str) -> Atom:
+        """The propositional atom for a ground fact."""
+        return Atom(self.atom_name(relation_name, *constants))
+
+    def tuples(self, arity: int) -> Iterator[tuple[str, ...]]:
+        """All ``arity``-tuples of domain constants."""
+        return product(self._domain, repeat=arity)
+
+    def ground_atoms(self) -> list[str]:
+        """Every ground atom name, deterministically ordered."""
+        names: list[str] = []
+        for relation in self.relations:
+            for args in self.tuples(relation.arity):
+                names.append(self.atom_name(relation.name, *args))
+        return names
+
+    def vocabulary(self) -> Vocabulary:
+        """The propositional vocabulary 𝒯 of the grounding."""
+        return Vocabulary(self.ground_atoms())
+
+    # -- quantifier expansion -------------------------------------------------------
+
+    def forall(
+        self, arity: int, template: Callable[..., Formula]
+    ) -> Formula:
+        """``∀x₁…x_arity . template(x₁,…)`` expanded over the domain.
+
+        ``template`` receives domain constants and returns a formula;
+        the result is the conjunction over all tuples.
+        """
+        return conjoin(template(*args) for args in self.tuples(arity))
+
+    def exists(
+        self, arity: int, template: Callable[..., Formula]
+    ) -> Formula:
+        """``∃x₁…x_arity . template(x₁,…)`` expanded over the domain."""
+        return disjoin(template(*args) for args in self.tuples(arity))

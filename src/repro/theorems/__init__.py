@@ -1,0 +1,40 @@
+"""Executable forms of the paper's theorems.
+
+* Theorem 3.1 (characterization): :mod:`repro.theorems.characterization`
+  derives ``≤ψ`` from an operator, checks it is a total pre-order, and
+  round-trips operator ⇄ assignment.
+* Theorem 3.2 (disjointness): :mod:`repro.theorems.disjointness` replays
+  the proof's singleton scenarios as witness finders.
+* The monotonicity discussion (Gärdenfors): :mod:`repro.theorems.monotonicity`.
+"""
+
+from repro.theorems.characterization import (
+    DerivedOrderReport,
+    RoundTripFailure,
+    derive_order,
+    derived_assignment,
+    round_trip_check,
+)
+from repro.theorems.disjointness import (
+    DisjointnessWitness,
+    all_witnesses,
+    witness_r1_r2_r3_u8,
+    witness_r2_a8,
+    witness_u2_u8_a8,
+)
+from repro.theorems.monotonicity import MonotonicityFailure, check_monotone
+
+__all__ = [
+    "DerivedOrderReport",
+    "derive_order",
+    "derived_assignment",
+    "RoundTripFailure",
+    "round_trip_check",
+    "DisjointnessWitness",
+    "witness_r2_a8",
+    "witness_u2_u8_a8",
+    "witness_r1_r2_r3_u8",
+    "all_witnesses",
+    "MonotonicityFailure",
+    "check_monotone",
+]

@@ -1,0 +1,160 @@
+"""Theorem 3.1 machinery: operator ⇄ loyal assignment.
+
+The only-if direction of Theorem 3.1 *constructs* the pre-order from the
+operator:
+
+    ``I ≤ψ J   iff   I ∈ Mod(ψ ▷ form(I, J))``
+
+This module implements that construction, verifies that the derived
+relation is a total pre-order (the proof's step (1)), extracts it as a
+:class:`~repro.orders.preorder.TotalPreorder`, packages the family of
+derived orders as a :class:`~repro.orders.loyal.LoyalAssignment` (step
+(2) checks loyalty), and round-trips: rebuilding the operator from the
+derived assignment must reproduce the original on every scenario (step
+(3)).
+
+For an operator that satisfies A1–A8 all three steps succeed (this is the
+E5 experiment); for the paper's odist operator step (2) fails exactly at
+loyalty condition 2, matching its A8 defect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import PostulateError
+from repro.logic.semantics import ModelSet
+from repro.operators.base import TheoryChangeOperator
+from repro.core.fitting import ModelFittingOperator
+from repro.orders.loyal import LoyalAssignment
+from repro.orders.preorder import TotalPreorder
+
+__all__ = [
+    "DerivedOrderReport",
+    "derive_order",
+    "derived_assignment",
+    "RoundTripFailure",
+    "round_trip_check",
+]
+
+
+@dataclass(frozen=True)
+class DerivedOrderReport:
+    """Result of deriving ``≤ψ`` from an operator via Theorem 3.1.
+
+    When the relation fails to be a total pre-order the offending property
+    and witnesses are recorded and ``order`` is ``None``.
+    """
+
+    is_reflexive: bool
+    is_total: bool
+    is_transitive: bool
+    order: Optional[TotalPreorder]
+    witness: tuple[int, ...] = ()
+
+    @property
+    def is_total_preorder(self) -> bool:
+        """All three structural properties hold."""
+        return self.is_reflexive and self.is_total and self.is_transitive
+
+
+def derive_order(
+    operator: TheoryChangeOperator, psi: ModelSet
+) -> DerivedOrderReport:
+    """Derive ``≤ψ`` from the operator: ``I ≤ψ J iff
+    I ∈ Mod(ψ ▷ form(I, J))`` — the construction in the proof of
+    Theorem 3.1."""
+    vocabulary = psi.vocabulary
+    total = vocabulary.interpretation_count
+
+    # leq[i][j] == True iff interpretation i ≤ψ interpretation j.
+    leq = [[False] * total for _ in range(total)]
+    for i in range(total):
+        result = operator.apply_models(psi, ModelSet(vocabulary, [i]))
+        leq[i][i] = i in result
+    for i in range(total):
+        for j in range(i + 1, total):
+            result = operator.apply_models(psi, ModelSet(vocabulary, [i, j]))
+            leq[i][j] = i in result
+            leq[j][i] = j in result
+
+    for i in range(total):
+        if not leq[i][i]:
+            return DerivedOrderReport(False, False, False, None, (i,))
+    for i in range(total):
+        for j in range(total):
+            if not (leq[i][j] or leq[j][i]):
+                return DerivedOrderReport(True, False, False, None, (i, j))
+    for i in range(total):
+        for j in range(total):
+            if not leq[i][j]:
+                continue
+            for k in range(total):
+                if leq[j][k] and not leq[i][k]:
+                    return DerivedOrderReport(True, True, False, None, (i, j, k))
+
+    # Extract ranks: in a total pre-order, the number of strictly smaller
+    # elements is constant on equivalence classes and increases across
+    # them, so it serves as the key.
+    ranks = [
+        sum(1 for j in range(total) if leq[j][i] and not leq[i][j])
+        for i in range(total)
+    ]
+    order = TotalPreorder(vocabulary, ranks)
+    return DerivedOrderReport(True, True, True, order)
+
+
+def derived_assignment(operator: TheoryChangeOperator) -> LoyalAssignment:
+    """The ψ ↦ ≤ψ assignment induced by the operator.
+
+    Raises :class:`~repro.errors.PostulateError` if some derived relation
+    is not a total pre-order (which, by Theorem 3.1, certifies that the
+    operator violates A1–A8 somewhere).
+    """
+
+    def build(psi: ModelSet) -> TotalPreorder:
+        report = derive_order(operator, psi)
+        if report.order is None:
+            raise PostulateError(
+                f"derived relation for Mod(ψ)={psi!r} is not a total "
+                f"pre-order (witness masks {report.witness})"
+            )
+        return report.order
+
+    return LoyalAssignment(build, name=f"derived[{operator.name}]")
+
+
+@dataclass(frozen=True)
+class RoundTripFailure:
+    """A scenario where rebuilding the operator from its derived
+    assignment changed the outcome."""
+
+    psi: ModelSet
+    mu: ModelSet
+    original: ModelSet
+    rebuilt: ModelSet
+
+
+def round_trip_check(
+    operator: TheoryChangeOperator,
+    knowledge_bases: Sequence[ModelSet],
+    inputs: Sequence[ModelSet],
+) -> Optional[RoundTripFailure]:
+    """Step (3) of Theorem 3.1's only-if proof, mechanically.
+
+    Derives the assignment, rebuilds ``Min(Mod(μ), ≤ψ)``, and compares
+    with the original operator on every (ψ, μ) pair.  Returns the first
+    divergence or ``None``.
+    """
+    assignment = derived_assignment(operator)
+    rebuilt_operator = ModelFittingOperator(
+        assignment, name=f"rebuilt[{operator.name}]"
+    )
+    for psi in knowledge_bases:
+        for mu in inputs:
+            original = operator.apply_models(psi, mu)
+            rebuilt = rebuilt_operator.apply_models(psi, mu)
+            if original != rebuilt:
+                return RoundTripFailure(psi, mu, original, rebuilt)
+    return None

@@ -1,0 +1,54 @@
+"""Monotonicity probes (the Gärdenfors-impossibility discussion).
+
+Section 3 of the paper recalls Katsuno–Mendelzon's observation that every
+update operator is *monotone* — if φ implies ψ then φ ⋄ μ implies ψ ⋄ μ —
+while Gärdenfors' impossibility theorem rules out monotone non-trivial
+revision.  This module makes monotonicity executable so the test suite can
+demonstrate the split on the implemented operators: Winslett and Forbus
+pass, Dalal (and the fitting operators) fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.logic.semantics import ModelSet
+from repro.operators.base import TheoryChangeOperator
+
+__all__ = ["MonotonicityFailure", "check_monotone"]
+
+
+@dataclass(frozen=True)
+class MonotonicityFailure:
+    """A scenario where φ ⊨ ψ but (φ * μ) ⊭ (ψ * μ)."""
+
+    phi: ModelSet
+    psi: ModelSet
+    mu: ModelSet
+    phi_result: ModelSet
+    psi_result: ModelSet
+
+
+def check_monotone(
+    operator: TheoryChangeOperator,
+    knowledge_bases: Sequence[ModelSet],
+    inputs: Sequence[ModelSet],
+) -> Optional[MonotonicityFailure]:
+    """Search the given scenario space for a monotonicity violation.
+
+    Returns the first failure or ``None`` (monotone on this sample).
+    The pairs tested are exactly those with ``Mod(φ) ⊆ Mod(ψ)``.
+    """
+    for phi in knowledge_bases:
+        for psi in knowledge_bases:
+            if not phi.issubset(psi):
+                continue
+            for mu in inputs:
+                phi_result = operator.apply_models(phi, mu)
+                psi_result = operator.apply_models(psi, mu)
+                if not phi_result.issubset(psi_result):
+                    return MonotonicityFailure(
+                        phi, psi, mu, phi_result, psi_result
+                    )
+    return None

@@ -1,0 +1,154 @@
+"""Unit tests for arbitration (ψ Δ φ) and n-ary consensus merging."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.arbitration import ArbitrationOperator, arbitrate, merge
+from repro.core.fitting import PriorityFitting
+from repro.errors import VocabularyError
+from repro.logic.enumeration import equivalent, models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+from repro.operators.base import OperatorFamily
+
+from conftest import model_sets, nonempty_model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+def _ms(*atom_sets):
+    return ModelSet(VOCAB, [VOCAB.mask_of(atoms) for atoms in atom_sets])
+
+
+class TestDefinition:
+    def test_family_metadata(self):
+        assert ArbitrationOperator().family is OperatorFamily.ARBITRATION
+
+    def test_default_fitting_is_odist(self):
+        assert "revesz-odist" in ArbitrationOperator().name
+
+    @given(psi=model_sets(VOCAB), phi=model_sets(VOCAB))
+    def test_equals_fit_of_union_against_top(self, psi, phi):
+        """ψ Δ φ = (ψ ∨ φ) ▷ ⊤ — the paper's defining equation."""
+        operator = ArbitrationOperator()
+        direct = operator.fitting.apply_models(
+            psi.union(phi), ModelSet.universe(VOCAB)
+        )
+        assert operator.apply_models(psi, phi) == direct
+
+    @given(psi=model_sets(VOCAB), phi=model_sets(VOCAB))
+    def test_commutative(self, psi, phi):
+        """The headline requirement: arbitration is symmetric in its
+        arguments."""
+        operator = ArbitrationOperator()
+        assert operator.apply_models(psi, phi) == operator.apply_models(phi, psi)
+
+    @given(psi=nonempty_model_sets(VOCAB))
+    def test_self_arbitration_of_singleton_is_identity(self, psi):
+        """Arbitrating a single world with itself returns that world."""
+        if len(psi) != 1:
+            return
+        operator = ArbitrationOperator()
+        assert operator.apply_models(psi, psi) == psi
+
+    def test_both_unsatisfiable_yields_unsatisfiable(self):
+        operator = ArbitrationOperator()
+        empty = ModelSet.empty(VOCAB)
+        assert operator.apply_models(empty, empty).is_empty
+
+    def test_one_unsatisfiable_argument_is_ignored(self):
+        """Mod(ψ ∨ ⊥) = Mod(ψ): a silent voice does not move the result."""
+        operator = ArbitrationOperator()
+        psi = _ms({"a"})
+        empty = ModelSet.empty(VOCAB)
+        assert operator.apply_models(psi, empty) == operator.apply_models(psi, psi)
+
+
+class TestConsensusBehaviour:
+    def test_two_distant_voices_meet_in_the_middle(self):
+        # Voices at ∅ and {a,b,c}: the odist-consensus is every world at
+        # worst-case distance 2 — the "middle shell".
+        operator = ArbitrationOperator()
+        result = operator.apply_models(_ms(set()), _ms({"a", "b", "c"}))
+        assert all(1 <= len(interp) <= 2 for interp in result)
+        assert len(result) == 6
+
+    def test_agreeing_voices_win(self):
+        operator = ArbitrationOperator()
+        result = operator.apply_models(_ms({"a"}), _ms({"a"}))
+        assert result == _ms({"a"})
+
+    def test_intro_example_consensus(self):
+        vocabulary = Vocabulary(["A", "B", "C"])
+        theory = parse("A & B & (A & B -> C)")
+        formula = arbitrate(theory, parse("!C"), vocabulary)
+        result = models(formula, vocabulary)
+        expected = ModelSet(
+            vocabulary,
+            [
+                vocabulary.mask_of({"A"}),
+                vocabulary.mask_of({"B"}),
+                vocabulary.mask_of({"A", "B"}),
+            ],
+        )
+        assert result == expected
+
+
+class TestFormulaLevel:
+    def test_arbitrate_commutes_semantically(self):
+        psi = parse("a & b")
+        phi = parse("!a & c")
+        assert equivalent(
+            arbitrate(psi, phi, VOCAB), arbitrate(phi, psi, VOCAB), VOCAB
+        )
+
+    def test_vocabulary_defaults_to_union_of_atoms(self):
+        formula = arbitrate(parse("x"), parse("y"))
+        assert formula.atoms() <= {"x", "y"}
+
+    def test_custom_fitting(self):
+        formula = arbitrate(
+            parse("a"), parse("!a"), VOCAB, fitting=PriorityFitting()
+        )
+        assert models(formula, VOCAB) is not None  # runs without error
+
+
+class TestMerge:
+    def test_merge_requires_sources(self):
+        with pytest.raises(VocabularyError):
+            merge([])
+
+    def test_merge_single_source_fits_itself(self):
+        formula = merge([parse("a & !b & !c")], VOCAB)
+        assert models(formula, VOCAB) == _ms({"a"})
+
+    def test_merge_is_order_independent(self):
+        sources = [parse("a & b"), parse("!a & c"), parse("b & !c")]
+        forward = merge(sources, VOCAB)
+        backward = merge(list(reversed(sources)), VOCAB)
+        assert equivalent(forward, backward, VOCAB)
+
+    def test_merge_models_matches_binary_for_two_sources(self):
+        operator = ArbitrationOperator()
+        psi, phi = _ms({"a"}), _ms({"b"})
+        assert operator.merge_models([psi, phi]) == operator.apply_models(psi, phi)
+
+    def test_merge_models_empty_rejected(self):
+        with pytest.raises(VocabularyError):
+            ArbitrationOperator().merge_models([])
+
+    def test_classroom_merge(self):
+        """Merging the three students of Example 3.1 over the full space
+        (the instructor will teach anything) — the paper's remark that an
+        unconstrained instructor 'would be doing arbitration'."""
+        vocabulary = Vocabulary(["S", "D", "Q"])
+        students = [
+            parse("S & !D & !Q"),
+            parse("!S & D & !Q"),
+            parse("S & D & Q"),
+        ]
+        consensus = models(merge(students, vocabulary), vocabulary)
+        # {S,D} is within distance 1 of every student — no world does
+        # better against the worst-served student.
+        assert vocabulary.mask_of({"S", "D"}) in consensus

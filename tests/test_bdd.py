@@ -1,0 +1,136 @@
+"""Unit tests for the ROBDD manager and engine."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import VocabularyError
+from repro.logic.bdd import FALSE, TRUE, BddEngine, BddManager
+from repro.logic.enumeration import TruthTableEngine
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.syntax import Atom
+
+from conftest import formulas
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestManagerBasics:
+    def test_terminals(self):
+        manager = BddManager(VOCAB)
+        assert manager.is_valid(TRUE)
+        assert not manager.is_satisfiable(FALSE)
+
+    def test_var_node(self):
+        manager = BddManager(VOCAB)
+        node = manager.var("b")
+        assert manager.level(node) == 1
+        assert manager.low(node) == FALSE
+        assert manager.high(node) == TRUE
+
+    def test_unknown_var_rejected(self):
+        with pytest.raises(VocabularyError):
+            BddManager(VOCAB).var("z")
+
+    def test_hash_consing_shares_nodes(self):
+        manager = BddManager(VOCAB)
+        first = manager.from_formula(parse("a & b"))
+        second = manager.from_formula(parse("b & a"))
+        assert first == second
+
+    def test_canonicity_decides_equivalence(self):
+        manager = BddManager(VOCAB)
+        left = manager.from_formula(parse("a -> b"))
+        right = manager.from_formula(parse("!a | b"))
+        assert left == right
+        different = manager.from_formula(parse("a & b"))
+        assert left != different
+
+    def test_contradiction_is_false_terminal(self):
+        manager = BddManager(VOCAB)
+        assert manager.from_formula(parse("a & !a")) == FALSE
+
+    def test_tautology_is_true_terminal(self):
+        manager = BddManager(VOCAB)
+        assert manager.from_formula(parse("a | !a")) == TRUE
+
+    def test_double_negation_identity(self):
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(parse("(a | b) & c"))
+        assert manager.apply_not(manager.apply_not(node)) == node
+
+
+class TestCounting:
+    def test_terminal_counts(self):
+        manager = BddManager(VOCAB)
+        assert manager.count_models(TRUE) == 8
+        assert manager.count_models(FALSE) == 0
+
+    def test_single_var_count(self):
+        manager = BddManager(VOCAB)
+        assert manager.count_models(manager.var("a")) == 4
+
+    def test_counts_without_enumeration_on_large_vocab(self):
+        large = Vocabulary([f"p{i}" for i in range(40)])
+        manager = BddManager(large)
+        node = manager.from_formula(parse("p0 | p39"))
+        # 3/4 of 2^40 models — far beyond anything enumerable.
+        assert manager.count_models(node) == 3 * (1 << 38)
+
+    @given(formulas())
+    def test_count_matches_truth_table(self, formula):
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(formula)
+        expected = len(TruthTableEngine().models(formula, VOCAB))
+        assert manager.count_models(node) == expected
+
+
+class TestEnumeration:
+    @given(formulas())
+    def test_models_match_truth_table_engine(self, formula):
+        assert BddEngine().models(formula, VOCAB) == TruthTableEngine().models(
+            formula, VOCAB
+        )
+
+    @given(formulas())
+    def test_satisfiability_matches(self, formula):
+        assert BddEngine().is_satisfiable(formula, VOCAB) == TruthTableEngine(
+        ).is_satisfiable(formula, VOCAB)
+
+    def test_masks_ascend(self):
+        engine = BddEngine()
+        masks = engine.models(parse("a | b"), VOCAB).masks
+        assert list(masks) == sorted(masks)
+
+    def test_vocabulary_must_cover(self):
+        with pytest.raises(VocabularyError):
+            BddEngine().models(Atom("z"), VOCAB)
+        with pytest.raises(VocabularyError):
+            BddEngine().is_satisfiable(Atom("z"), VOCAB)
+
+    def test_engine_count_helper(self):
+        assert BddEngine().count_models(parse("a & b"), VOCAB) == 2
+
+
+class TestStructuralSharing:
+    def test_node_count_stays_small_for_parity(self):
+        """XOR chains blow up truth tables but stay linear as BDDs."""
+        names = [f"p{i}" for i in range(16)]
+        vocabulary = Vocabulary(names)
+        manager = BddManager(vocabulary)
+        node = manager.from_formula(parse(" ^ ".join(names)))
+        # The reduced parity diagram has 2 nodes per level plus terminals
+        # (node_count would also include intermediate build allocations).
+        assert manager.reachable_count(node) <= 2 * len(names) + 4
+        assert manager.count_models(node) == 1 << 15
+
+    def test_operators_run_on_bdd_backed_models(self):
+        """Integration: a fitting operator over BDD-enumerated models."""
+        from repro.core.fitting import ReveszFitting
+
+        engine = BddEngine()
+        psi = engine.models(parse("(a & !b) | (!a & b)"), VOCAB)
+        mu = engine.models(parse("c"), VOCAB)
+        result = ReveszFitting().apply_models(psi, mu)
+        assert result.issubset(mu)
+        assert not result.is_empty

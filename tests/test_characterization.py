@@ -1,0 +1,94 @@
+"""Unit tests for the Theorem 3.1 machinery (operator ⇄ loyal assignment)."""
+
+import pytest
+
+from repro.core.fitting import PriorityFitting, ReveszFitting, SumFitting
+from repro.errors import PostulateError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.operators.revision import DalalRevision
+from repro.operators.update import WinslettUpdate
+from repro.postulates.harness import all_model_sets
+from repro.theorems.characterization import (
+    derive_order,
+    derived_assignment,
+    round_trip_check,
+)
+
+VOCAB = Vocabulary(["a", "b"])
+SATISFIABLE_KBS = all_model_sets(VOCAB, include_empty=False)
+ALL_KBS = all_model_sets(VOCAB)
+
+
+class TestDeriveOrder:
+    def test_matches_direct_order_for_odist(self):
+        """The proof's construction I ≤ψ J iff I ∈ Mod(ψ ▷ form(I,J))
+        recovers exactly the odist order."""
+        operator = ReveszFitting()
+        for psi in SATISFIABLE_KBS:
+            report = derive_order(operator, psi)
+            assert report.is_total_preorder
+            assert report.order == operator.order_for(psi)
+
+    def test_matches_direct_order_for_priority(self):
+        operator = PriorityFitting()
+        for psi in SATISFIABLE_KBS:
+            report = derive_order(operator, psi)
+            assert report.is_total_preorder
+            assert report.order == operator.order_for(psi)
+
+    def test_unsatisfiable_base_not_reflexive(self):
+        """With ψ unsatisfiable, A2 forces empty results, so the derived
+        relation cannot even be reflexive — the theorem's proof rightly
+        assumes ψ satisfiable."""
+        report = derive_order(ReveszFitting(), ModelSet.empty(VOCAB))
+        assert not report.is_reflexive
+        assert report.order is None
+        assert len(report.witness) == 1
+
+    def test_winslett_derived_relation_not_preorder_somewhere(self):
+        """Update operators are not Min-of-total-preorder shaped: some
+        derived relation must fail (otherwise Winslett would satisfy the
+        fitting axioms, contradicting Theorem 3.2)."""
+        operator = WinslettUpdate()
+        defects = [
+            psi
+            for psi in SATISFIABLE_KBS
+            if not derive_order(operator, psi).is_total_preorder
+        ]
+        assert defects  # at least one knowledge base exposes the mismatch
+
+
+class TestDerivedAssignment:
+    def test_builds_orders_lazily(self):
+        assignment = derived_assignment(ReveszFitting())
+        order = assignment.order_for(ModelSet(VOCAB, [0]))
+        assert order.minimal(ModelSet.universe(VOCAB)).masks == (0,)
+
+    def test_raises_on_defective_operator(self):
+        assignment = derived_assignment(WinslettUpdate())
+        with pytest.raises(PostulateError):
+            for psi in SATISFIABLE_KBS:
+                assignment.order_for(psi)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "operator",
+        [ReveszFitting(), PriorityFitting(), SumFitting()],
+        ids=lambda op: op.name,
+    )
+    def test_min_based_operators_round_trip_exactly(self, operator):
+        """Every Min-of-total-preorder operator equals the operator rebuilt
+        from its derived assignment — including odist, whose failure is
+        loyalty (a cross-KB property), not the per-KB order shape."""
+        assert round_trip_check(operator, SATISFIABLE_KBS, ALL_KBS) is None
+
+    def test_dalal_round_trips_with_fitting_semantics_on_satisfiable_bases(self):
+        """Dalal is also Min-based; restricted to satisfiable ψ the rebuilt
+        fitting operator coincides with it."""
+        assert round_trip_check(DalalRevision(), SATISFIABLE_KBS, ALL_KBS) is None
+
+    def test_round_trip_failure_reported_for_update(self):
+        with pytest.raises(PostulateError):
+            round_trip_check(WinslettUpdate(), SATISFIABLE_KBS, ALL_KBS)

@@ -1,0 +1,119 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestModelsCommand:
+    def test_enumerates(self):
+        code, text = run_cli("models", "a -> b", "--atoms", "a,b")
+        assert code == 0
+        assert "3 model(s)" in text
+
+    def test_vocabulary_defaults_to_atoms(self):
+        code, text = run_cli("models", "x & y")
+        assert code == 0
+        assert "1 model(s)" in text
+
+    @pytest.mark.parametrize("engine", ["tt", "dpll", "bdd"])
+    def test_all_engines(self, engine):
+        code, text = run_cli("models", "a | b", "--engine", engine)
+        assert code == 0
+        assert "3 model(s)" in text
+
+
+class TestCountCommand:
+    def test_counts_without_enumeration(self):
+        atoms = ",".join(f"p{i}" for i in range(30))
+        code, text = run_cli("count", "p0", "--atoms", atoms)
+        assert code == 0
+        assert str(1 << 29) in text
+
+
+class TestChangeCommand:
+    @pytest.mark.parametrize(
+        "op", ["dalal", "satoh", "borgida", "weber", "winslett", "forbus",
+               "odist", "priority"]
+    )
+    def test_every_operator_runs(self, op):
+        code, text = run_cli("change", "--op", op, "a & b", "!a")
+        assert code == 0
+        assert "model(s)" in text
+
+    def test_intro_example(self):
+        code, text = run_cli(
+            "change", "--op", "dalal", "A & B & (A & B -> C)", "!C"
+        )
+        assert code == 0
+        assert "A & B & !C" in text
+
+
+class TestArbitrateCommand:
+    def test_unweighted(self):
+        code, text = run_cli("arbitrate", "a & b", "!a & !b")
+        assert code == 0
+        assert "ψ Δ φ" in text
+
+    def test_weighted_majority(self):
+        code, text = run_cli("arbitrate", "a & !b", "!a & b", "--weights", "9,2")
+        assert code == 0
+        assert "{a}" in text
+
+    def test_bad_weights_rejected(self):
+        code, _ = run_cli("arbitrate", "a", "b", "--weights", "1,2,3")
+        assert code == 2
+
+
+class TestMergeCommand:
+    def test_basic_merge(self):
+        code, text = run_cli("merge", "x=a & b", "y=!a")
+        assert code == 0
+        assert "consensus" in text
+
+    def test_weighted_merge_with_weights(self):
+        code, text = run_cli("merge", "many=a:9", "few=!a:2", "--weighted")
+        assert code == 0
+        assert "sources satisfied" in text
+
+    def test_malformed_source_rejected(self):
+        code, _ = run_cli("merge", "just-a-formula")
+        assert code == 2
+
+
+class TestAuditCommand:
+    def test_matrix_rendered(self):
+        code, text = run_cli(
+            "audit", "--atoms-count", "2", "--operator", "dalal",
+            "--scenarios", "5000",
+        )
+        assert code == 0
+        assert "dalal" in text and "A8" in text
+
+    def test_unknown_operator_rejected(self):
+        code, _ = run_cli("audit", "--operator", "nonesuch")
+        assert code == 2
+
+
+class TestExperimentsCommand:
+    def test_single_experiment(self):
+        code, text = run_cli("experiments", "--only", "E3")
+        assert code == 0
+        assert "E3" in text and "ALL MATCH" in text
+
+    def test_multiple_experiments(self):
+        code, text = run_cli("experiments", "--only", "e3", "E4")
+        assert code == 0
+        assert "E4" in text
+
+    def test_unknown_experiment_rejected(self):
+        code, _ = run_cli("experiments", "--only", "E99")
+        assert code == 2

@@ -1,0 +1,138 @@
+"""Unit tests for clause extraction, Tseitin encoding, and DIMACS I/O."""
+
+import io
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ReproError
+from repro.logic.cnf import (
+    clauses_from_cnf_formula,
+    parse_dimacs,
+    tseitin,
+)
+from repro.logic.enumeration import models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.sat import enumerate_assignments, solve
+from repro.logic.syntax import BOTTOM, TOP
+from repro.logic.transform import to_cnf
+
+from conftest import formulas
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestDirectClauses:
+    def test_simple_cnf(self):
+        problem = clauses_from_cnf_formula(parse("(a | !b) & c"), VOCAB)
+        assert problem.clauses == ((1, -2), (3,))
+        assert problem.num_variables == 3
+
+    def test_single_literal(self):
+        problem = clauses_from_cnf_formula(parse("!b"), VOCAB)
+        assert problem.clauses == ((-2,),)
+
+    def test_top_has_no_clauses(self):
+        assert clauses_from_cnf_formula(TOP, VOCAB).clauses == ()
+
+    def test_bottom_has_empty_clause(self):
+        assert clauses_from_cnf_formula(BOTTOM, VOCAB).clauses == ((),)
+
+    def test_non_cnf_rejected(self):
+        with pytest.raises(ReproError):
+            clauses_from_cnf_formula(parse("(a & b) | c"), VOCAB)
+
+
+class TestDimacs:
+    def test_serialization(self):
+        problem = clauses_from_cnf_formula(parse("(a | !b) & c"), VOCAB)
+        text = problem.to_dimacs()
+        assert text.splitlines()[0] == "p cnf 3 2"
+        assert "1 -2 0" in text
+
+    def test_write_to_stream(self):
+        problem = clauses_from_cnf_formula(parse("a"), VOCAB)
+        stream = io.StringIO()
+        problem.write_dimacs(stream)
+        assert stream.getvalue() == problem.to_dimacs()
+
+    def test_round_trip(self):
+        problem = clauses_from_cnf_formula(parse("(a | !b) & (c | b)"), VOCAB)
+        clauses, num_variables = parse_dimacs(problem.to_dimacs())
+        assert tuple(clauses) == problem.clauses
+        assert num_variables == problem.num_variables
+
+    def test_comments_skipped(self):
+        clauses, n = parse_dimacs("c a comment\np cnf 2 1\n1 -2 0\n")
+        assert clauses == [(1, -2)]
+        assert n == 2
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ReproError):
+            parse_dimacs("p cnf x\n")
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            parse_dimacs("p cnf 2 5\n1 0\n")
+
+
+class TestTseitin:
+    def test_atom_variables_are_prefix(self):
+        problem = tseitin(parse("a -> (b & c)"), VOCAB)
+        assert problem.atom_variables == (1, 2, 3)
+        assert problem.num_variables >= 3
+
+    def test_equisatisfiable_sat(self):
+        problem = tseitin(parse("(a | b) & !a"), VOCAB)
+        assert solve(problem.clauses, problem.num_variables) is not None
+
+    def test_equisatisfiable_unsat(self):
+        problem = tseitin(parse("a & !a"), VOCAB)
+        assert solve(problem.clauses, problem.num_variables) is None
+
+    def test_constants(self):
+        assert solve(*_pack(tseitin(TOP, VOCAB))) is not None
+        assert solve(*_pack(tseitin(BOTTOM, VOCAB))) is None
+
+    @given(formulas(max_leaves=10))
+    def test_projection_exactness(self, formula):
+        """Projected enumeration over the Tseitin encoding returns exactly
+        the models of the original formula."""
+        problem = tseitin(formula, VOCAB)
+        projected_masks = set()
+        for assignment in enumerate_assignments(
+            problem.clauses, problem.num_variables, project_to=problem.atom_variables
+        ):
+            mask = sum(
+                1 << i
+                for i, variable in enumerate(problem.atom_variables)
+                if assignment[variable]
+            )
+            projected_masks.add(mask)
+        expected = set(models(formula, VOCAB).masks)
+        assert projected_masks == expected
+
+    @given(formulas(max_leaves=8))
+    def test_linear_size(self, formula):
+        """The encoding stays linear in the formula size (no blow-up),
+        unlike distributive CNF."""
+        from repro.logic.syntax import formula_size
+
+        problem = tseitin(formula, VOCAB)
+        assert problem.num_clauses <= 4 * formula_size(formula) + 4
+
+
+def _pack(problem):
+    return problem.clauses, problem.num_variables
+
+
+class TestAgainstDistributiveCnf:
+    @given(formulas(max_leaves=8))
+    def test_same_satisfiability_as_to_cnf(self, formula):
+        exact = to_cnf(formula)
+        exact_problem = clauses_from_cnf_formula(exact, VOCAB)
+        tseitin_problem = tseitin(formula, VOCAB)
+        exact_sat = solve(exact_problem.clauses, exact_problem.num_variables)
+        tseitin_sat = solve(tseitin_problem.clauses, tseitin_problem.num_variables)
+        assert (exact_sat is None) == (tseitin_sat is None)

@@ -1,0 +1,62 @@
+"""Unit tests for the cost-model instrumentation."""
+
+import pytest
+
+from repro.bench.complexity import (
+    CountingDistance,
+    cost_report,
+    measure_distance_evaluations,
+    predicted_distance_evaluations,
+)
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+
+
+VOCAB = Vocabulary(["a", "b", "c", "d"])
+
+
+class TestCountingDistance:
+    def test_counts_and_delegates(self):
+        counter = CountingDistance()
+        assert counter.between_masks(0b0101, 0b0011, VOCAB) == 2
+        assert counter.between_masks(0, 0, VOCAB) == 0
+        assert counter.calls == 2
+
+    def test_reset(self):
+        counter = CountingDistance()
+        counter.between_masks(1, 2, VOCAB)
+        counter.reset()
+        assert counter.calls == 0
+
+
+class TestPredictions:
+    def test_order_based_operators(self):
+        assert predicted_distance_evaluations("dalal", 4, 3, 7) == 16 * 3
+        assert predicted_distance_evaluations("revesz-odist", 5, 2, 9) == 32 * 2
+
+    def test_forbus_is_pairwise(self):
+        assert predicted_distance_evaluations("forbus", 4, 3, 7) == 21
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(KeyError):
+            predicted_distance_evaluations("satoh", 4, 3, 7)
+        with pytest.raises(KeyError):
+            measure_distance_evaluations(
+                "winslett", ModelSet(VOCAB, [0]), ModelSet(VOCAB, [1])
+            )
+
+
+class TestMeasurements:
+    def test_every_prediction_exact(self):
+        psi = ModelSet(VOCAB, [0, 3, 5])
+        mu = ModelSet(VOCAB, [1, 2, 7, 9])
+        reports = cost_report(psi, mu)
+        assert len(reports) == 6
+        for report in reports:
+            assert report.exact, str(report)
+
+    def test_report_rendering(self):
+        psi = ModelSet(VOCAB, [0])
+        mu = ModelSet(VOCAB, [1])
+        report = cost_report(psi, mu)[0]
+        assert "predicted" in str(report) and "measured" in str(report)

@@ -1,0 +1,87 @@
+"""Unit tests for integrity constraints on the KnowledgeBase layer."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+class TestConstrainedConstruction:
+    def test_initial_state_respects_constraints(self):
+        kb = KnowledgeBase("a | b", constraints="a -> b")
+        assert kb.entails("a -> b")
+        # The a&!b model is filtered out on construction.
+        assert not kb.consistent_with("a & !b")
+
+    def test_constraints_extend_vocabulary(self):
+        kb = KnowledgeBase("a", constraints="a -> b")
+        assert set(kb.vocabulary.atoms) == {"a", "b"}
+
+    def test_constraints_property(self):
+        kb = KnowledgeBase("a", constraints="a -> b")
+        assert kb.constraints is not None
+        assert KnowledgeBase("a").constraints is None
+
+    def test_constraints_must_fit_vocabulary(self):
+        with pytest.raises(VocabularyError):
+            KnowledgeBase("a", atoms=["a"], constraints="a -> b")
+
+    def test_contradictory_constraints_empty_kb(self):
+        kb = KnowledgeBase("a", constraints="a & !a")
+        assert not kb.satisfiable
+
+
+class TestConstrainedChanges:
+    def test_revise_stays_inside_constraints(self):
+        kb = KnowledgeBase("a & b", constraints="a -> b")
+        changed = kb.revise("!b")
+        assert changed.entails("a -> b")
+        assert changed.entails("!b")
+        # To drop b while keeping a -> b, a must go too.
+        assert changed.entails("!a")
+
+    def test_update_stays_inside_constraints(self):
+        kb = KnowledgeBase("a & b", constraints="a -> b")
+        changed = kb.update("!b")
+        assert changed.entails("(a -> b) & !b")
+
+    def test_constraints_propagate_through_changes(self):
+        kb = KnowledgeBase("a & b", constraints="a -> b").revise("!b").revise("a")
+        assert kb.constraints is not None
+        assert kb.entails("a -> b")
+        # Re-asserting a under a -> b forces b back.
+        assert kb.entails("a & b")
+
+    def test_arbitrate_fits_inside_constraints(self):
+        """Constrained arbitration = (ψ ∨ φ) ▷ IC: the consensus world
+        must satisfy the integrity constraints even if neither voice does."""
+        kb = KnowledgeBase("a & b & !c", atoms=["a", "b", "c"],
+                           constraints="c")
+        # Construction already enforces c: the voice a&b&!c is filtered to ⊥,
+        # so build from a state inside the constraints instead.
+        kb = KnowledgeBase("a & b & c", atoms=["a", "b", "c"], constraints="c")
+        changed = kb.arbitrate("!a & !b & c")
+        assert changed.satisfiable
+        assert changed.entails("c")
+
+    def test_constrained_arbitration_differs_from_free(self):
+        free = KnowledgeBase("a & b", atoms=["a", "b"]).arbitrate("!a & !b")
+        constrained = KnowledgeBase(
+            "a & b", atoms=["a", "b"], constraints="a <-> b"
+        ).arbitrate("!a & !b")
+        assert constrained.entails("a <-> b")
+        assert not free.entails("a <-> b")
+
+    def test_history_names_constrained_operator(self):
+        kb = KnowledgeBase("a & b", constraints="a | b").arbitrate("!a & b")
+        assert "constrained" in kb.history[-1].operator
+
+
+class TestUnconstrainedBackwardsCompatibility:
+    def test_no_constraints_same_as_before(self):
+        free = KnowledgeBase("a & b").arbitrate("!a & !b")
+        # The middle shell between the two voices: exactly {a} and {b}.
+        assert {frozenset(i.true_atoms) for i in free.model_set} == {
+            frozenset({"a"}),
+            frozenset({"b"}),
+        }

@@ -1,0 +1,57 @@
+"""Unit tests for weighted degree-of-belief queries."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.weighted import WeightedKnowledgeBase
+from repro.errors import WeightError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+
+VOCAB = Vocabulary(["a", "b"])
+
+
+def _kb(weights):
+    return WeightedKnowledgeBase(
+        VOCAB, {VOCAB.mask_of(atoms): weight for atoms, weight in weights.items()}
+    )
+
+
+class TestDegreeOfBelief:
+    def test_entailed_formula_has_degree_one(self):
+        kb = _kb({frozenset({"a"}): 3, frozenset({"a", "b"}): 1})
+        assert kb.degree_of_belief(parse("a")) == 1
+
+    def test_excluded_formula_has_degree_zero(self):
+        kb = _kb({frozenset({"a"}): 3})
+        assert kb.degree_of_belief(parse("!a")) == 0
+
+    def test_partial_support_is_weight_fraction(self):
+        kb = _kb({frozenset({"a"}): 3, frozenset({"b"}): 1})
+        assert kb.degree_of_belief(parse("a")) == Fraction(3, 4)
+        assert kb.degree_of_belief(parse("b")) == Fraction(1, 4)
+
+    def test_additivity_over_disjoint_formulas(self):
+        kb = _kb({frozenset({"a"}): 2, frozenset({"b"}): 5, frozenset(): 3})
+        a_and_not_b = kb.degree_of_belief(parse("a & !b"))
+        not_a_and_b = kb.degree_of_belief(parse("!a & b"))
+        either = kb.degree_of_belief(parse("(a & !b) | (!a & b)"))
+        assert either == a_and_not_b + not_a_and_b
+
+    def test_complement_sums_to_one(self):
+        kb = _kb({frozenset({"a"}): 2, frozenset({"a", "b"}): 7, frozenset(): 1})
+        formula = parse("a <-> b")
+        assert kb.degree_of_belief(formula) + kb.degree_of_belief(
+            parse("!(a <-> b)")
+        ) == 1
+
+    def test_jury_majority_degree(self):
+        """The intro's 9-vs-2 jury: the majority account carries 9/11 of
+        the belief mass."""
+        kb = _kb({frozenset({"a"}): 9, frozenset({"b"}): 2})
+        assert kb.degree_of_belief(parse("a & !b")) == Fraction(9, 11)
+
+    def test_unsatisfiable_base_rejected(self):
+        with pytest.raises(WeightError):
+            WeightedKnowledgeBase.zero(VOCAB).degree_of_belief(parse("a"))

@@ -1,0 +1,130 @@
+"""Unit tests for the dilation-based operator implementations."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.fitting import ReveszFitting
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.operators.dilation import (
+    DilationDalalRevision,
+    DilationFitting,
+    ball,
+    dilate,
+)
+from repro.operators.revision import DalalRevision
+from repro.postulates.harness import all_model_sets
+
+from conftest import model_sets, nonempty_model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestDilate:
+    def test_single_point(self):
+        grown = dilate(ModelSet(VOCAB, [0b000]))
+        assert set(grown.masks) == {0b000, 0b001, 0b010, 0b100}
+
+    def test_empty_stays_empty(self):
+        assert dilate(ModelSet.empty(VOCAB)).is_empty
+
+    def test_universe_is_fixed_point(self):
+        universe = ModelSet.universe(VOCAB)
+        assert dilate(universe) == universe
+
+    def test_monotone(self):
+        ms = ModelSet(VOCAB, [0b101])
+        assert ms.issubset(dilate(ms))
+
+    @given(model_sets(VOCAB))
+    def test_iterated_dilation_is_ball_union(self, ms):
+        """k dilations of S = union of k-balls around S's members."""
+        twice = dilate(dilate(ms))
+        expected_masks: set[int] = set()
+        for mask in ms.masks:
+            expected_masks.update(ball(mask, 2, VOCAB).masks)
+        assert set(twice.masks) == expected_masks
+
+
+class TestBall:
+    def test_radius_zero(self):
+        assert ball(0b010, 0, VOCAB).masks == (0b010,)
+
+    def test_radius_one_size(self):
+        assert len(ball(0b000, 1, VOCAB)) == 4  # center + 3 flips
+
+    def test_full_radius_covers_space(self):
+        assert ball(0b101, VOCAB.size, VOCAB).is_universe
+
+
+class TestDilationDalal:
+    def test_exhaustive_equivalence_with_order_based(self):
+        """The two Dalal implementations agree on every scenario over two
+        atoms — the algorithmic cross-check."""
+        small = Vocabulary(["a", "b"])
+        order_based = DalalRevision()
+        dilation_based = DilationDalalRevision()
+        for psi in all_model_sets(small):
+            for mu in all_model_sets(small):
+                assert order_based.apply_models(psi, mu) == (
+                    dilation_based.apply_models(psi, mu)
+                ), (psi, mu)
+
+    @given(psi=nonempty_model_sets(VOCAB), mu=model_sets(VOCAB))
+    def test_property_equivalence_three_atoms(self, psi, mu):
+        assert DalalRevision().apply_models(psi, mu) == (
+            DilationDalalRevision().apply_models(psi, mu)
+        )
+
+    def test_empty_base_accepts_new(self):
+        mu = ModelSet(VOCAB, [1, 2])
+        assert DilationDalalRevision().apply_models(
+            ModelSet.empty(VOCAB), mu
+        ) == mu
+
+    def test_unsatisfiable_new_information(self):
+        psi = ModelSet(VOCAB, [0])
+        assert DilationDalalRevision().apply_models(
+            psi, ModelSet.empty(VOCAB)
+        ).is_empty
+
+
+class TestDilationFitting:
+    def test_exhaustive_equivalence_with_odist(self):
+        small = Vocabulary(["a", "b"])
+        order_based = ReveszFitting()
+        dilation_based = DilationFitting()
+        for psi in all_model_sets(small):
+            for mu in all_model_sets(small):
+                assert order_based.apply_models(psi, mu) == (
+                    dilation_based.apply_models(psi, mu)
+                ), (psi, mu)
+
+    @given(psi=nonempty_model_sets(VOCAB), mu=model_sets(VOCAB))
+    def test_property_equivalence_three_atoms(self, psi, mu):
+        assert ReveszFitting().apply_models(psi, mu) == (
+            DilationFitting().apply_models(psi, mu)
+        )
+
+    def test_axiom_a2(self):
+        mu = ModelSet(VOCAB, [3])
+        assert DilationFitting().apply_models(
+            ModelSet.empty(VOCAB), mu
+        ).is_empty
+
+    def test_example_3_1(self):
+        vocabulary = Vocabulary(["S", "D", "Q"])
+        psi = ModelSet(
+            vocabulary,
+            [
+                vocabulary.mask_of({"S"}),
+                vocabulary.mask_of({"D"}),
+                vocabulary.mask_of({"S", "D", "Q"}),
+            ],
+        )
+        mu = ModelSet(
+            vocabulary,
+            [vocabulary.mask_of({"D"}), vocabulary.mask_of({"S", "D"})],
+        )
+        result = DilationFitting().apply_models(psi, mu)
+        assert result.masks == (vocabulary.mask_of({"S", "D"}),)

@@ -1,0 +1,113 @@
+"""Unit tests for Theorem 3.2 (pairwise disjointness) and monotonicity."""
+
+import pytest
+
+from repro.core.arbitration import ArbitrationOperator
+from repro.core.fitting import LeximaxFitting, PriorityFitting, ReveszFitting, SumFitting
+from repro.logic.interpretation import Vocabulary
+from repro.operators.revision import (
+    BorgidaRevision,
+    DalalRevision,
+    SatohRevision,
+    WeberRevision,
+)
+from repro.operators.update import ForbusUpdate, WinslettUpdate
+from repro.postulates.harness import all_model_sets
+from repro.theorems.disjointness import (
+    all_witnesses,
+    witness_r1_r2_r3_u8,
+    witness_r2_a8,
+    witness_u2_u8_a8,
+)
+from repro.theorems.monotonicity import check_monotone
+
+VOCAB = Vocabulary(["a", "b"])
+
+EVERY_OPERATOR = [
+    DalalRevision(),
+    SatohRevision(),
+    BorgidaRevision(),
+    WeberRevision(),
+    WinslettUpdate(),
+    ForbusUpdate(),
+    ReveszFitting(),
+    PriorityFitting(),
+    SumFitting(),
+    LeximaxFitting(),
+    ArbitrationOperator(),
+]
+
+
+class TestWitnesses:
+    @pytest.mark.parametrize("operator", EVERY_OPERATOR, ids=lambda op: op.name)
+    def test_every_operator_has_all_three_witnesses(self, operator):
+        """Theorem 3.2: the axiom combos are jointly unsatisfiable, so every
+        operator — whatever its family — must fail at least one instance in
+        each scenario family."""
+        witnesses = all_witnesses(operator, VOCAB)
+        for combo, witness in witnesses.items():
+            assert witness is not None, f"{operator.name} refutes {combo}?!"
+
+    def test_revision_fails_a8_in_first_scenario(self):
+        """For a true revision operator, the failing axiom in the R2+A8
+        combo must be A8 itself (all R2 instances hold)."""
+        witness = witness_r2_a8(DalalRevision(), VOCAB)
+        assert witness is not None
+        assert witness.failed.axiom == "A8"
+
+    def test_fitting_fails_r2_in_first_scenario(self):
+        """For the loyal fitting operator the failing axiom must be R2."""
+        witness = witness_r2_a8(PriorityFitting(), VOCAB)
+        assert witness is not None
+        assert witness.failed.axiom == "R2"
+
+    def test_update_fails_a8_in_second_scenario(self):
+        witness = witness_u2_u8_a8(WinslettUpdate(), VOCAB)
+        assert witness is not None
+        assert witness.failed.axiom == "A8"
+
+    def test_revision_fails_u8_in_third_scenario(self):
+        witness = witness_r1_r2_r3_u8(DalalRevision(), VOCAB)
+        assert witness is not None
+        assert witness.failed.axiom == "U8"
+
+    def test_describe_mentions_combo(self):
+        witness = witness_r2_a8(DalalRevision(), VOCAB)
+        assert "R2" in witness.describe() and "A8" in witness.describe()
+
+    def test_third_scenario_requires_three_interpretations(self):
+        tiny = Vocabulary(["a"])  # only 2 interpretations: no 3 singletons
+        assert witness_r1_r2_r3_u8(DalalRevision(), tiny) is None
+
+
+class TestMonotonicity:
+    """KM: updates are monotone; Gärdenfors: non-trivial revisions are not."""
+
+    KBS = all_model_sets(VOCAB)
+
+    @pytest.mark.parametrize(
+        "operator", [WinslettUpdate(), ForbusUpdate()], ids=lambda op: op.name
+    )
+    def test_updates_are_monotone(self, operator):
+        assert check_monotone(operator, self.KBS, self.KBS) is None
+
+    @pytest.mark.parametrize(
+        "operator",
+        [DalalRevision(), SatohRevision(), BorgidaRevision()],
+        ids=lambda op: op.name,
+    )
+    def test_revisions_are_not_monotone(self, operator):
+        failure = check_monotone(operator, self.KBS, self.KBS)
+        assert failure is not None
+        assert failure.phi.issubset(failure.psi)
+        assert not failure.phi_result.issubset(failure.psi_result)
+
+    @pytest.mark.parametrize(
+        "operator",
+        [ReveszFitting(), PriorityFitting()],
+        ids=lambda op: op.name,
+    )
+    def test_fitting_operators_are_not_monotone(self, operator):
+        """Model-fitting considers the whole model set jointly, so growing
+        ψ can move the consensus — fitting is not monotone either."""
+        assert check_monotone(operator, self.KBS, self.KBS) is not None

@@ -1,0 +1,122 @@
+"""Unit tests for interpretation distances and aggregators."""
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.distances.aggregators import (
+    LeximaxAggregator,
+    LeximinAggregator,
+    MaxAggregator,
+    MinAggregator,
+    SumAggregator,
+)
+from repro.distances.base import (
+    DrasticDistance,
+    HammingDistance,
+    WeightedHammingDistance,
+    hamming,
+)
+from repro.errors import WeightError
+from repro.logic.interpretation import Vocabulary
+
+VOCAB = Vocabulary(["a", "b", "c", "d", "e"])
+
+
+class TestHamming:
+    def test_paper_example(self):
+        i = VOCAB.interpretation({"a", "b", "c"})
+        j = VOCAB.interpretation({"c", "d", "e"})
+        assert HammingDistance().between(i, j) == 4
+
+    def test_identity(self):
+        i = VOCAB.interpretation({"a"})
+        assert HammingDistance().between(i, i) == 0
+
+    def test_mask_level_function(self):
+        assert hamming(0b101, 0b011) == 2
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_metric_axioms(self, x, y, z):
+        metric = HammingDistance()
+        assert metric.between_masks(x, y, VOCAB) == metric.between_masks(y, x, VOCAB)
+        assert (metric.between_masks(x, y, VOCAB) == 0) == (x == y)
+        assert metric.between_masks(x, z, VOCAB) <= (
+            metric.between_masks(x, y, VOCAB) + metric.between_masks(y, z, VOCAB)
+        )
+
+
+class TestWeightedHamming:
+    def test_weights_applied(self):
+        metric = WeightedHammingDistance({"a": 3.0, "b": 0.5})
+        i = VOCAB.interpretation({"a", "b"})
+        j = VOCAB.interpretation(set())
+        assert metric.between(i, j) == 3.5
+
+    def test_unmentioned_atoms_weigh_one(self):
+        metric = WeightedHammingDistance({})
+        i = VOCAB.interpretation({"a", "c"})
+        j = VOCAB.interpretation({"c", "d"})
+        assert metric.between(i, j) == HammingDistance().between(i, j)
+
+    def test_zero_weight_erases_atom(self):
+        metric = WeightedHammingDistance({"a": 0.0})
+        i = VOCAB.interpretation({"a"})
+        j = VOCAB.interpretation(set())
+        assert metric.between(i, j) == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(WeightError):
+            WeightedHammingDistance({"a": -1.0})
+
+    def test_mask_interface(self):
+        metric = WeightedHammingDistance({"b": 2.0})
+        assert metric.between_masks(0b010, 0b000, VOCAB) == 2.0
+
+
+class TestDrastic:
+    def test_zero_iff_equal(self):
+        metric = DrasticDistance()
+        i = VOCAB.interpretation({"a"})
+        j = VOCAB.interpretation({"b"})
+        assert metric.between(i, i) == 0
+        assert metric.between(i, j) == 1
+
+    def test_mask_interface(self):
+        assert DrasticDistance().between_masks(3, 3, VOCAB) == 0
+        assert DrasticDistance().between_masks(3, 4, VOCAB) == 1
+
+
+class TestAggregators:
+    DISTANCES = [3, 1, 4, 1, 5]
+
+    def test_min(self):
+        assert MinAggregator().combine(self.DISTANCES) == 1
+
+    def test_max(self):
+        assert MaxAggregator().combine(self.DISTANCES) == 5
+
+    def test_sum(self):
+        assert SumAggregator().combine(self.DISTANCES) == 14
+
+    def test_leximax_sorts_descending(self):
+        assert LeximaxAggregator().combine(self.DISTANCES) == (5, 4, 3, 1, 1)
+
+    def test_leximin_sorts_ascending(self):
+        assert LeximinAggregator().combine(self.DISTANCES) == (1, 1, 3, 4, 5)
+
+    def test_leximax_refines_max(self):
+        """Equal max keys may still differ under leximax — never the
+        other way around."""
+        first, second = [5, 1], [5, 4]
+        assert MaxAggregator().combine(first) == MaxAggregator().combine(second)
+        assert LeximaxAggregator().combine(first) < LeximaxAggregator().combine(second)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=6))
+    def test_orderings_bracket_each_other(self, distances):
+        assert MinAggregator().combine(distances) <= MaxAggregator().combine(distances)
+        assert MaxAggregator().combine(distances) <= SumAggregator().combine(distances)

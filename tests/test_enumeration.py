@@ -1,0 +1,134 @@
+"""Unit tests for the enumeration engines and entailment helpers."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import VocabularyError
+from repro.logic.enumeration import (
+    DpllEngine,
+    TruthTableEngine,
+    cube_formula,
+    default_engine,
+    entails,
+    equivalent,
+    form_formula,
+    is_satisfiable,
+    is_valid,
+    models,
+)
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+from repro.logic.syntax import BOTTOM, TOP, Atom
+
+from conftest import formulas, model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestEngines:
+    @given(formulas())
+    def test_engines_agree(self, formula):
+        truth_table = TruthTableEngine().models(formula, VOCAB)
+        dpll = DpllEngine().models(formula, VOCAB)
+        assert truth_table == dpll
+
+    def test_vocabulary_must_cover_formula(self):
+        with pytest.raises(VocabularyError):
+            TruthTableEngine().models(Atom("z"), VOCAB)
+        with pytest.raises(VocabularyError):
+            DpllEngine().models(Atom("z"), VOCAB)
+
+    def test_default_engine_switches_on_size(self):
+        small = Vocabulary(["a"])
+        large = Vocabulary([f"p{i}" for i in range(23)])
+        assert isinstance(default_engine(small), TruthTableEngine)
+        assert isinstance(default_engine(large), DpllEngine)
+
+    def test_dpll_engine_scales_past_truth_table_limit(self):
+        """The truth-table engine refuses 30 atoms; DPLL handles them as
+        long as the model set itself is small (here: fully constrained)."""
+        large = Vocabulary([f"p{i}" for i in range(30)])
+        full = parse(
+            " & ".join(f"p{i}" if i % 2 == 0 else f"!p{i}" for i in range(30))
+        )
+        with pytest.raises(VocabularyError):
+            TruthTableEngine().models(full, large)
+        result = DpllEngine().models(full, large)
+        assert len(result) == 1
+        expected_mask = sum(1 << i for i in range(0, 30, 2))
+        assert result.masks == (expected_mask,)
+
+
+class TestModels:
+    def test_vocabulary_defaults_to_formula_atoms(self):
+        result = models(parse("x & y"))
+        assert result.vocabulary.atoms == ("x", "y")
+        assert len(result) == 1
+
+    def test_explicit_vocabulary_multiplies_models(self):
+        result = models(parse("a"), VOCAB)
+        assert len(result) == 4  # free b, c
+
+    def test_top_and_bottom(self):
+        assert models(TOP, VOCAB).is_universe
+        assert models(BOTTOM, VOCAB).is_empty
+
+
+class TestPredicates:
+    def test_is_satisfiable(self):
+        assert is_satisfiable(parse("a & !b"), VOCAB)
+        assert not is_satisfiable(parse("a & !a"), VOCAB)
+
+    def test_is_valid(self):
+        assert is_valid(parse("a | !a"), VOCAB)
+        assert not is_valid(parse("a"), VOCAB)
+
+    def test_entails(self):
+        assert entails(parse("a & b"), parse("a"), VOCAB)
+        assert not entails(parse("a"), parse("a & b"), VOCAB)
+
+    def test_entails_infers_joint_vocabulary(self):
+        assert entails(parse("x & y"), parse("x"))
+
+    def test_equivalent(self):
+        assert equivalent(parse("a -> b"), parse("!a | b"), VOCAB)
+        assert not equivalent(parse("a"), parse("b"), VOCAB)
+
+    @given(formulas(max_leaves=8))
+    def test_entailment_reflexive(self, formula):
+        assert entails(formula, formula, VOCAB)
+
+    @given(formulas(max_leaves=8))
+    def test_excluded_middle(self, formula):
+        from repro.logic.syntax import Not, disjoin
+
+        assert is_valid(disjoin([formula, Not(formula)]), VOCAB)
+
+
+class TestFormFormula:
+    def test_empty_is_bottom(self):
+        assert form_formula(ModelSet.empty(VOCAB)) == BOTTOM
+
+    def test_universe_is_top(self):
+        assert form_formula(ModelSet.universe(VOCAB)) == TOP
+
+    def test_cube_pins_single_interpretation(self):
+        interp = VOCAB.interpretation({"a", "c"})
+        cube = cube_formula(interp)
+        result = models(cube, VOCAB)
+        assert result.masks == (interp.mask,)
+
+    def test_form_from_interpretations_iterable(self):
+        interp = VOCAB.interpretation({"b"})
+        formula = form_formula([interp])
+        assert models(formula, VOCAB).masks == (interp.mask,)
+
+    def test_form_of_empty_iterable_is_bottom(self):
+        assert form_formula([]) == BOTTOM
+
+    @given(model_sets(VOCAB))
+    def test_round_trip_exact(self, ms):
+        """form(I₁..Iₖ) has exactly the given models — the property the
+        proof of Theorem 3.1 relies on."""
+        assert models(form_formula(ms), VOCAB) == ms

@@ -1,0 +1,89 @@
+"""Integration tests: every experiment driver reproduces the paper."""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_e1_intro_example,
+    run_e2_dalal_revision,
+    run_e3_classroom_fitting,
+    run_e4_weighted_classroom,
+    run_e5_characterization,
+    run_e6_disjointness,
+    run_e7_postulate_matrix,
+    run_e8_arbitration,
+    standard_operators,
+)
+from repro.bench.scaling import (
+    make_formula_workload,
+    make_model_set_workload,
+    measure_engine_crossover,
+    measure_operator_sweep,
+    run_workload,
+    scaling_operators,
+)
+
+FAST_DRIVERS = [
+    run_e1_intro_example,
+    run_e2_dalal_revision,
+    run_e3_classroom_fitting,
+    run_e4_weighted_classroom,
+    run_e5_characterization,
+    run_e6_disjointness,
+    run_e8_arbitration,
+]
+
+
+class TestExperimentDrivers:
+    @pytest.mark.parametrize(
+        "driver", FAST_DRIVERS, ids=lambda d: d.__name__
+    )
+    def test_all_rows_match_paper(self, driver):
+        result = driver()
+        assert result.all_match, result.describe()
+
+    def test_e7_matrix_matches_paper_and_finding(self):
+        result = run_e7_postulate_matrix()
+        assert result.all_match, result.describe()
+        assert "matrix" in result.extras
+
+    def test_describe_renders_rows(self):
+        result = run_e3_classroom_fitting()
+        text = result.describe()
+        assert "E3" in text and "odist" in text and "[OK ]" in text
+
+    def test_standard_operators_have_unique_names(self):
+        names = [operator.name for operator in standard_operators()]
+        assert len(names) == len(set(names))
+
+
+class TestScalingWorkloads:
+    def test_model_set_workload_deterministic(self):
+        first = make_model_set_workload(5, 4, 4, pairs=3, seed=1)
+        second = make_model_set_workload(5, 4, 4, pairs=3, seed=1)
+        assert first.pairs == second.pairs
+        assert "𝒯" in first.description
+
+    def test_formula_workload_shapes(self):
+        vocabulary, pairs = make_formula_workload(6, 8, 3, pairs=2, seed=0)
+        assert vocabulary.size == 6
+        assert len(pairs) == 2
+
+    def test_run_workload_returns_checksum(self):
+        workload = make_model_set_workload(4, 3, 3, pairs=2, seed=0)
+        for operator in scaling_operators():
+            checksum = run_workload(operator, workload)
+            assert checksum >= 0
+
+    def test_operator_sweep_rows(self):
+        rows = measure_operator_sweep(atom_counts=(4,), pairs=2)
+        operators = {row["operator"] for row in rows}
+        assert "dalal" in operators and "revesz-odist" in operators
+        for row in rows:
+            assert row["seconds"] >= 0
+
+    def test_engine_crossover_rows_agree(self):
+        rows = measure_engine_crossover(atom_counts=(4, 6))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["models"] >= 0
+            assert row["truth_table_seconds"] > 0

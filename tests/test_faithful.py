@@ -1,0 +1,92 @@
+"""Unit tests for faithful assignments (KM revision substrate)."""
+
+import pytest
+
+from repro.distances.base import DrasticDistance
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.orders.faithful import (
+    FaithfulAssignment,
+    check_faithful,
+    dalal_assignment,
+)
+from repro.orders.preorder import TotalPreorder
+from repro.postulates.harness import all_model_sets
+
+VOCAB = Vocabulary(["a", "b"])
+
+
+class TestDalalAssignment:
+    def test_models_have_rank_zero(self):
+        assignment = dalal_assignment()
+        kb = ModelSet(VOCAB, [0b01])
+        order = assignment.order_for(kb)
+        assert order.key_of_mask(0b01) == 0
+        assert order.key_of_mask(0b00) == 1
+        assert order.key_of_mask(0b11) == 1
+        assert order.key_of_mask(0b10) == 2
+
+    def test_distance_is_min_over_models(self):
+        assignment = dalal_assignment()
+        kb = ModelSet(VOCAB, [0b00, 0b11])
+        order = assignment.order_for(kb)
+        # Every interpretation is within distance 1 of {∅, {a,b}}.
+        assert order.key_of_mask(0b01) == 1
+        assert order.key_of_mask(0b10) == 1
+
+    def test_faithful_on_every_satisfiable_kb(self):
+        assignment = dalal_assignment()
+        for kb in all_model_sets(VOCAB, include_empty=False):
+            assert check_faithful(assignment, kb) is None
+
+    def test_faithful_three_atoms(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        assignment = dalal_assignment()
+        for kb in all_model_sets(vocabulary, include_empty=False):
+            assert check_faithful(assignment, kb) is None
+
+    def test_custom_distance(self):
+        assignment = dalal_assignment(DrasticDistance())
+        kb = ModelSet(VOCAB, [0b01])
+        order = assignment.order_for(kb)
+        # Drastic distance: everything not in the KB ties at distance 1.
+        assert order.equivalent_masks(0b00, 0b11)
+        assert order.lt_masks(0b01, 0b00)
+
+    def test_caching_returns_same_object(self):
+        assignment = dalal_assignment()
+        kb = ModelSet(VOCAB, [0b01])
+        assert assignment.order_for(kb) is assignment.order_for(kb)
+
+    def test_callable_alias(self):
+        assignment = dalal_assignment()
+        kb = ModelSet(VOCAB, [0b01])
+        assert assignment(kb) == assignment.order_for(kb)
+
+
+class TestCheckFaithful:
+    def test_detects_condition_one_violation(self):
+        """An order that splits the KB's own models violates condition 1."""
+
+        def builder(kb: ModelSet) -> TotalPreorder:
+            return TotalPreorder.from_key(kb.vocabulary, lambda mask: mask)
+
+        assignment = FaithfulAssignment(builder, name="bogus")
+        violation = check_faithful(assignment, ModelSet(VOCAB, [0, 1]))
+        assert violation is not None
+        assert violation.condition == 1
+
+    def test_detects_condition_two_violation(self):
+        """An all-ties order violates condition 2 (models must be strictly
+        below non-models)."""
+
+        def builder(kb: ModelSet) -> TotalPreorder:
+            return TotalPreorder.from_key(kb.vocabulary, lambda mask: 0)
+
+        assignment = FaithfulAssignment(builder, name="flat")
+        violation = check_faithful(assignment, ModelSet(VOCAB, [0]))
+        assert violation is not None
+        assert violation.condition == 2
+
+    def test_repr(self):
+        assert "dalal" in repr(dalal_assignment())

@@ -1,0 +1,149 @@
+"""Unit tests for the model-fitting operators (the paper's ▷)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.fitting import (
+    LeximaxFitting,
+    ModelFittingOperator,
+    PriorityFitting,
+    ReveszFitting,
+    SumFitting,
+)
+from repro.logic.enumeration import models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+from repro.operators.base import OperatorFamily
+from repro.orders.loyal import priority_distance_assignment
+
+from conftest import model_sets, nonempty_model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+ALL_FITTINGS = [ReveszFitting(), PriorityFitting(), SumFitting(), LeximaxFitting()]
+
+
+def _ms(*atom_sets):
+    return ModelSet(VOCAB, [VOCAB.mask_of(atoms) for atoms in atom_sets])
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("operator", ALL_FITTINGS, ids=lambda op: op.name)
+    def test_family_metadata(self, operator):
+        assert operator.family is OperatorFamily.MODEL_FITTING
+
+    @pytest.mark.parametrize("operator", ALL_FITTINGS, ids=lambda op: op.name)
+    def test_axiom_a2_unsatisfiable_base(self, operator):
+        """A2: nothing can be fitted to an unsatisfiable knowledge base."""
+        mu = _ms({"a"})
+        assert operator.apply_models(ModelSet.empty(VOCAB), mu).is_empty
+
+    @pytest.mark.parametrize("operator", ALL_FITTINGS, ids=lambda op: op.name)
+    @given(psi=nonempty_model_sets(VOCAB), mu=model_sets(VOCAB))
+    def test_axioms_a1_a3_propertywise(self, operator, psi, mu):
+        result = operator.apply_models(psi, mu)
+        assert result.issubset(mu)  # A1
+        assert result.is_empty == mu.is_empty  # A3 (ψ satisfiable here)
+
+    @pytest.mark.parametrize("operator", ALL_FITTINGS, ids=lambda op: op.name)
+    @given(psi=nonempty_model_sets(VOCAB), mu=model_sets(VOCAB))
+    def test_result_is_min_of_assignment_order(self, operator, psi, mu):
+        """Every fitting operator is Min-based (the Theorem 3.1 shape)."""
+        assert operator.apply_models(psi, mu) == operator.order_for(psi).minimal(mu)
+
+
+class TestReveszFitting:
+    def test_example_3_1(self):
+        vocabulary = Vocabulary(["S", "D", "Q"])
+        mu = parse("(!S & D & !Q) | (S & D & !Q)")
+        psi = parse("(S & !D & !Q) | (!S & D & !Q) | (S & D & Q)")
+        result = models(ReveszFitting().apply(psi, mu, vocabulary), vocabulary)
+        assert result.masks == (vocabulary.mask_of({"S", "D"}),)
+
+    def test_minimizes_worst_case_distance(self):
+        # ψ = {∅, abc}: candidate {a} has max-dist 2; ∅ has max-dist 3.
+        psi = _ms(set(), {"a", "b", "c"})
+        mu = _ms(set(), {"a"})
+        assert ReveszFitting().apply_models(psi, mu) == _ms({"a"})
+
+    def test_egalitarian_vs_dalal(self):
+        """The heart of arbitration: Dalal satisfies the nearest voice
+        perfectly; odist-fitting balances all voices."""
+        from repro.operators.revision import DalalRevision
+
+        psi = _ms(set(), {"a", "b", "c"})
+        mu = _ms(set(), {"a", "b"})
+        # odist: ∅ is 3 from {a,b,c}; {a,b} is at most 2 from either voice.
+        assert ReveszFitting().apply_models(psi, mu) == _ms({"a", "b"})
+        # Dalal picks ∅, a perfect match for one voice and terrible for the
+        # other — exactly the instructor-teaches-only-Datalog failure mode.
+        assert DalalRevision().apply_models(psi, mu) == _ms(set())
+
+    def test_known_a8_defect_scenario(self):
+        """The audit's A8 counterexample, replayed concretely (see
+        repro.orders.loyal): the combined fit fails to respect the joint
+        preference of the parts."""
+        operator = ReveszFitting()
+        psi1 = _ms(set())
+        psi2 = _ms({"a", "b", "c"}, {"b", "c"})
+        mu = _ms(set(), {"a"})
+        part1 = operator.apply_models(psi1, mu)
+        part2 = operator.apply_models(psi2, mu)
+        joint = part1.intersection(part2)
+        assert not joint.is_empty  # A8's precondition holds
+        combined = operator.apply_models(psi1.union(psi2), mu)
+        assert not combined.issubset(joint)  # ... and its conclusion fails
+
+
+class TestPriorityFitting:
+    def test_breaks_max_ties_deterministically(self):
+        psi = _ms(set(), {"a", "b", "c"})
+        mu = _ms({"a"}, {"b"})
+        # Both candidates have distance vector a permutation of (1, 2);
+        # the priority order consults ∅ first, where both are at 1 — then
+        # {a,b,c}, where both are at 2: a genuine tie, both kept.
+        assert PriorityFitting().apply_models(psi, mu) == mu
+
+    def test_satisfies_a8_on_the_odist_killer(self):
+        operator = PriorityFitting()
+        psi1 = _ms(set())
+        psi2 = _ms({"a", "b", "c"}, {"b", "c"})
+        mu = _ms(set(), {"a"})
+        joint = operator.apply_models(psi1, mu).intersection(
+            operator.apply_models(psi2, mu)
+        )
+        combined = operator.apply_models(psi1.union(psi2), mu)
+        if not joint.is_empty:
+            assert combined.issubset(joint)
+
+    def test_custom_assignment_operator(self):
+        custom = ModelFittingOperator(
+            priority_distance_assignment(priority=lambda mask: -mask),
+            name="reverse-priority",
+        )
+        assert custom.name == "reverse-priority"
+        psi = _ms(set(), {"a", "b"})
+        mu = _ms({"a"})
+        assert custom.apply_models(psi, mu) == mu
+
+
+class TestAblationVariants:
+    def test_sum_fitting_is_majoritarian(self):
+        # Two voices at ∅, one at abc: sum prefers staying at ∅.
+        psi = _ms(set(), {"a"}, {"a", "b", "c"})
+        mu = _ms(set(), {"a", "b", "c"})
+        result = SumFitting().apply_models(psi, mu)
+        # sums: ∅ -> 0+1+3 = 4; abc -> 3+2+0 = 5.
+        assert result == _ms(set())
+
+    def test_max_fitting_is_egalitarian_on_same_input(self):
+        psi = _ms(set(), {"a"}, {"a", "b", "c"})
+        mu = _ms(set(), {"a", "b", "c"})
+        # max: ∅ -> 3; abc -> 3: tie, both kept.
+        assert ReveszFitting().apply_models(psi, mu) == mu
+
+    def test_leximax_breaks_the_tie(self):
+        psi = _ms(set(), {"a"}, {"a", "b", "c"})
+        mu = _ms(set(), {"a", "b", "c"})
+        # sorted desc: ∅ -> (3,1,0); abc -> (3,2,0): ∅ wins.
+        assert LeximaxFitting().apply_models(psi, mu) == _ms(set())

@@ -1,0 +1,110 @@
+"""Unit tests for variable forgetting."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import VocabularyError
+from repro.logic.enumeration import entails, equivalent, models
+from repro.logic.forgetting import forget, forget_models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+
+from conftest import formulas, model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestForgetModels:
+    def test_forgetting_nothing_is_identity(self):
+        ms = ModelSet(VOCAB, [1, 5])
+        assert forget_models(ms, []) == ms
+
+    def test_forgetting_on_empty_set(self):
+        assert forget_models(ModelSet.empty(VOCAB), ["a"]).is_empty
+
+    def test_projection_expands_forgotten_atom(self):
+        ms = models(parse("a & b"), VOCAB)
+        projected = forget_models(ms, ["b"])
+        assert projected == models(parse("a"), VOCAB).intersection(
+            forget_models(ms, ["b"])
+        )
+        # Both b-values present for every kept pattern.
+        assert projected == models(parse("a"), VOCAB)
+
+    def test_unknown_atom_rejected(self):
+        with pytest.raises(VocabularyError):
+            forget_models(ModelSet(VOCAB, [0]), ["z"])
+
+    @given(model_sets(VOCAB))
+    def test_result_is_superset(self, ms):
+        assert ms.issubset(forget_models(ms, ["b"]))
+
+    @given(model_sets(VOCAB))
+    def test_idempotent(self, ms):
+        once = forget_models(ms, ["a", "c"])
+        assert forget_models(once, ["a", "c"]) == once
+
+    @given(model_sets(VOCAB))
+    def test_commutes_over_atoms(self, ms):
+        assert forget_models(forget_models(ms, ["a"]), ["b"]) == forget_models(
+            ms, ["a", "b"]
+        )
+
+    @given(model_sets(VOCAB))
+    def test_result_independent_of_forgotten_atom(self, ms):
+        projected = forget_models(ms, ["c"])
+        c_bit = 1 << VOCAB.index("c")
+        for mask in projected.masks:
+            assert (mask ^ c_bit) in projected
+
+
+class TestForgetFormula:
+    def test_simple_projection(self):
+        assert equivalent(forget(parse("a & b"), ["b"], VOCAB), parse("a"), VOCAB)
+
+    def test_disjunction_projection(self):
+        result = forget(parse("(a & c) | (b & !c)"), ["c"], VOCAB)
+        assert equivalent(result, parse("a | b"), VOCAB)
+
+    def test_vocabulary_defaults_to_formula_atoms(self):
+        result = forget(parse("x & y"), ["y"])
+        assert equivalent(result, parse("x"), Vocabulary(["x", "y"]))
+
+    @given(formulas(max_leaves=8))
+    def test_weakest_independent_consequence(self, formula):
+        """φ entails forget(φ, A), and the result is A-independent."""
+        result = forget(formula, ["b"], VOCAB)
+        assert entails(formula, result, VOCAB)
+        result_models = models(result, VOCAB)
+        b_bit = 1 << VOCAB.index("b")
+        for mask in result_models.masks:
+            assert (mask ^ b_bit) in result_models
+
+
+class TestWeberViaForgetting:
+    def test_weber_is_forget_then_conjoin(self):
+        """Weber's revision = forget the Satoh minimal-diff atoms in ψ,
+        then conjoin μ — verified against the direct implementation over
+        the exhaustive two-atom space."""
+        from repro.operators.revision import WeberRevision, _minimal_diff_sets
+        from repro.postulates.harness import all_model_sets
+
+        small = Vocabulary(["a", "b"])
+        operator = WeberRevision()
+        for psi in all_model_sets(small, include_empty=False):
+            for mu in all_model_sets(small, include_empty=False):
+                diffs = {
+                    m ^ p for m in mu.masks for p in psi.masks
+                }
+                minimal = _minimal_diff_sets(diffs)
+                forgotten_mask = 0
+                for diff in minimal:
+                    forgotten_mask |= diff
+                atom_names = [
+                    name
+                    for index, name in enumerate(small.atoms)
+                    if forgotten_mask & (1 << index)
+                ]
+                via_forgetting = forget_models(psi, atom_names).intersection(mu)
+                assert operator.apply_models(psi, mu) == via_forgetting, (psi, mu)

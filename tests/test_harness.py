@@ -1,0 +1,100 @@
+"""Unit tests for the postulate-checking harness and satisfaction matrix."""
+
+import pytest
+
+from repro.core.fitting import PriorityFitting, ReveszFitting
+from repro.logic.interpretation import Vocabulary
+from repro.operators.revision import DalalRevision
+from repro.operators.update import WinslettUpdate
+from repro.postulates.axioms import axiom_by_name
+from repro.postulates.harness import (
+    all_model_sets,
+    check_axiom,
+    exhaustive_scenarios,
+    sampled_scenarios,
+)
+from repro.postulates.matrix import compute_matrix, render_matrix
+
+VOCAB1 = Vocabulary(["a"])
+VOCAB2 = Vocabulary(["a", "b"])
+
+
+class TestScenarioSpaces:
+    def test_all_model_sets_counts(self):
+        assert len(all_model_sets(VOCAB1)) == 4
+        assert len(all_model_sets(VOCAB2)) == 16
+        assert len(all_model_sets(VOCAB2, include_empty=False)) == 15
+
+    def test_exhaustive_scenarios_count(self):
+        assert len(list(exhaustive_scenarios(VOCAB1, roles=2))) == 16
+        assert len(list(exhaustive_scenarios(VOCAB1, roles=3))) == 64
+
+    def test_sampled_scenarios_deterministic(self):
+        first = [s for s in sampled_scenarios(VOCAB2, 2, 10, rng=1)]
+        second = [s for s in sampled_scenarios(VOCAB2, 2, 10, rng=1)]
+        assert first == second
+
+    def test_sampled_scenarios_respect_exclusion(self):
+        for scenario in sampled_scenarios(VOCAB1, 2, 50, rng=0, include_empty=False):
+            assert all(not kb.is_empty for kb in scenario)
+
+
+class TestCheckAxiom:
+    def test_exhaustive_pass(self):
+        result = check_axiom(DalalRevision(), axiom_by_name("R2"), VOCAB2)
+        assert result.holds
+        assert result.exhaustive
+        assert result.scenarios_checked == 256
+
+    def test_exhaustive_fail_reports_counterexample(self):
+        result = check_axiom(ReveszFitting(), axiom_by_name("A8"), VOCAB1)
+        assert not result.holds
+        assert result.counterexample is not None
+        assert result.counterexample.axiom == "A8"
+
+    def test_sampled_mode_for_large_spaces(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        result = check_axiom(
+            DalalRevision(),
+            axiom_by_name("R5"),
+            vocabulary,
+            max_scenarios=200,
+            rng=3,
+        )
+        # Three roles over 256 KBs = 16M scenarios: must sample.
+        assert not result.exhaustive
+        assert result.scenarios_checked == 200
+        assert result.holds
+
+    def test_str_rendering(self):
+        result = check_axiom(DalalRevision(), axiom_by_name("R1"), VOCAB1)
+        text = str(result)
+        assert "R1" in text and "dalal" in text and "holds" in text
+
+
+class TestMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        operators = [DalalRevision(), WinslettUpdate(), PriorityFitting()]
+        return compute_matrix(operators, VOCAB2, max_scenarios=5000)
+
+    def test_family_verdicts(self, matrix):
+        assert matrix.family_verdict("dalal") == "revision"
+        assert matrix.family_verdict("winslett") == "update"
+        assert matrix.family_verdict("priority-lex") == "model-fitting"
+
+    def test_holds_lookup(self, matrix):
+        assert matrix.holds("dalal", "R2")
+        assert not matrix.holds("dalal", "A8")
+        assert matrix.holds("priority-lex", "A8")
+
+    def test_render_contains_all_operators(self, matrix):
+        text = render_matrix(matrix)
+        for name in ("dalal", "winslett", "priority-lex"):
+            assert name in text
+        assert "✓" in text and "✗" in text
+
+    def test_no_operator_straddles_families(self, matrix):
+        """Theorem 3.2 at the matrix level: verdicts are single families."""
+        for operator in matrix.operators:
+            assert "+" not in matrix.family_verdict(operator)

@@ -1,0 +1,172 @@
+"""Unit tests for IC merging (profiles, ΔΣ/ΔGMax/ΔMax, IC postulates)."""
+
+import pytest
+
+from repro.core.ic_merging import (
+    IC_AXIOMS,
+    GMaxMerge,
+    MaxMerge,
+    Profile,
+    SumMerge,
+    audit_ic_operator,
+    check_ic_axiom,
+)
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+
+VOCAB = Vocabulary(["a", "b"])
+VOCAB3 = Vocabulary(["S", "D", "Q"])
+
+
+def _ms(vocabulary, *atom_sets):
+    return ModelSet(vocabulary, [vocabulary.mask_of(atoms) for atoms in atom_sets])
+
+
+class TestProfile:
+    def test_requires_bases(self):
+        with pytest.raises(VocabularyError):
+            Profile([])
+
+    def test_vocabularies_must_match(self):
+        with pytest.raises(VocabularyError):
+            Profile([ModelSet(VOCAB, [0]), ModelSet(Vocabulary(["x"]), [0])])
+
+    def test_multiset_semantics(self):
+        base = ModelSet(VOCAB, [0])
+        assert Profile([base, base]) != Profile([base])
+        assert Profile([base, base]) == Profile([base, base])
+
+    def test_order_irrelevant(self):
+        first = ModelSet(VOCAB, [0])
+        second = ModelSet(VOCAB, [3])
+        assert Profile([first, second]) == Profile([second, first])
+
+    def test_combine_concatenates(self):
+        base = ModelSet(VOCAB, [0])
+        combined = Profile([base]).combine(Profile([base]))
+        assert len(combined) == 2
+
+    def test_conjunction(self):
+        profile = Profile([ModelSet(VOCAB, [0, 1]), ModelSet(VOCAB, [1, 2])])
+        assert profile.conjunction().masks == (1,)
+
+
+class TestMergeSemantics:
+    def test_agreement_wins(self):
+        profile = Profile([_ms(VOCAB, {"a"}), _ms(VOCAB, {"a"}, {"b"})])
+        constraint = ModelSet.universe(VOCAB)
+        for operator in (SumMerge(), GMaxMerge(), MaxMerge()):
+            assert operator.merge(profile, constraint) == _ms(VOCAB, {"a"})
+
+    def test_constraint_restricts(self):
+        profile = Profile([_ms(VOCAB, {"a"})])
+        constraint = _ms(VOCAB, {"b"}, set())
+        result = SumMerge().merge(profile, constraint)
+        assert result.issubset(constraint)
+        assert result == _ms(VOCAB, set())  # ∅ is 1 flip away, {b} is 2
+
+    def test_unsatisfiable_constraint(self):
+        profile = Profile([_ms(VOCAB, {"a"})])
+        assert SumMerge().merge(profile, ModelSet.empty(VOCAB)).is_empty
+
+    def test_vocabulary_mismatch_rejected(self):
+        profile = Profile([_ms(VOCAB, {"a"})])
+        with pytest.raises(VocabularyError):
+            SumMerge().merge(profile, ModelSet.empty(Vocabulary(["x"])))
+
+    def test_majority_vs_arbitration_split(self):
+        """The classic 2-vs-1 profile: Σ follows the majority, GMax keeps
+        the balance."""
+        two_for = _ms(VOCAB, {"a"})
+        one_against = _ms(VOCAB, set())
+        profile = Profile([two_for, two_for, one_against])
+        constraint = ModelSet.universe(VOCAB)
+        assert SumMerge().merge(profile, constraint) == two_for
+        gmax = GMaxMerge().merge(profile, constraint)
+        # GMax: {a}: (1,0,0); ∅: (1,1,... wait — per-base distances:
+        # {a}: to two_for 0,0, to against 1 -> sorted (1,0,0);
+        # ∅: (1,1,0) -> {a} still wins (more egalitarian AND majority here).
+        assert gmax == two_for
+
+    def test_classroom_as_profile_merge(self):
+        """Example 3.1 recast: each student a base, constraint = the
+        instructor's offer.  GMax (arbitration family) picks {S,D}, like
+        the paper's odist; Σ (majority family) also picks {S,D} here."""
+        students = Profile(
+            [
+                _ms(VOCAB3, {"S"}),
+                _ms(VOCAB3, {"D"}),
+                _ms(VOCAB3, {"S", "D", "Q"}),
+            ]
+        )
+        offer = _ms(VOCAB3, {"D"}, {"S", "D"})
+        assert GMaxMerge().merge(students, offer) == _ms(VOCAB3, {"S", "D"})
+        assert SumMerge().merge(students, offer) == _ms(VOCAB3, {"S", "D"})
+
+    def test_weighted_classroom_as_repeated_bases(self):
+        """Example 4.1 recast: repeat each student base by its head count —
+        ΔΣ reproduces the weighted wdist outcome {D}."""
+        bases = (
+            [_ms(VOCAB3, {"S"})] * 10
+            + [_ms(VOCAB3, {"D"})] * 20
+            + [_ms(VOCAB3, {"S", "D", "Q"})] * 5
+        )
+        offer = _ms(VOCAB3, {"D"}, {"S", "D"})
+        assert SumMerge().merge(Profile(bases), offer) == _ms(VOCAB3, {"D"})
+
+
+class TestIcPostulates:
+    @pytest.mark.parametrize("axiom", IC_AXIOMS, ids=lambda a: a.name)
+    @pytest.mark.parametrize(
+        "operator", [SumMerge(), GMaxMerge()], ids=lambda op: op.name
+    )
+    def test_sum_and_gmax_satisfy_all(self, operator, axiom):
+        counterexample = check_ic_axiom(operator, axiom, VOCAB, scenarios=300)
+        assert counterexample is None, str(counterexample)
+
+    def test_max_fails_ic6(self):
+        """The profile-level reflection of the paper's A8 defect: the max
+        aggregate loses strict preferences in ties."""
+        counterexample = check_ic_axiom(
+            MaxMerge(), next(a for a in IC_AXIOMS if a.name == "IC6"), VOCAB,
+            scenarios=400,
+        )
+        assert counterexample is not None
+        assert counterexample.axiom == "IC6"
+
+    def test_max_satisfies_the_rest(self):
+        audit = audit_ic_operator(MaxMerge(), VOCAB, scenarios=300)
+        failures = {name for name, ce in audit.items() if ce is not None}
+        assert failures == {"IC6"}
+
+    def test_explicit_ic6_counterexample_for_max(self):
+        """Hand-built minimal violation: E₁ = {{∅}}, E₂ = {{∅}, {a}},
+        μ = {∅, {a}} over 𝒯 = {a, b}.
+
+        Δ_μ(E₁) = {∅}; Δ_μ(E₂): ∅ has per-base distances (0, 1), {a} has
+        (1, 0) — max ties at 1, both kept.  The joint is {∅}, consistent.
+        But E₁ ⊔ E₂ = {{∅}, {∅}, {a}}: ∅ scores max(0, 0, 1) = 1, {a}
+        scores max(1, 1, 0) = 1 — tie again, so the combined merge keeps
+        {a} too, violating IC6.  Exactly the A8 tie-hides-strict pattern."""
+        operator = MaxMerge()
+        base_empty = _ms(VOCAB, set())
+        base_a = _ms(VOCAB, {"a"})
+        mu = _ms(VOCAB, set(), {"a"})
+        profile1 = Profile([base_empty])
+        profile2 = Profile([base_empty, base_a])
+        joint = operator.merge(profile1, mu).intersection(
+            operator.merge(profile2, mu)
+        )
+        assert joint == base_empty  # consistent: IC6's premise holds
+        combined = operator.merge(profile1.combine(profile2), mu)
+        assert not combined.issubset(joint)  # ... and its conclusion fails
+        # ΔΣ and ΔGMax handle the same instance correctly.
+        for sound in (SumMerge(), GMaxMerge()):
+            joint_sound = sound.merge(profile1, mu).intersection(
+                sound.merge(profile2, mu)
+            )
+            if not joint_sound.is_empty:
+                assert sound.merge(
+                    profile1.combine(profile2), mu
+                ).issubset(joint_sound)

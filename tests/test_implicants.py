@@ -1,0 +1,113 @@
+"""Unit tests for prime implicants and formula minimization."""
+
+from hypothesis import given
+
+from repro.logic.enumeration import models
+from repro.logic.implicants import (
+    minimal_cover,
+    minimal_formula,
+    prime_implicants,
+)
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+from repro.logic.syntax import BOTTOM, TOP, Atom, formula_size
+
+from conftest import model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestPrimeImplicants:
+    def test_empty_set_has_none(self):
+        assert prime_implicants(ModelSet.empty(VOCAB)) == []
+
+    def test_universe_has_unconstrained_prime(self):
+        assert prime_implicants(ModelSet.universe(VOCAB)) == [(0, 0)]
+
+    def test_single_model_is_its_own_prime(self):
+        ms = ModelSet(VOCAB, [0b101])
+        assert prime_implicants(ms) == [(0b111, 0b101)]
+
+    def test_adjacent_models_merge(self):
+        # {a}, {a,b}: b is don't-care, a fixed true, c fixed false.
+        ms = ModelSet(VOCAB, [0b001, 0b011])
+        assert prime_implicants(ms) == [(0b101, 0b001)]
+
+    def test_classic_consensus_shape(self):
+        # Mod(a&b | !a&c) — primes include the consensus term b&c.
+        ms = models(parse("(a & b) | (!a & c)"), VOCAB)
+        primes = prime_implicants(ms)
+        # b&c (fixed b,c true; a free) must be among the primes.
+        assert (0b110, 0b110) in primes
+        assert len(primes) == 3
+
+    def test_primes_lie_inside_model_set(self):
+        ms = models(parse("a -> (b & c)"), VOCAB)
+        for fixed, value in prime_implicants(ms):
+            for mask in range(8):
+                if (mask & fixed) == value:
+                    assert mask in ms
+
+
+class TestMinimalCover:
+    def test_cover_covers_exactly(self):
+        ms = models(parse("(a & b) | (!a & c)"), VOCAB)
+        cover = minimal_cover(ms)
+        covered = {
+            mask
+            for mask in range(8)
+            for fixed, value in cover
+            if (mask & fixed) == value
+        }
+        assert covered == set(ms.masks)
+
+    def test_consensus_term_excluded_from_cover(self):
+        # b&c is a prime of (a&b | !a&c) but never needed in a cover.
+        ms = models(parse("(a & b) | (!a & c)"), VOCAB)
+        cover = minimal_cover(ms)
+        assert (0b110, 0b110) not in cover
+        assert len(cover) == 2
+
+    def test_empty(self):
+        assert minimal_cover(ModelSet.empty(VOCAB)) == []
+
+
+class TestMinimalFormula:
+    def test_constants(self):
+        assert minimal_formula(ModelSet.empty(VOCAB)) == BOTTOM
+        assert minimal_formula(ModelSet.universe(VOCAB)) == TOP
+
+    def test_single_atom_recovered(self):
+        ms = models(parse("a"), VOCAB)
+        assert minimal_formula(ms) == Atom("a")
+
+    def test_negated_atom_recovered(self):
+        from repro.logic.syntax import Not
+
+        ms = models(parse("!b"), VOCAB)
+        assert minimal_formula(ms) == Not(Atom("b"))
+
+    @given(model_sets(VOCAB))
+    def test_exactly_the_given_models(self, ms):
+        assert models(minimal_formula(ms), VOCAB) == ms
+
+    @given(model_sets(VOCAB))
+    def test_never_larger_than_full_form(self, ms):
+        from repro.logic.enumeration import form_formula
+
+        assert formula_size(minimal_formula(ms)) <= formula_size(form_formula(ms))
+
+    def test_operator_results_read_compactly(self):
+        """The motivating use: arbitration output over the intro example
+        minimizes to a readable formula."""
+        from repro.core.arbitration import ArbitrationOperator
+
+        vocabulary = Vocabulary(["A", "B", "C"])
+        psi = models(parse("A & B & (A & B -> C)"), vocabulary)
+        phi = models(parse("!C"), vocabulary)
+        consensus = ArbitrationOperator().apply_models(psi, phi)
+        compact = minimal_formula(consensus)
+        assert models(compact, vocabulary) == consensus
+        # (A & !C) | (B & !C) — 9 nodes, versus 3 full cubes (~20 nodes).
+        assert formula_size(compact) <= 9

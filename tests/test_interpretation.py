@@ -1,0 +1,165 @@
+"""Unit tests for vocabularies and interpretations."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Interpretation, Vocabulary
+
+
+class TestVocabulary:
+    def test_atoms_preserve_order(self):
+        vocabulary = Vocabulary(["x", "a", "m"])
+        assert vocabulary.atoms == ("x", "a", "m")
+
+    def test_duplicate_atoms_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(["a", "a"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary([""])
+
+    def test_size_and_count(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        assert vocabulary.size == 3
+        assert vocabulary.interpretation_count == 8
+
+    def test_empty_vocabulary_has_one_interpretation(self):
+        vocabulary = Vocabulary([])
+        assert vocabulary.interpretation_count == 1
+        assert len(list(vocabulary.all_interpretations())) == 1
+
+    def test_index_lookup(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert vocabulary.index("b") == 1
+
+    def test_index_missing_atom(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(["a"]).index("z")
+
+    def test_contains(self):
+        vocabulary = Vocabulary(["a"])
+        assert "a" in vocabulary
+        assert "z" not in vocabulary
+
+    def test_mask_round_trip(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        mask = vocabulary.mask_of({"a", "c"})
+        assert mask == 0b101
+        assert vocabulary.atoms_of_mask(mask) == frozenset({"a", "c"})
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary(["a"]).atoms_of_mask(5)
+
+    def test_from_formulas_sorts_atoms(self):
+        from repro.logic.parser import parse
+
+        vocabulary = Vocabulary.from_formulas(parse("z & b"), parse("a"))
+        assert vocabulary.atoms == ("a", "b", "z")
+
+    def test_union(self):
+        left = Vocabulary(["a", "b"])
+        right = Vocabulary(["b", "c"])
+        assert left.union(right).atoms == ("a", "b", "c")
+
+    def test_union_identical_returns_self(self):
+        vocabulary = Vocabulary(["a"])
+        assert vocabulary.union(Vocabulary(["a"])) is vocabulary
+
+    def test_extended_keeps_positions(self):
+        vocabulary = Vocabulary(["x", "a"])
+        extended = vocabulary.extended(["m", "a"])
+        assert extended.atoms == ("x", "a", "m")
+
+    def test_equality_and_hash(self):
+        assert Vocabulary(["a", "b"]) == Vocabulary(["a", "b"])
+        assert Vocabulary(["a", "b"]) != Vocabulary(["b", "a"])
+        assert hash(Vocabulary(["a"])) == hash(Vocabulary(["a"]))
+
+    def test_all_interpretations_in_mask_order(self):
+        vocabulary = Vocabulary(["a", "b"])
+        masks = [interp.mask for interp in vocabulary.all_interpretations()]
+        assert masks == [0, 1, 2, 3]
+
+
+class TestInterpretation:
+    def test_construction_from_atoms(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        interp = vocabulary.interpretation({"a", "c"})
+        assert interp.mask == 0b101
+
+    def test_out_of_range_mask_rejected(self):
+        with pytest.raises(VocabularyError):
+            Interpretation(Vocabulary(["a"]), 2)
+
+    def test_true_and_false_atoms(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        interp = vocabulary.interpretation({"b"})
+        assert interp.true_atoms == frozenset({"b"})
+        assert interp.false_atoms == frozenset({"a", "c"})
+
+    def test_value_and_contains(self):
+        vocabulary = Vocabulary(["a", "b"])
+        interp = vocabulary.interpretation({"a"})
+        assert interp.value("a") and not interp.value("b")
+        assert "a" in interp and "b" not in interp
+
+    def test_contains_unknown_atom_is_false(self):
+        vocabulary = Vocabulary(["a"])
+        assert "z" not in vocabulary.interpretation({"a"})
+
+    def test_iteration_in_vocabulary_order(self):
+        vocabulary = Vocabulary(["x", "a"])
+        interp = vocabulary.interpretation({"a", "x"})
+        assert list(interp) == ["x", "a"]
+
+    def test_len_counts_true_atoms(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        assert len(vocabulary.interpretation({"a", "c"})) == 2
+
+    def test_symmetric_difference(self):
+        vocabulary = Vocabulary(["a", "b", "c", "d", "e"])
+        i = vocabulary.interpretation({"a", "b", "c"})
+        j = vocabulary.interpretation({"c", "d", "e"})
+        assert i.symmetric_difference(j) == frozenset({"a", "b", "d", "e"})
+
+    def test_hamming_distance_paper_example(self):
+        """Section 2: dist({A,B,C}, {C,D,E}) = 4."""
+        vocabulary = Vocabulary(["A", "B", "C", "D", "E"])
+        i = vocabulary.interpretation({"A", "B", "C"})
+        j = vocabulary.interpretation({"C", "D", "E"})
+        assert i.hamming_distance(j) == 4
+
+    def test_distance_across_vocabularies_rejected(self):
+        i = Vocabulary(["a"]).interpretation({"a"})
+        j = Vocabulary(["b"]).interpretation(set())
+        with pytest.raises(VocabularyError):
+            i.hamming_distance(j)
+
+    def test_flipped(self):
+        vocabulary = Vocabulary(["a", "b"])
+        interp = vocabulary.interpretation({"a"})
+        assert interp.flipped("b").true_atoms == frozenset({"a", "b"})
+        assert interp.flipped("a").true_atoms == frozenset()
+
+    def test_restricted_to_subvocabulary(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        interp = vocabulary.interpretation({"a", "c"})
+        restricted = interp.restricted_to(Vocabulary(["c", "z"]))
+        assert restricted.true_atoms == frozenset({"c"})
+
+    def test_ordering_by_mask(self):
+        vocabulary = Vocabulary(["a", "b"])
+        lo = vocabulary.interpretation(set())
+        hi = vocabulary.interpretation({"b"})
+        assert lo < hi
+
+    def test_equality_requires_same_vocabulary(self):
+        a = Vocabulary(["a"]).interpretation({"a"})
+        b = Vocabulary(["b"]).interpretation({"b"})
+        assert a != b
+
+    def test_repr_shows_true_atoms(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert repr(vocabulary.interpretation({"a"})) == "{a}"

@@ -1,0 +1,142 @@
+"""Unit tests for iterated arbitration (deliberation dynamics)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.fitting import PriorityFitting
+from repro.core.iterated import (
+    Trace,
+    fold_arbitration,
+    iterate_arbitration,
+    order_sensitivity,
+)
+from repro.errors import OperatorError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+
+from conftest import nonempty_model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+def _ms(*atom_sets):
+    return ModelSet(VOCAB, [VOCAB.mask_of(atoms) for atoms in atom_sets])
+
+
+class TestTrace:
+    def test_properties(self):
+        states = (_ms(set()), _ms({"a"}), _ms({"a"}))
+        trace = Trace(states)
+        assert trace.initial == states[0]
+        assert trace.final == states[-1]
+        assert trace.rounds == 2
+        assert trace.converged
+
+    def test_not_converged_when_still_moving(self):
+        trace = Trace((_ms(set()), _ms({"a"})))
+        assert not trace.converged
+
+    def test_cycle_length_fixed_point(self):
+        trace = Trace((_ms(set()), _ms({"a"}), _ms({"a"})))
+        assert trace.cycle_length == 1
+
+    def test_cycle_length_two_cycle(self):
+        trace = Trace((_ms(set()), _ms({"a"}), _ms(set())))
+        assert trace.cycle_length == 2
+
+    def test_cycle_length_none_without_repeat(self):
+        trace = Trace((_ms(set()), _ms({"a"}), _ms({"b"})))
+        assert trace.cycle_length is None
+
+
+class TestIterateArbitration:
+    def test_agreeing_input_is_immediate_fixed_point(self):
+        psi = _ms({"a"})
+        trace = iterate_arbitration(psi, psi)
+        assert trace.converged
+        assert trace.final == psi
+
+    def test_converges_within_bound(self):
+        psi = _ms({"a", "b", "c"})
+        phi = _ms(set())
+        trace = iterate_arbitration(psi, phi, max_rounds=16)
+        assert trace.converged
+        # The consensus settles on the distance-balanced middle shell and
+        # arbitrating it with φ again does not move it.
+        assert trace.final == iterate_arbitration(trace.final, phi).final
+
+    @given(psi=nonempty_model_sets(VOCAB), phi=nonempty_model_sets(VOCAB))
+    def test_states_never_empty_for_satisfiable_inputs(self, psi, phi):
+        trace = iterate_arbitration(psi, phi, max_rounds=8)
+        for state in trace.states[1:]:
+            assert not state.is_empty
+
+    @given(psi=nonempty_model_sets(VOCAB), phi=nonempty_model_sets(VOCAB))
+    def test_eventually_periodic(self, psi, phi):
+        """Long runs must revisit a state (finite space); empirically the
+        cycle is short."""
+        trace = iterate_arbitration(psi, phi, max_rounds=40)
+        assert trace.cycle_length is not None
+        assert trace.cycle_length <= 4
+
+    def test_custom_fitting(self):
+        psi = _ms({"a", "b", "c"})
+        phi = _ms(set())
+        trace = iterate_arbitration(psi, phi, fitting=PriorityFitting())
+        assert trace.converged
+
+
+class TestFoldArbitration:
+    def test_single_source(self):
+        trace = fold_arbitration([_ms({"a"})])
+        assert trace.rounds == 0
+        assert trace.final == _ms({"a"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(OperatorError):
+            fold_arbitration([])
+
+    def test_incremental_states_recorded(self):
+        sources = [_ms({"a"}), _ms({"b"}), _ms({"c"})]
+        trace = fold_arbitration(sources)
+        assert trace.rounds == 2
+        assert len(trace.states) == 3
+
+    def test_two_sources_match_binary_arbitration(self):
+        from repro.core.arbitration import ArbitrationOperator
+
+        psi, phi = _ms({"a"}), _ms({"b", "c"})
+        trace = fold_arbitration([psi, phi])
+        assert trace.final == ArbitrationOperator().apply_models(psi, phi)
+
+
+class TestOrderSensitivity:
+    def test_empty_rejected(self):
+        with pytest.raises(OperatorError):
+            order_sensitivity([])
+
+    def test_single_source_trivially_insensitive(self):
+        report = order_sensitivity([_ms({"a"})])
+        assert report["distinct_outcomes"] == 1
+
+    def test_fold_is_order_dependent_somewhere(self):
+        """Arbitration is commutative but not associative: three suitable
+        voices yield different folds under different orders."""
+        sources = [_ms(set()), _ms({"a", "b", "c"}), _ms({"a"})]
+        report = order_sensitivity(sources)
+        assert report["distinct_outcomes"] >= 2
+
+    def test_simultaneous_merge_is_order_independent(self):
+        from repro.core.arbitration import ArbitrationOperator
+
+        operator = ArbitrationOperator()
+        sources = [_ms(set()), _ms({"a", "b", "c"}), _ms({"a"})]
+        forward = operator.merge_models(sources)
+        backward = operator.merge_models(list(reversed(sources)))
+        assert forward == backward
+
+    def test_report_contains_simultaneous_result(self):
+        sources = [_ms({"a"}), _ms({"b"})]
+        report = order_sensitivity(sources)
+        assert not report["simultaneous"].is_empty
+        assert isinstance(report["simultaneous_reachable"], bool)

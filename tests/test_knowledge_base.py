@@ -1,0 +1,122 @@
+"""Unit tests for the KnowledgeBase façade."""
+
+import pytest
+
+from repro.core.fitting import PriorityFitting
+from repro.errors import VocabularyError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.logic.enumeration import equivalent
+from repro.logic.parser import parse
+
+
+class TestConstruction:
+    def test_from_string(self):
+        kb = KnowledgeBase("a & b")
+        assert kb.satisfiable
+        assert kb.vocabulary.atoms == ("a", "b")
+
+    def test_from_formula(self):
+        kb = KnowledgeBase(parse("a | b"))
+        assert len(kb.model_set) == 3
+
+    def test_explicit_atoms_extend_universe(self):
+        kb = KnowledgeBase("a", atoms=["a", "b", "c"])
+        assert len(kb.model_set) == 4  # b, c free
+
+    def test_atoms_must_cover_formula(self):
+        with pytest.raises(VocabularyError):
+            KnowledgeBase("a & z", atoms=["a"])
+
+    def test_unsatisfiable_kb(self):
+        kb = KnowledgeBase("a & !a")
+        assert not kb.satisfiable
+
+
+class TestQueries:
+    def test_entails(self):
+        kb = KnowledgeBase("a & b")
+        assert kb.entails("a")
+        assert kb.entails(parse("a | b"))
+        assert not kb.entails("!a")
+
+    def test_consistent_with(self):
+        kb = KnowledgeBase("a | b")
+        assert kb.consistent_with("a & !b")
+        assert not kb.consistent_with("!a & !b")
+
+    def test_to_formula_is_equivalent_to_source(self):
+        kb = KnowledgeBase("a -> b", atoms=["a", "b"])
+        assert equivalent(kb.to_formula(), parse("a -> b"), kb.vocabulary)
+
+
+class TestChanges:
+    def test_revise_consistent_adds(self):
+        kb = KnowledgeBase("a", atoms=["a", "b"]).revise("b")
+        assert kb.entails("a & b")
+
+    def test_revise_inconsistent_minimal_change(self):
+        kb = KnowledgeBase("a & b").revise("!a")
+        assert kb.entails("!a & b")
+
+    def test_update_per_model(self):
+        kb = KnowledgeBase("(a & !b) | (!a & b)").update("a")
+        assert kb.entails("a")
+        assert kb.consistent_with("b")  # the magazine survives
+
+    def test_fit_uses_odist(self):
+        kb = KnowledgeBase(
+            "(S & !D & !Q) | (!S & D & !Q) | (S & D & Q)", atoms=["S", "D", "Q"]
+        )
+        fitted = kb.fit("(!S & D & !Q) | (S & D & !Q)")
+        assert fitted.entails("S & D & !Q")
+
+    def test_arbitrate_is_commutative_semantically(self):
+        left = KnowledgeBase("a & b", atoms=["a", "b"]).arbitrate("!a & !b")
+        right = KnowledgeBase("!a & !b", atoms=["a", "b"]).arbitrate("a & b")
+        assert left.model_set == right.model_set
+
+    def test_changes_are_pure(self):
+        original = KnowledgeBase("a & b")
+        original.revise("!a")
+        assert original.entails("a & b")  # untouched
+
+    def test_custom_fitting_operator(self):
+        kb = KnowledgeBase("a & b", fitting=PriorityFitting())
+        changed = kb.arbitrate("!a & !b")
+        assert changed.satisfiable
+
+    def test_change_keeps_vocabulary(self):
+        kb = KnowledgeBase("a", atoms=["a", "b", "c"]).revise("b")
+        assert kb.vocabulary.atoms == ("a", "b", "c")
+
+
+class TestHistory:
+    def test_history_accumulates(self):
+        kb = KnowledgeBase("a & b").revise("!a").update("a | b")
+        assert len(kb.history) == 2
+        assert kb.history[0].operation == "revise"
+        assert kb.history[1].operation == "update"
+
+    def test_history_records_model_counts(self):
+        kb = KnowledgeBase("a & b").arbitrate("!a & !b")
+        record = kb.history[0]
+        assert len(record.before) == 1
+        assert len(record.after) == len(kb.model_set)
+        assert "arbitrate" in str(record)
+
+    def test_original_has_empty_history(self):
+        assert KnowledgeBase("a").history == ()
+
+
+class TestValueSemantics:
+    def test_equality_by_models(self):
+        assert KnowledgeBase("a & b") == KnowledgeBase("b & a")
+        assert KnowledgeBase("a", atoms=["a", "b"]) != KnowledgeBase(
+            "a & b", atoms=["a", "b"]
+        )
+
+    def test_hashable(self):
+        assert len({KnowledgeBase("a & b"), KnowledgeBase("b & a")}) == 1
+
+    def test_repr_mentions_atoms(self):
+        assert "atoms=" in repr(KnowledgeBase("a"))

@@ -1,0 +1,112 @@
+"""Unit tests for heterogeneous-source merging."""
+
+import pytest
+
+from repro.core.fitting import PriorityFitting
+from repro.errors import VocabularyError
+from repro.kb.merge import MergeSession
+
+
+class TestSessionSetup:
+    def test_add_sources(self):
+        session = MergeSession(["a", "b"])
+        session.add("x", "a")
+        session.add("y", "!a & b", weight=3)
+        assert len(session.sources) == 2
+        assert session.sources[1].weight == 3
+
+    def test_duplicate_name_rejected(self):
+        session = MergeSession(["a"])
+        session.add("x", "a")
+        with pytest.raises(VocabularyError):
+            session.add("x", "!a")
+
+    def test_atoms_outside_universe_rejected(self):
+        session = MergeSession(["a"])
+        with pytest.raises(VocabularyError):
+            session.add("x", "a & z")
+
+    def test_merge_without_sources_rejected(self):
+        with pytest.raises(VocabularyError):
+            MergeSession(["a"]).merge()
+        with pytest.raises(VocabularyError):
+            MergeSession(["a"]).merge_weighted()
+
+
+class TestUnweightedMerge:
+    def test_classroom_consensus(self):
+        session = MergeSession(["S", "D", "Q"])
+        session.add("alice", "S & !D & !Q")
+        session.add("bob", "!S & D & !Q")
+        session.add("carol", "S & D & Q")
+        report = session.merge()
+        consensus_atoms = {
+            frozenset(interp.true_atoms) for interp in report.consensus_models
+        }
+        assert frozenset({"S", "D"}) in consensus_atoms
+
+    def test_agreeing_sources(self):
+        session = MergeSession(["a", "b"])
+        session.add("x", "a & b")
+        session.add("y", "a & b")
+        report = session.merge()
+        assert [interp.true_atoms for interp in report.consensus_models] == [
+            frozenset({"a", "b"})
+        ]
+        assert report.satisfied_count == 2
+
+    def test_per_source_distances(self):
+        session = MergeSession(["a", "b"])
+        session.add("x", "a & b")
+        session.add("y", "!a & !b")
+        report = session.merge()
+        for source_report in report.sources:
+            assert source_report.min_distance <= source_report.max_distance
+            assert source_report.max_distance <= 2
+
+    def test_custom_fitting_named_in_method(self):
+        session = MergeSession(["a"])
+        session.add("x", "a")
+        report = session.merge(fitting=PriorityFitting())
+        assert "priority-lex" in report.method
+
+    def test_describe_renders(self):
+        session = MergeSession(["a"])
+        session.add("x", "a")
+        text = session.merge().describe()
+        assert "consensus" in text and "x" in text
+
+
+class TestWeightedMerge:
+    def test_majority_wins(self):
+        session = MergeSession(["a", "b"])
+        session.add("many", "a & !b", weight=9)
+        session.add("few", "!a & b", weight=2)
+        report = session.merge_weighted()
+        assert [interp.true_atoms for interp in report.consensus_models] == [
+            frozenset({"a"})
+        ]
+
+    def test_weights_flip_outcomes(self):
+        base = [("x", "a & !b"), ("y", "!a & b")]
+        light = MergeSession(["a", "b"])
+        heavy = MergeSession(["a", "b"])
+        light.add("x", "a & !b", weight=1)
+        light.add("y", "!a & b", weight=1)
+        heavy.add("x", "a & !b", weight=5)
+        heavy.add("y", "!a & b", weight=1)
+        tied = light.merge_weighted().consensus_models
+        skewed = heavy.merge_weighted().consensus_models
+        assert tied != skewed
+        assert [interp.true_atoms for interp in skewed] == [frozenset({"a"})]
+
+    def test_overridden_source_reported(self):
+        session = MergeSession(["a"])
+        session.add("many", "a", weight=9)
+        session.add("few", "!a", weight=1)
+        report = session.merge_weighted()
+        verdicts = {sr.source.name: sr.consistent for sr in report.sources}
+        assert verdicts == {"many": True, "few": False}
+        assert "OVERRIDDEN" in str(
+            next(sr for sr in report.sources if not sr.consistent)
+        )

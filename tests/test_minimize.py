@@ -1,0 +1,91 @@
+"""Unit tests for counterexample minimization."""
+
+import pytest
+
+from repro.core.fitting import ReveszFitting
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.operators.revision import DalalRevision
+from repro.postulates.axioms import axiom_by_name
+from repro.postulates.harness import check_axiom
+from repro.postulates.minimize import minimize_scenario, minimized_counterexample
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+def _bloated_a8_scenario():
+    """The odist A8 killer padded with irrelevant models."""
+    psi1 = ModelSet(VOCAB, [0b000])
+    psi2 = ModelSet(VOCAB, [0b111, 0b110, 0b011])
+    mu = ModelSet(VOCAB, [0b000, 0b001, 0b100])
+    return (psi1, psi2, mu)
+
+
+class TestMinimizeScenario:
+    def test_requires_a_failing_scenario(self):
+        axiom = axiom_by_name("A8")
+        passing = (
+            ModelSet(VOCAB, [0]),
+            ModelSet(VOCAB, [0]),
+            ModelSet(VOCAB, [0]),
+        )
+        with pytest.raises(ValueError):
+            minimize_scenario(ReveszFitting(), axiom, passing)
+
+    def test_result_still_fails(self):
+        axiom = axiom_by_name("A8")
+        operator = ReveszFitting()
+        scenario = _bloated_a8_scenario()
+        assert axiom.check_instance(operator, scenario) is not None
+        minimal = minimize_scenario(operator, axiom, scenario)
+        assert axiom.check_instance(operator, minimal) is not None
+        assert sum(len(role) for role in minimal) < sum(
+            len(role) for role in scenario
+        )
+
+    def test_result_is_locally_minimal(self):
+        axiom = axiom_by_name("A8")
+        operator = ReveszFitting()
+        # Start from a counterexample the harness actually found.
+        found = check_axiom(operator, axiom, Vocabulary(["a", "b"]))
+        assert not found.holds
+        roles = found.counterexample.roles
+        scenario = (roles["psi1"], roles["psi2"], roles["mu"])
+        minimal = minimize_scenario(operator, axiom, scenario)
+        for role_index, role in enumerate(minimal):
+            for mask in role.masks:
+                shrunk = ModelSet(role.vocabulary, [m for m in role.masks if m != mask])
+                candidate = list(minimal)
+                candidate[role_index] = shrunk
+                assert axiom.check_instance(operator, candidate) is None, (
+                    "a model could still be dropped"
+                )
+
+    def test_minimized_scenario_is_small(self):
+        """The known A8 defect needs only singleton-ish roles."""
+        axiom = axiom_by_name("A8")
+        operator = ReveszFitting()
+        found = check_axiom(operator, axiom, Vocabulary(["a", "b"]))
+        roles = found.counterexample.roles
+        minimal = minimize_scenario(
+            operator, axiom, (roles["psi1"], roles["psi2"], roles["mu"])
+        )
+        assert sum(len(role) for role in minimal) <= 6
+
+
+class TestMinimizedCounterexample:
+    def test_returns_none_for_passing_scenario(self):
+        axiom = axiom_by_name("R2")
+        scenario = (ModelSet(VOCAB, [0]), ModelSet(VOCAB, [0]))
+        assert minimized_counterexample(DalalRevision(), axiom, scenario) is None
+
+    def test_rebuilds_counterexample_on_minimal_scenario(self):
+        axiom = axiom_by_name("A8")
+        operator = ReveszFitting()
+        found = check_axiom(operator, axiom, Vocabulary(["a", "b"]))
+        roles = found.counterexample.roles
+        result = minimized_counterexample(
+            operator, axiom, (roles["psi1"], roles["psi2"], roles["mu"])
+        )
+        assert result is not None
+        assert result.axiom == "A8"

@@ -1,0 +1,105 @@
+"""Unit tests for the shared operator protocol (repro.operators.base)."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.logic.enumeration import models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+from repro.operators.base import AssignmentOperator, OperatorFamily
+from repro.operators.revision import DalalRevision
+from repro.orders.loyal import max_distance_assignment
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestFormulaLevelApply:
+    def test_default_vocabulary_is_union_of_atoms(self):
+        operator = DalalRevision()
+        result = operator.apply(parse("x & y"), parse("!x"))
+        assert result.atoms() <= {"x", "y"}
+
+    def test_explicit_vocabulary_changes_outcome(self):
+        """The paper's semantics depend on 𝒯: an unmentioned atom doubles
+        the model space and can split distance ties."""
+        operator = DalalRevision()
+        narrow = Vocabulary(["a"])
+        wide = Vocabulary(["a", "b"])
+        narrow_result = models(operator.apply(parse("a"), parse("!a"), narrow), narrow)
+        wide_result = models(operator.apply(parse("a"), parse("!a"), wide), wide)
+        assert len(narrow_result) == 1
+        assert len(wide_result) == 2  # b stays free
+
+    def test_result_is_canonical_form(self):
+        operator = DalalRevision()
+        result = operator.apply(parse("a & b"), parse("!a"), VOCAB)
+        assert models(result, VOCAB) == operator.apply_models(
+            models(parse("a & b"), VOCAB), models(parse("!a"), VOCAB)
+        )
+
+    def test_unsatisfiable_result_is_bottom(self):
+        from repro.logic.syntax import Bottom
+
+        operator = DalalRevision()
+        result = operator.apply(parse("a"), parse("b & !b"), VOCAB)
+        assert isinstance(result, Bottom)
+
+    def test_repr_mentions_name_and_family(self):
+        text = repr(DalalRevision())
+        assert "dalal" in text and "revision" in text
+
+
+class TestAssignmentOperator:
+    def test_unsat_base_empty_policy(self):
+        operator = AssignmentOperator(
+            max_distance_assignment(),
+            name="probe",
+            family=OperatorFamily.MODEL_FITTING,
+            unsat_base="empty",
+        )
+        result = operator.apply_models(
+            ModelSet.empty(VOCAB), ModelSet.universe(VOCAB)
+        )
+        assert result.is_empty
+
+    def test_unsat_base_accept_policy(self):
+        operator = AssignmentOperator(
+            max_distance_assignment(),
+            name="probe",
+            family=OperatorFamily.REVISION,
+            unsat_base="accept-new",
+        )
+        mu = ModelSet(VOCAB, [1, 2])
+        assert operator.apply_models(ModelSet.empty(VOCAB), mu) == mu
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AssignmentOperator(
+                max_distance_assignment(),
+                name="probe",
+                family=OperatorFamily.OTHER,
+                unsat_base="explode",
+            )
+
+    def test_assignment_property_exposed(self):
+        assignment = max_distance_assignment()
+        operator = AssignmentOperator(
+            assignment, name="probe", family=OperatorFamily.MODEL_FITTING
+        )
+        assert operator.assignment is assignment
+
+    def test_vocabulary_mismatch_rejected(self):
+        operator = DalalRevision()
+        with pytest.raises(VocabularyError):
+            operator.apply_models(
+                ModelSet.empty(VOCAB), ModelSet.empty(Vocabulary(["x"]))
+            )
+
+
+class TestOperatorFamily:
+    def test_enum_values(self):
+        assert OperatorFamily.REVISION.value == "revision"
+        assert OperatorFamily.UPDATE.value == "update"
+        assert OperatorFamily.MODEL_FITTING.value == "model-fitting"
+        assert OperatorFamily.ARBITRATION.value == "arbitration"

@@ -1,0 +1,71 @@
+"""Unit tests for Liberatore–Schaerf pairwise arbitration."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.arbitration import ArbitrationOperator
+from repro.core.pairwise import LiberatoreSchaerfArbitration
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.operators.base import OperatorFamily
+from repro.operators.revision import SatohRevision
+
+from conftest import model_sets, nonempty_model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+def _ms(*atom_sets):
+    return ModelSet(VOCAB, [VOCAB.mask_of(atoms) for atoms in atom_sets])
+
+
+class TestDefinition:
+    def test_family_and_name(self):
+        operator = LiberatoreSchaerfArbitration()
+        assert operator.family is OperatorFamily.ARBITRATION
+        assert "dalal" in operator.name
+
+    def test_pluggable_revision(self):
+        operator = LiberatoreSchaerfArbitration(SatohRevision())
+        assert "satoh" in operator.name
+        assert operator.revision.name == "satoh"
+
+    @given(psi=model_sets(VOCAB), phi=model_sets(VOCAB))
+    def test_commutative(self, psi, phi):
+        operator = LiberatoreSchaerfArbitration()
+        assert operator.apply_models(psi, phi) == operator.apply_models(phi, psi)
+
+    @given(psi=nonempty_model_sets(VOCAB), phi=nonempty_model_sets(VOCAB))
+    def test_result_within_the_disjunction(self, psi, phi):
+        """LS-arbitration adopts (a minimally moved version of) one of the
+        voices: the result always lies inside ψ ∨ φ."""
+        result = LiberatoreSchaerfArbitration().apply_models(psi, phi)
+        assert result.issubset(psi.union(phi))
+        assert not result.is_empty
+
+    def test_consistent_voices_agree(self):
+        psi = _ms({"a"}, {"a", "b"})
+        phi = _ms({"a", "b"}, {"c"})
+        # Dalal revision keeps ψ∧φ in both directions.
+        result = LiberatoreSchaerfArbitration().apply_models(psi, phi)
+        assert result == psi.intersection(phi)
+
+
+class TestContrastWithRevesz:
+    def test_ls_never_compromises_revesz_does(self):
+        """The defining behavioural split: with voices at ∅ and {a,b,c},
+        Revesz consensus picks middle worlds satisfying *neither* voice,
+        LS picks the voices themselves."""
+        psi = _ms(set())
+        phi = _ms({"a", "b", "c"})
+        ls = LiberatoreSchaerfArbitration().apply_models(psi, phi)
+        revesz = ArbitrationOperator().apply_models(psi, phi)
+        assert ls == psi.union(phi)
+        assert revesz.intersection(psi.union(phi)).is_empty
+        assert all(1 <= len(interp) <= 2 for interp in revesz)
+
+    def test_agreement_case_coincides(self):
+        psi = _ms({"a"})
+        ls = LiberatoreSchaerfArbitration().apply_models(psi, psi)
+        revesz = ArbitrationOperator().apply_models(psi, psi)
+        assert ls == revesz == psi

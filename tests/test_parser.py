@@ -1,0 +1,154 @@
+"""Unit tests for the formula parser (repro.logic.parser)."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ParseError
+from repro.logic.enumeration import equivalent
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    And,
+    Atom,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Xor,
+)
+
+from conftest import formulas
+
+
+class TestBasics:
+    def test_single_atom(self):
+        assert parse("x") == Atom("x")
+
+    def test_identifier_characters(self):
+        assert parse("foo_Bar9") == Atom("foo_Bar9")
+
+    def test_constants(self):
+        assert parse("true") == TOP
+        assert parse("false") == BOTTOM
+        assert parse("TRUE") == TOP  # keywords are case-insensitive
+
+    def test_whitespace_ignored(self):
+        assert parse("  a   &\t b ") == Atom("a") & Atom("b")
+
+
+class TestConnectives:
+    def test_negation_symbols(self):
+        assert parse("!a") == Not(Atom("a"))
+        assert parse("~a") == Not(Atom("a"))
+        assert parse("not a") == Not(Atom("a"))
+
+    def test_double_negation_parses(self):
+        assert parse("!!a") == Not(Not(Atom("a")))
+
+    def test_and_variants(self):
+        expected = Atom("a") & Atom("b")
+        assert parse("a & b") == expected
+        assert parse("a && b") == expected
+        assert parse("a and b") == expected
+
+    def test_or_variants(self):
+        expected = Atom("a") | Atom("b")
+        assert parse("a | b") == expected
+        assert parse("a || b") == expected
+        assert parse("a or b") == expected
+
+    def test_implies(self):
+        assert parse("a -> b") == Implies(Atom("a"), Atom("b"))
+
+    def test_iff(self):
+        assert parse("a <-> b") == Iff(Atom("a"), Atom("b"))
+
+    def test_xor(self):
+        assert parse("a ^ b") == Xor(Atom("a"), Atom("b"))
+
+
+class TestPrecedence:
+    def test_and_over_or(self):
+        assert parse("a | b & c") == Atom("a") | (Atom("b") & Atom("c"))
+
+    def test_not_over_and(self):
+        assert parse("!a & b") == Not(Atom("a")) & Atom("b")
+
+    def test_or_over_implies(self):
+        assert parse("a | b -> c") == Implies(Atom("a") | Atom("b"), Atom("c"))
+
+    def test_implies_over_iff(self):
+        assert parse("a <-> b -> c") == Iff(
+            Atom("a"), Implies(Atom("b"), Atom("c"))
+        )
+
+    def test_implies_right_associative(self):
+        assert parse("a -> b -> c") == Implies(
+            Atom("a"), Implies(Atom("b"), Atom("c"))
+        )
+
+    def test_xor_between_and_and_or(self):
+        assert parse("a ^ b & c") == Xor(Atom("a"), Atom("b") & Atom("c"))
+        assert parse("a | b ^ c") == Atom("a") | Xor(Atom("b"), Atom("c"))
+
+    def test_parentheses_override(self):
+        assert parse("(a | b) & c") == (Atom("a") | Atom("b")) & Atom("c")
+
+    def test_chained_and_flattens(self):
+        parsed = parse("a & b & c")
+        assert isinstance(parsed, And)
+        assert len(parsed.operands) == 3
+
+    def test_chained_or_flattens(self):
+        parsed = parse("a | b | c")
+        assert isinstance(parsed, Or)
+        assert len(parsed.operands) == 3
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ParseError):
+            parse("(a & b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("a b")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse("a &")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            parse("a @ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse("a & $")
+        assert exc_info.value.position == 4
+
+    def test_error_renders_marker(self):
+        try:
+            parse("a & $")
+        except ParseError as error:
+            assert "^" in str(error)
+
+    def test_keyword_cannot_be_atom(self):
+        with pytest.raises(ParseError):
+            parse("not")  # negation with nothing to negate
+
+
+class TestRoundTrip:
+    @given(formulas())
+    def test_parse_of_str_is_equivalent(self, formula):
+        """Printing then re-parsing preserves semantics (not necessarily
+        syntax: printing may reassociate flattened connectives)."""
+        vocabulary = Vocabulary(["a", "b", "c"])
+        reparsed = parse(str(formula))
+        assert equivalent(formula, reparsed, vocabulary)

@@ -1,0 +1,141 @@
+"""Unit tests for pre-orders and the Min operation."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.orders.preorder import PartialPreorder, TotalPreorder, minimal_by_leq
+
+from conftest import model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestTotalPreorder:
+    def test_from_key(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask.bit_count())
+        assert order.leq_masks(0b001, 0b011)
+        assert not order.leq_masks(0b011, 0b001)
+        assert order.equivalent_masks(0b001, 0b100)
+
+    def test_key_count_must_match(self):
+        with pytest.raises(VocabularyError):
+            TotalPreorder(VOCAB, [0, 1])
+
+    def test_lt_is_strict_part(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask.bit_count())
+        assert order.lt_masks(0, 1)
+        assert not order.lt_masks(1, 0b010)  # tie
+
+    def test_interpretation_level_api(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask)
+        lo = VOCAB.interpretation(set())
+        hi = VOCAB.interpretation({"c"})
+        assert order.leq(lo, hi)
+        assert order.lt(lo, hi)
+        assert order.key_of(lo) == 0
+
+    def test_wrong_vocabulary_rejected(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask)
+        alien = Vocabulary(["x"]).interpretation(set())
+        with pytest.raises(VocabularyError):
+            order.key_of(alien)
+
+    def test_minimal_selects_smallest_key(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask.bit_count())
+        candidates = ModelSet(VOCAB, [0b011, 0b100, 0b111])
+        assert order.minimal(candidates).masks == (0b100,)
+
+    def test_minimal_keeps_ties(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask.bit_count())
+        candidates = ModelSet(VOCAB, [0b011, 0b101])
+        assert order.minimal(candidates).masks == (0b011, 0b101)
+
+    def test_minimal_of_empty_is_empty(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask)
+        assert order.minimal(ModelSet.empty(VOCAB)).is_empty
+
+    def test_minimal_wrong_vocabulary_rejected(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask)
+        with pytest.raises(VocabularyError):
+            order.minimal(ModelSet.empty(Vocabulary(["x"])))
+
+    def test_levels_partition_in_order(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask.bit_count())
+        levels = order.levels()
+        assert len(levels) == 4  # popcounts 0..3
+        assert levels[0].masks == (0,)
+        assert sum(len(level) for level in levels) == 8
+
+    def test_equality_is_order_isomorphism(self):
+        by_count = TotalPreorder.from_key(VOCAB, lambda mask: mask.bit_count())
+        scaled = TotalPreorder.from_key(VOCAB, lambda mask: 10 * mask.bit_count())
+        assert by_count == scaled
+        assert hash(by_count) == hash(scaled)
+        by_mask = TotalPreorder.from_key(VOCAB, lambda mask: mask)
+        assert by_count != by_mask
+
+    def test_tuple_keys_supported(self):
+        order = TotalPreorder.from_key(
+            VOCAB, lambda mask: (mask.bit_count(), mask)
+        )
+        assert order.lt_masks(0b001, 0b010)  # tie on count, break on mask
+
+    @given(model_sets(VOCAB))
+    def test_minimal_is_subset_and_nonempty(self, candidates):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask.bit_count())
+        minimal = order.minimal(candidates)
+        assert minimal.issubset(candidates)
+        assert minimal.is_empty == candidates.is_empty
+
+
+class TestMinimalByLeq:
+    def test_matches_paper_definition(self):
+        # Divisibility-like partial order on popcount-subsets: I ≤ J iff
+        # the true-atom set of I is a subset of J's.
+        def leq(left: int, right: int) -> bool:
+            return (left & right) == left
+
+        candidates = ModelSet(VOCAB, [0b011, 0b001, 0b100])
+        minimal = minimal_by_leq(candidates, leq)
+        assert minimal.masks == (0b001, 0b100)
+
+    def test_incomparable_elements_all_kept(self):
+        def leq(left: int, right: int) -> bool:
+            return left == right
+
+        candidates = ModelSet(VOCAB, [1, 2, 4])
+        assert minimal_by_leq(candidates, leq) == candidates
+
+
+class TestPartialPreorder:
+    def test_minimal(self):
+        order = PartialPreorder(VOCAB, lambda i, j: (i & j) == i)
+        candidates = ModelSet(VOCAB, [0b111, 0b101, 0b010])
+        assert order.minimal(candidates).masks == (0b010, 0b101)
+
+    def test_lt(self):
+        order = PartialPreorder(VOCAB, lambda i, j: (i & j) == i)
+        assert order.lt_masks(0b001, 0b011)
+        assert not order.lt_masks(0b001, 0b001)
+
+    def test_check_passes_for_valid_preorder(self):
+        PartialPreorder(VOCAB, lambda i, j: (i & j) == i).check()
+
+    def test_check_rejects_irreflexive(self):
+        with pytest.raises(VocabularyError):
+            PartialPreorder(VOCAB, lambda i, j: i < j).check()
+
+    def test_check_rejects_intransitive(self):
+        # "differs by at most one bit" is reflexive but not transitive.
+        with pytest.raises(VocabularyError):
+            PartialPreorder(
+                VOCAB, lambda i, j: (i ^ j).bit_count() <= 1
+            ).check()
+
+    def test_vocabulary_mismatch_rejected(self):
+        order = PartialPreorder(VOCAB, lambda i, j: True)
+        with pytest.raises(VocabularyError):
+            order.minimal(ModelSet.empty(Vocabulary(["x"])))

@@ -1,0 +1,169 @@
+"""Cross-layer property-based tests: the paper's invariants, end to end.
+
+These tests exercise whole pipelines (parse → enumerate → change →
+re-express) under hypothesis-generated inputs, complementing the per-module
+unit tests.
+"""
+
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.arbitration import ArbitrationOperator
+from repro.core.fitting import PriorityFitting, ReveszFitting
+from repro.core.weighted import WeightedKnowledgeBase, WeightedModelFitting
+from repro.logic.enumeration import equivalent, form_formula, models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.logic.syntax import Not, conjoin, disjoin
+from repro.operators.revision import DalalRevision, SatohRevision
+from repro.operators.update import WinslettUpdate
+
+from conftest import formulas, model_sets, nonempty_model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestLogicPipeline:
+    @given(formulas(), formulas())
+    def test_mod_homomorphism(self, left, right):
+        """Mod(ψ ∧ φ) = Mod(ψ) ∩ Mod(φ) and dually for ∨ — the Section 2
+        semantics, via the public API."""
+        assert models(conjoin([left, right]), VOCAB) == models(left, VOCAB) & models(
+            right, VOCAB
+        )
+        assert models(disjoin([left, right]), VOCAB) == models(left, VOCAB) | models(
+            right, VOCAB
+        )
+
+    @given(formulas())
+    def test_mod_negation_is_complement(self, formula):
+        assert models(Not(formula), VOCAB) == models(formula, VOCAB).complement()
+
+    @given(model_sets(VOCAB))
+    def test_form_is_right_inverse_of_mod(self, ms):
+        assert models(form_formula(ms), VOCAB) == ms
+
+
+class TestRevisionProperties:
+    @given(psi=nonempty_model_sets(VOCAB), mu=nonempty_model_sets(VOCAB))
+    def test_dalal_r2_semantically(self, psi, mu):
+        operator = DalalRevision()
+        result = operator.apply_models(psi, mu)
+        both = psi & mu
+        if not both.is_empty:
+            assert result == both
+
+    @given(psi=nonempty_model_sets(VOCAB), mu=nonempty_model_sets(VOCAB))
+    def test_dalal_result_within_min_distance(self, psi, mu):
+        """Every chosen model realizes the global minimum Hamming distance
+        between Mod(ψ) and Mod(μ)."""
+        operator = DalalRevision()
+        result = operator.apply_models(psi, mu)
+        overall = min(
+            (p ^ m).bit_count() for p in psi.masks for m in mu.masks
+        )
+        for chosen in result.masks:
+            assert min((chosen ^ p).bit_count() for p in psi.masks) == overall
+
+    @given(psi=nonempty_model_sets(VOCAB), mu=nonempty_model_sets(VOCAB))
+    def test_satoh_contains_some_dalal_model(self, psi, mu):
+        """Cardinality-minimal diffs are ⊆-minimal, so Dalal's choices are
+        always among Satoh's."""
+        dalal = DalalRevision().apply_models(psi, mu)
+        satoh = SatohRevision().apply_models(psi, mu)
+        assert dalal.issubset(satoh)
+
+
+class TestFittingProperties:
+    @given(psi=nonempty_model_sets(VOCAB), mu=nonempty_model_sets(VOCAB))
+    def test_odist_result_minimizes_worst_case(self, psi, mu):
+        operator = ReveszFitting()
+        result = operator.apply_models(psi, mu)
+        best = min(
+            max((m ^ p).bit_count() for p in psi.masks) for m in mu.masks
+        )
+        for chosen in result.masks:
+            assert max((chosen ^ p).bit_count() for p in psi.masks) == best
+
+    @given(psi=nonempty_model_sets(VOCAB), mu=nonempty_model_sets(VOCAB))
+    def test_priority_result_within_odist_min(self, psi, mu):
+        """Priority-lex refines odist's first coordinate only through the
+        model consultation order — its winners are Pareto-undominated, and
+        in particular never strictly worse in every coordinate."""
+        priority = PriorityFitting().apply_models(psi, mu)
+        assert priority.issubset(mu)
+        assert not priority.is_empty
+
+    @given(psi=nonempty_model_sets(VOCAB))
+    def test_fit_against_top_contains_consensus(self, psi):
+        """(ψ ▷ ⊤) is never empty and is exactly the arbitration of ψ with
+        itself."""
+        operator = ArbitrationOperator()
+        universe = ModelSet.universe(VOCAB)
+        fit = operator.fitting.apply_models(psi, universe)
+        assert fit == operator.apply_models(psi, psi)
+
+
+class TestArbitrationProperties:
+    @given(psi=model_sets(VOCAB), phi=model_sets(VOCAB))
+    def test_commutativity_formula_level(self, psi, phi):
+        operator = ArbitrationOperator()
+        left = operator.apply_models(psi, phi)
+        right = operator.apply_models(phi, psi)
+        assert left == right
+        # And at the formula level through form_formula.
+        assert equivalent(form_formula(left), form_formula(right), VOCAB)
+
+    @given(psi=nonempty_model_sets(VOCAB))
+    def test_idempotence_on_agreement(self, psi):
+        """When both voices agree and ψ is 'tight' (a single world), the
+        consensus is that world."""
+        if len(psi) == 1:
+            operator = ArbitrationOperator()
+            assert operator.apply_models(psi, psi) == psi
+
+
+class TestWeightedProperties:
+    weights = st.dictionaries(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=5),
+        max_size=8,
+    )
+
+    @given(weights, weights)
+    def test_wdist_additivity(self, left_weights, right_weights):
+        left = WeightedKnowledgeBase(VOCAB, left_weights)
+        right = WeightedKnowledgeBase(VOCAB, right_weights)
+        joined = left.join(right)
+        for interp in VOCAB.all_interpretations():
+            assert joined.wdist(interp) == left.wdist(interp) + right.wdist(interp)
+
+    @given(weights, weights)
+    def test_weighted_fitting_f1_f3(self, psi_weights, mu_weights):
+        psi = WeightedKnowledgeBase(VOCAB, psi_weights)
+        mu = WeightedKnowledgeBase(VOCAB, mu_weights)
+        result = WeightedModelFitting().apply(psi, mu)
+        assert result.implies(mu)  # F1
+        if psi.is_satisfiable and mu.is_satisfiable:
+            assert result.is_satisfiable  # F3
+        if not psi.is_satisfiable:
+            assert not result.is_satisfiable  # F2
+
+    @given(weights)
+    def test_embedding_round_trip(self, mask_weights):
+        kb = WeightedKnowledgeBase(VOCAB, mask_weights)
+        support = kb.support()
+        embedded = WeightedKnowledgeBase.from_model_set(support)
+        assert embedded.support() == support
+
+
+class TestUpdateVsRevisionDivergence:
+    @given(psi=nonempty_model_sets(VOCAB), mu=nonempty_model_sets(VOCAB))
+    def test_update_result_contains_revision_like_core_when_consistent(
+        self, psi, mu
+    ):
+        """When ψ ∧ μ is satisfiable, Winslett keeps every model of ψ∧μ
+        (each such model updates to itself)."""
+        both = psi & mu
+        result = WinslettUpdate().apply_models(psi, mu)
+        assert both.issubset(result)

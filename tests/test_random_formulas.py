@@ -1,0 +1,121 @@
+"""Unit tests for the seeded workload generators."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.logic.enumeration import is_satisfiable
+from repro.logic.interpretation import Vocabulary
+from repro.logic.random_formulas import (
+    make_rng,
+    random_formula,
+    random_kcnf,
+    random_model_set,
+    random_satisfiable_formula,
+    random_vocabulary,
+)
+from repro.logic.syntax import And, Or, atoms_of
+from repro.logic.transform import is_cnf
+
+
+class TestRandomVocabulary:
+    def test_names_and_size(self):
+        vocabulary = random_vocabulary(4)
+        assert vocabulary.atoms == ("p0", "p1", "p2", "p3")
+
+    def test_custom_prefix(self):
+        assert random_vocabulary(2, prefix="x").atoms == ("x0", "x1")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ReproError):
+            random_vocabulary(-1)
+
+
+class TestRandomKcnf:
+    def test_shape(self):
+        vocabulary = random_vocabulary(5)
+        formula = random_kcnf(vocabulary, num_clauses=4, clause_size=3, rng=7)
+        assert is_cnf(formula)
+        assert isinstance(formula, And)
+        assert len(formula.operands) == 4
+        for clause in formula.operands:
+            assert isinstance(clause, Or)
+            assert len(clause.operands) == 3
+
+    def test_deterministic_for_seed(self):
+        vocabulary = random_vocabulary(6)
+        first = random_kcnf(vocabulary, 5, 3, 42)
+        second = random_kcnf(vocabulary, 5, 3, 42)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        vocabulary = random_vocabulary(6)
+        assert random_kcnf(vocabulary, 5, 3, 1) != random_kcnf(vocabulary, 5, 3, 2)
+
+    def test_clause_size_exceeding_vocabulary_rejected(self):
+        with pytest.raises(ReproError):
+            random_kcnf(random_vocabulary(2), 1, 3, 0)
+
+    def test_atoms_within_vocabulary(self):
+        vocabulary = random_vocabulary(4)
+        formula = random_kcnf(vocabulary, 6, 2, 3)
+        assert atoms_of(formula) <= set(vocabulary.atoms)
+
+
+class TestRandomFormula:
+    def test_deterministic_for_seed(self):
+        vocabulary = random_vocabulary(3)
+        assert random_formula(vocabulary, 4, 9) == random_formula(vocabulary, 4, 9)
+
+    def test_depth_zero_gives_atom(self):
+        vocabulary = random_vocabulary(3)
+        formula = random_formula(vocabulary, 0, 5)
+        assert atoms_of(formula) <= set(vocabulary.atoms)
+        assert formula.children() == ()
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(ReproError):
+            random_formula(Vocabulary([]), 2, 0)
+
+    def test_restricted_connectives(self):
+        vocabulary = random_vocabulary(3)
+        formula = random_formula(vocabulary, 5, 11, connectives=("and",))
+        from repro.logic.syntax import subformulas, Atom
+
+        for node in subformulas(formula):
+            assert isinstance(node, (And, Atom))
+
+
+class TestRandomModelSet:
+    def test_exact_count(self):
+        vocabulary = random_vocabulary(4)
+        assert len(random_model_set(vocabulary, 5, 0)) == 5
+
+    def test_count_bounds(self):
+        vocabulary = random_vocabulary(2)
+        with pytest.raises(ReproError):
+            random_model_set(vocabulary, 5, 0)
+        with pytest.raises(ReproError):
+            random_model_set(vocabulary, -1, 0)
+
+    def test_deterministic_for_seed(self):
+        vocabulary = random_vocabulary(5)
+        assert random_model_set(vocabulary, 6, 3) == random_model_set(vocabulary, 6, 3)
+
+
+class TestRandomSatisfiable:
+    def test_always_satisfiable(self):
+        vocabulary = random_vocabulary(3)
+        for seed in range(10):
+            formula = random_satisfiable_formula(vocabulary, 4, seed)
+            assert is_satisfiable(formula, vocabulary)
+
+
+class TestMakeRng:
+    def test_passes_through_random_instance(self):
+        import random
+
+        rng = random.Random(0)
+        assert make_rng(rng) is rng
+
+    def test_wraps_seed(self):
+        assert make_rng(5).random() == make_rng(5).random()

@@ -1,0 +1,186 @@
+"""Unit tests for the relational grounding layer."""
+
+import pytest
+
+from repro.errors import VocabularyError
+from repro.logic.enumeration import models
+from repro.relational import (
+    Fact,
+    Relation,
+    RelationalDatabase,
+    RelationalKnowledgeBase,
+    Schema,
+)
+
+SCHEMA = Schema(["ann", "bob"], [Relation("Emp", 1), Relation("Mgr", 2)])
+
+
+class TestSchema:
+    def test_atom_count(self):
+        # Emp: 2 atoms; Mgr: 4 atoms.
+        assert SCHEMA.atom_count == 6
+
+    def test_atom_naming(self):
+        assert SCHEMA.atom_name("Mgr", "ann", "bob") == "Mgr__ann__bob"
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(VocabularyError):
+            SCHEMA.atom("Emp", "ann", "bob")
+
+    def test_unknown_constant_rejected(self):
+        with pytest.raises(VocabularyError):
+            SCHEMA.atom("Emp", "carol")
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(VocabularyError):
+            SCHEMA.atom("Dept", "ann")
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(VocabularyError):
+            Schema([], [Relation("R", 1)])
+
+    def test_duplicate_constants_rejected(self):
+        with pytest.raises(VocabularyError):
+            Schema(["a", "a"], [Relation("R", 1)])
+
+    def test_separator_in_constant_rejected(self):
+        with pytest.raises(VocabularyError):
+            Schema(["a__b"], [Relation("R", 1)])
+
+    def test_separator_in_relation_rejected(self):
+        with pytest.raises(VocabularyError):
+            Relation("R__S", 1)
+
+    def test_vocabulary_is_deterministic(self):
+        assert SCHEMA.vocabulary() == SCHEMA.vocabulary()
+        assert SCHEMA.vocabulary().size == 6
+
+    def test_forall_expansion(self):
+        # ∀x,y: Mgr(x,y) -> Emp(x)
+        constraint = SCHEMA.forall(
+            2, lambda x, y: SCHEMA.atom("Mgr", x, y) >> SCHEMA.atom("Emp", x)
+        )
+        vocabulary = SCHEMA.vocabulary()
+        result = models(constraint, vocabulary)
+        # Spot check: a model with Mgr(ann,bob) but not Emp(ann) is excluded.
+        bad = vocabulary.interpretation({"Mgr__ann__bob"})
+        good = vocabulary.interpretation({"Mgr__ann__bob", "Emp__ann"})
+        assert bad not in result
+        assert good in result
+
+    def test_exists_expansion(self):
+        someone_employed = SCHEMA.exists(1, lambda x: SCHEMA.atom("Emp", x))
+        vocabulary = SCHEMA.vocabulary()
+        result = models(someone_employed, vocabulary)
+        assert vocabulary.interpretation(set()) not in result
+        assert vocabulary.interpretation({"Emp__bob"}) in result
+
+
+class TestRelationalDatabase:
+    def test_fact_validation(self):
+        with pytest.raises(VocabularyError):
+            RelationalDatabase(SCHEMA, [Fact.of("Emp", "carol")])
+
+    def test_membership_and_edits(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Emp", "ann")])
+        assert Fact.of("Emp", "ann") in db
+        grown = db.with_fact(Fact.of("Emp", "bob"))
+        assert Fact.of("Emp", "bob") in grown
+        shrunk = grown.without_fact(Fact.of("Emp", "ann"))
+        assert Fact.of("Emp", "ann") not in shrunk
+
+    def test_closed_world_interpretation(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Mgr", "ann", "bob")])
+        interp = db.closed_world_interpretation()
+        assert interp.value("Mgr__ann__bob")
+        assert not interp.value("Emp__ann")
+
+    def test_closed_world_formula_has_single_model(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Emp", "ann")])
+        vocabulary = SCHEMA.vocabulary()
+        result = models(db.closed_world_formula(), vocabulary)
+        assert len(result) == 1
+        assert result.masks[0] == db.closed_world_interpretation().mask
+
+    def test_open_world_formula_leaves_rest_open(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Emp", "ann")])
+        vocabulary = SCHEMA.vocabulary()
+        result = models(db.open_world_formula(), vocabulary)
+        assert len(result) == 1 << 5  # 5 unconstrained atoms
+
+    def test_empty_open_world_is_top(self):
+        db = RelationalDatabase(SCHEMA)
+        vocabulary = SCHEMA.vocabulary()
+        assert models(db.open_world_formula(), vocabulary).is_universe
+
+
+class TestRelationalKnowledgeBase:
+    def test_closed_world_queries(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Emp", "ann")])
+        kb = RelationalKnowledgeBase(db)
+        assert kb.holds(Fact.of("Emp", "ann")) == "yes"
+        assert kb.holds(Fact.of("Emp", "bob")) == "no"
+
+    def test_open_world_queries(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Emp", "ann")])
+        kb = RelationalKnowledgeBase(db, closed_world=False)
+        assert kb.holds(Fact.of("Emp", "ann")) == "yes"
+        assert kb.holds(Fact.of("Emp", "bob")) == "unknown"
+
+    def test_insert_and_delete(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Emp", "ann")])
+        kb = RelationalKnowledgeBase(db)
+        kb = kb.insert(Fact.of("Emp", "bob"))
+        assert kb.holds(Fact.of("Emp", "bob")) == "yes"
+        kb = kb.delete(Fact.of("Emp", "ann"))
+        assert kb.holds(Fact.of("Emp", "ann")) == "no"
+
+    def test_unknown_change_mode_rejected(self):
+        kb = RelationalKnowledgeBase(RelationalDatabase(SCHEMA))
+        with pytest.raises(VocabularyError):
+            kb.insert(Fact.of("Emp", "ann"), how="merge")
+
+    def test_constraints_ripple_through_inserts(self):
+        """Inserting Mgr(ann, bob) under ∀x,y: Mgr(x,y) → Emp(x) makes
+        Emp(ann) true — constraint-driven repair via revision."""
+        constraint = SCHEMA.forall(
+            2, lambda x, y: SCHEMA.atom("Mgr", x, y) >> SCHEMA.atom("Emp", x)
+        )
+        db = RelationalDatabase(SCHEMA)
+        kb = RelationalKnowledgeBase(db, constraints=constraint)
+        kb = kb.insert(Fact.of("Mgr", "ann", "bob"))
+        assert kb.holds(Fact.of("Mgr", "ann", "bob")) == "yes"
+        assert kb.holds(Fact.of("Emp", "ann")) == "yes"
+
+    def test_certain_and_possible_facts(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Emp", "ann")])
+        kb = RelationalKnowledgeBase(db, closed_world=False)
+        assert Fact.of("Emp", "ann") in kb.certain_facts()
+        assert Fact.of("Emp", "bob") not in kb.certain_facts()
+        assert Fact.of("Emp", "bob") in kb.possible_facts()
+
+    def test_arbitration_between_departments(self):
+        """Two departments disagree about who manages whom; arbitration
+        finds a consensus theory instead of picking a winner."""
+        hr = RelationalDatabase(
+            SCHEMA, [Fact.of("Mgr", "ann", "bob"), Fact.of("Emp", "ann")]
+        )
+        payroll = RelationalDatabase(
+            SCHEMA, [Fact.of("Mgr", "bob", "ann"), Fact.of("Emp", "bob")]
+        )
+        kb = RelationalKnowledgeBase(hr).arbitrate_with(payroll)
+        assert kb.satisfiable
+        # The consensus is symmetric in the two voices: arbitrating the
+        # other way round gives the same theory.
+        kb_reverse = RelationalKnowledgeBase(payroll).arbitrate_with(hr)
+        assert kb.kb.model_set == kb_reverse.kb.model_set
+
+    def test_arbitrate_with_formula_voice(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Emp", "ann")])
+        kb = RelationalKnowledgeBase(db)
+        voice = SCHEMA.atom("Emp", "bob")
+        assert kb.arbitrate_with(voice).satisfiable
+
+    def test_repr_lists_certain_facts(self):
+        db = RelationalDatabase(SCHEMA, [Fact.of("Emp", "ann")])
+        assert "Emp(ann)" in repr(RelationalKnowledgeBase(db))

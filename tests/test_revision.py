@@ -1,0 +1,164 @@
+"""Unit tests for the baseline revision operators."""
+
+import pytest
+from hypothesis import given
+
+from repro.logic.enumeration import models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+from repro.operators.base import OperatorFamily
+from repro.operators.revision import (
+    BorgidaRevision,
+    DalalRevision,
+    SatohRevision,
+    WeberRevision,
+)
+
+from conftest import model_sets, nonempty_model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+ALL_REVISIONS = [DalalRevision(), SatohRevision(), BorgidaRevision(), WeberRevision()]
+
+
+def _ms(*atom_sets):
+    return ModelSet(VOCAB, [VOCAB.mask_of(atoms) for atoms in atom_sets])
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("operator", ALL_REVISIONS, ids=lambda op: op.name)
+    def test_family_metadata(self, operator):
+        assert operator.family is OperatorFamily.REVISION
+
+    @pytest.mark.parametrize("operator", ALL_REVISIONS, ids=lambda op: op.name)
+    def test_consistent_inputs_conjoin(self, operator):
+        """All four satisfy R2: consistent ψ ∧ μ is just kept."""
+        psi = _ms({"a"}, {"a", "b"})
+        mu = _ms({"a", "b"}, {"c"})
+        assert operator.apply_models(psi, mu) == _ms({"a", "b"})
+
+    @pytest.mark.parametrize("operator", ALL_REVISIONS, ids=lambda op: op.name)
+    def test_result_implies_new_information(self, operator):
+        psi = _ms({"a"})
+        mu = _ms({"b"}, {"c"})
+        assert operator.apply_models(psi, mu).issubset(mu)
+
+    @pytest.mark.parametrize("operator", ALL_REVISIONS, ids=lambda op: op.name)
+    def test_inconsistent_base_accepts_new(self, operator):
+        """R3 requires a satisfiable result; our operators accept μ whole."""
+        psi = ModelSet.empty(VOCAB)
+        mu = _ms({"a"}, {"b"})
+        assert operator.apply_models(psi, mu) == mu
+
+    @pytest.mark.parametrize("operator", ALL_REVISIONS, ids=lambda op: op.name)
+    def test_unsatisfiable_new_information(self, operator):
+        psi = _ms({"a"})
+        assert operator.apply_models(psi, ModelSet.empty(VOCAB)).is_empty
+
+    @pytest.mark.parametrize("operator", ALL_REVISIONS, ids=lambda op: op.name)
+    def test_vocabulary_mismatch_rejected(self, operator):
+        from repro.errors import VocabularyError
+
+        with pytest.raises(VocabularyError):
+            operator.apply_models(
+                ModelSet.empty(VOCAB), ModelSet.empty(Vocabulary(["x"]))
+            )
+
+
+class TestDalal:
+    def test_intro_example(self):
+        """{A, B, A∧B→C} revised by ¬C keeps A, B and flips C."""
+        vocabulary = Vocabulary(["A", "B", "C"])
+        theory = parse("A & B & (A & B -> C)")
+        result = models(DalalRevision().apply(theory, parse("!C"), vocabulary), vocabulary)
+        assert result.masks == (vocabulary.mask_of({"A", "B"}),)
+
+    def test_minimizes_cardinality(self):
+        # ψ = {abc}; μ = {∅, ab}: ab is at distance 1, ∅ at 3.
+        psi = _ms({"a", "b", "c"})
+        mu = _ms(set(), {"a", "b"})
+        assert DalalRevision().apply_models(psi, mu) == _ms({"a", "b"})
+
+    def test_distance_to_nearest_model(self):
+        # ψ = {∅, abc}; candidate {a} is 1 from ∅ — closer than {a,b} is...
+        psi = _ms(set(), {"a", "b", "c"})
+        mu = _ms({"a"}, {"a", "b"})
+        # dist(ψ, {a}) = min(1, 2) = 1; dist(ψ, {a,b}) = min(2, 1) = 1: tie.
+        assert DalalRevision().apply_models(psi, mu) == mu
+
+    def test_formula_level_uses_canonical_form(self):
+        vocabulary = Vocabulary(["a", "b"])
+        result = DalalRevision().apply(parse("a & b"), parse("!a"), vocabulary)
+        assert models(result, vocabulary) == ModelSet(
+            vocabulary, [vocabulary.mask_of({"b"})]
+        )
+
+
+class TestSatoh:
+    def test_global_inclusion_minimal(self):
+        """Satoh differs from Dalal: a 2-atom diff survives if no diff is a
+        subset of it, even when a disjoint 1-atom diff exists."""
+        # ψ = {ab}; μ = {∅(diff ab), c·ab→(abc: diff c)}.
+        psi = _ms({"a", "b"})
+        mu = _ms(set(), {"a", "b", "c"})
+        # diffs: {a,b} and {c} — both ⊆-minimal (incomparable), so Satoh
+        # keeps both; Dalal keeps only the cardinality-1 change.
+        assert SatohRevision().apply_models(psi, mu) == mu
+        assert DalalRevision().apply_models(psi, mu) == _ms({"a", "b", "c"})
+
+    def test_dominated_diff_dropped(self):
+        # ψ = {∅}; μ = {a(diff {a}), ab(diff {a,b})}: {a} ⊂ {a,b}.
+        psi = _ms(set())
+        mu = _ms({"a"}, {"a", "b"})
+        assert SatohRevision().apply_models(psi, mu) == _ms({"a"})
+
+
+class TestBorgida:
+    def test_consistent_case_is_conjunction(self):
+        psi = _ms({"a"}, {"b"})
+        mu = _ms({"b"}, {"c"})
+        assert BorgidaRevision().apply_models(psi, mu) == _ms({"b"})
+
+    def test_inconsistent_case_per_model(self):
+        """Unlike Satoh, Borgida minimizes per ψ-model, so a diff that is
+        globally dominated can survive via a different base model."""
+        psi = _ms(set(), {"a", "b", "c"})
+        mu = _ms({"a"}, {"a", "b"})
+        # From ∅: diffs {a} vs {a,b} -> keep {a}.  From abc: diffs {b,c}
+        # vs {c} -> keep {a,b}.  Union keeps both.
+        assert BorgidaRevision().apply_models(psi, mu) == mu
+
+    def test_differs_from_satoh_on_cross_model_domination(self):
+        psi = _ms(set(), {"a", "b", "c"})
+        mu = _ms({"a"}, {"a", "b"})
+        satoh = SatohRevision().apply_models(psi, mu)
+        # Satoh's global minimal diffs: {a} (from ∅) and {c} (abc->ab);
+        # both candidates realize a minimal diff, so they agree here.
+        assert satoh == mu
+
+
+class TestWeber:
+    def test_forgets_minimal_diff_atoms(self):
+        psi = _ms({"a", "b"})
+        mu = _ms(set(), {"a", "b", "c"})
+        # Minimal diffs: {a,b} and {c}; D = {a,b,c}: everything forgotten,
+        # so any μ-model agreeing with ψ outside D (trivially) is kept.
+        assert WeberRevision().apply_models(psi, mu) == mu
+
+    def test_agreement_outside_forgotten_atoms(self):
+        psi = _ms({"a"})
+        mu = _ms({"b"}, {"b", "c"})
+        # diffs: {a,b} and {a,b,c}; minimal = {a,b}; D = {a,b}.
+        # μ-models must agree with {a} on c: {b} does (c false), {b,c} not.
+        assert WeberRevision().apply_models(psi, mu) == _ms({"b"})
+
+
+class TestDalalAgainstOrder:
+    @given(
+        nonempty_model_sets(VOCAB),
+        model_sets(VOCAB),
+    )
+    def test_result_is_min_of_faithful_order(self, psi, mu):
+        """Dalal = Min(Mod(μ), ≤ψ) — KM's characterization, propertywise."""
+        operator = DalalRevision()
+        assert operator.apply_models(psi, mu) == operator.order_for(psi).minimal(mu)

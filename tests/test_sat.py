@@ -1,0 +1,117 @@
+"""Unit tests for the DPLL SAT solver."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given
+
+from repro.logic.cnf import tseitin
+from repro.logic.interpretation import Vocabulary
+from repro.logic.sat import SatStats, enumerate_assignments, solve
+from repro.logic.semantics import truth_table
+
+from conftest import formulas
+
+
+def _satisfies(clauses, assignment) -> bool:
+    return all(
+        any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+        for clause in clauses
+    )
+
+
+class TestSolve:
+    def test_empty_problem_is_sat(self):
+        assert solve([], 0) == {}
+
+    def test_unit_clause(self):
+        assignment = solve([(1,)], 1)
+        assert assignment == {1: True}
+
+    def test_negative_unit_clause(self):
+        assert solve([(-1,)], 1) == {1: False}
+
+    def test_contradictory_units_unsat(self):
+        assert solve([(1,), (-1,)], 1) is None
+
+    def test_empty_clause_unsat(self):
+        assert solve([()], 1) is None
+
+    def test_assignment_is_total(self):
+        assignment = solve([(1,)], 3)
+        assert set(assignment) == {1, 2, 3}
+
+    def test_returned_assignment_satisfies(self):
+        clauses = [(1, 2), (-1, 3), (-2, -3), (2, 3)]
+        assignment = solve(clauses, 3)
+        assert assignment is not None
+        assert _satisfies(clauses, assignment)
+
+    def test_chain_of_implications(self):
+        # 1 -> 2 -> ... -> 6, with 1 forced and !6 forced: unsat.
+        clauses = [(-i, i + 1) for i in range(1, 6)] + [(1,), (-6,)]
+        assert solve(clauses, 6) is None
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        """PHP(3,2): 3 pigeons into 2 holes; var (p,h) = 2p + h + 1."""
+        def var(pigeon: int, hole: int) -> int:
+            return pigeon * 2 + hole + 1
+
+        clauses = []
+        for pigeon in range(3):
+            clauses.append((var(pigeon, 0), var(pigeon, 1)))
+        for hole in range(2):
+            for p1, p2 in combinations(range(3), 2):
+                clauses.append((-var(p1, hole), -var(p2, hole)))
+        assert solve(clauses, 6) is None
+
+    def test_stats_populated(self):
+        stats = SatStats()
+        solve([(1, 2), (-1, 2), (1, -2)], 2, stats)
+        assert stats.propagations + stats.decisions > 0
+        assert "SatStats" in repr(stats)
+
+
+class TestEnumeration:
+    def test_free_variables_enumerated(self):
+        assignments = list(enumerate_assignments([], 2))
+        assert len(assignments) == 4
+        assert len({tuple(sorted(a.items())) for a in assignments}) == 4
+
+    def test_unsat_yields_nothing(self):
+        assert list(enumerate_assignments([(1,), (-1,)], 1)) == []
+
+    def test_unit_constrained(self):
+        assignments = list(enumerate_assignments([(1,)], 2))
+        assert len(assignments) == 2
+        assert all(a[1] is True for a in assignments)
+
+    def test_projection_deduplicates(self):
+        # Variable 2 is free but we project to variable 1 only.
+        assignments = list(enumerate_assignments([(1,)], 2, project_to=[1]))
+        assert assignments == [{1: True}]
+
+    def test_count_matches_truth_table(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        from repro.logic.parser import parse
+
+        formula = parse("(a | b) & (b -> c)")
+        problem = tseitin(formula, vocabulary)
+        count = sum(
+            1
+            for _ in enumerate_assignments(
+                problem.clauses,
+                problem.num_variables,
+                project_to=problem.atom_variables,
+            )
+        )
+        assert count == int(truth_table(formula, vocabulary).sum())
+
+    @given(formulas(max_leaves=8))
+    def test_every_enumerated_assignment_satisfies(self, formula):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        problem = tseitin(formula, vocabulary)
+        for assignment in enumerate_assignments(
+            problem.clauses, problem.num_variables
+        ):
+            assert _satisfies(problem.clauses, assignment)

@@ -1,0 +1,191 @@
+"""Unit tests for evaluation, truth tables, and ModelSet algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet, evaluate, truth_table
+from repro.logic.syntax import BOTTOM, TOP, Atom
+
+from conftest import formulas, model_sets
+
+
+class TestEvaluate:
+    def test_atom(self):
+        vocabulary = Vocabulary(["a"])
+        assert evaluate(Atom("a"), vocabulary.interpretation({"a"}))
+        assert not evaluate(Atom("a"), vocabulary.interpretation(set()))
+
+    def test_constants(self):
+        interp = Vocabulary(["a"]).interpretation(set())
+        assert evaluate(TOP, interp)
+        assert not evaluate(BOTTOM, interp)
+
+    @pytest.mark.parametrize(
+        "text,true_atoms,expected",
+        [
+            ("a & b", {"a", "b"}, True),
+            ("a & b", {"a"}, False),
+            ("a | b", {"b"}, True),
+            ("a | b", set(), False),
+            ("!a", set(), True),
+            ("a -> b", set(), True),
+            ("a -> b", {"a"}, False),
+            ("a <-> b", {"a", "b"}, True),
+            ("a <-> b", {"a"}, False),
+            ("a ^ b", {"a"}, True),
+            ("a ^ b", {"a", "b"}, False),
+        ],
+    )
+    def test_connectives(self, text, true_atoms, expected):
+        vocabulary = Vocabulary(["a", "b"])
+        assert evaluate(parse(text), vocabulary.interpretation(true_atoms)) == expected
+
+    def test_unknown_atom_raises(self):
+        interp = Vocabulary(["a"]).interpretation(set())
+        with pytest.raises(VocabularyError):
+            evaluate(Atom("z"), interp)
+
+
+class TestTruthTable:
+    def test_shape(self):
+        vocabulary = Vocabulary(["a", "b"])
+        table = truth_table(parse("a & b"), vocabulary)
+        assert table.shape == (4,)
+        assert table.dtype == bool
+
+    def test_matches_evaluate_pointwise(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        formula = parse("(a | b) & (b -> !c) ^ (a <-> c)")
+        table = truth_table(formula, vocabulary)
+        for interp in vocabulary.all_interpretations():
+            assert table[interp.mask] == evaluate(formula, interp)
+
+    @given(formulas())
+    def test_matches_evaluate_on_random_formulas(self, formula):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        table = truth_table(formula, vocabulary)
+        for interp in vocabulary.all_interpretations():
+            assert table[interp.mask] == evaluate(formula, interp)
+
+    def test_oversized_vocabulary_rejected(self):
+        vocabulary = Vocabulary([f"p{i}" for i in range(23)])
+        with pytest.raises(VocabularyError):
+            truth_table(TOP, vocabulary)
+
+
+class TestModelSetConstruction:
+    def test_empty_and_universe(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert ModelSet.empty(vocabulary).is_empty
+        assert ModelSet.universe(vocabulary).is_universe
+        assert len(ModelSet.universe(vocabulary)) == 4
+
+    def test_from_truth_table(self):
+        vocabulary = Vocabulary(["a", "b"])
+        table = np.array([True, False, False, True])
+        assert ModelSet.from_truth_table(vocabulary, table).masks == (0, 3)
+
+    def test_from_truth_table_wrong_shape(self):
+        with pytest.raises(VocabularyError):
+            ModelSet.from_truth_table(Vocabulary(["a"]), np.array([True]))
+
+    def test_of_interpretations(self):
+        vocabulary = Vocabulary(["a", "b"])
+        interps = [vocabulary.interpretation({"a"}), vocabulary.interpretation(set())]
+        assert ModelSet.of_interpretations(interps).masks == (0, 1)
+
+    def test_of_interpretations_empty_rejected(self):
+        with pytest.raises(VocabularyError):
+            ModelSet.of_interpretations([])
+
+    def test_of_interpretations_mixed_vocabularies_rejected(self):
+        with pytest.raises(VocabularyError):
+            ModelSet.of_interpretations(
+                [
+                    Vocabulary(["a"]).interpretation(set()),
+                    Vocabulary(["b"]).interpretation(set()),
+                ]
+            )
+
+    def test_out_of_range_mask_rejected(self):
+        with pytest.raises(VocabularyError):
+            ModelSet(Vocabulary(["a"]), [4])
+
+    def test_masks_sorted_and_deduplicated(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert ModelSet(vocabulary, [3, 1, 3]).masks == (1, 3)
+
+
+class TestModelSetAlgebra:
+    def test_union_is_or(self):
+        vocabulary = Vocabulary(["a", "b"])
+        left = ModelSet(vocabulary, [0, 1])
+        right = ModelSet(vocabulary, [1, 2])
+        assert (left | right).masks == (0, 1, 2)
+
+    def test_intersection_is_and(self):
+        vocabulary = Vocabulary(["a", "b"])
+        left = ModelSet(vocabulary, [0, 1])
+        right = ModelSet(vocabulary, [1, 2])
+        assert (left & right).masks == (1,)
+
+    def test_difference(self):
+        vocabulary = Vocabulary(["a", "b"])
+        left = ModelSet(vocabulary, [0, 1])
+        right = ModelSet(vocabulary, [1])
+        assert (left - right).masks == (0,)
+
+    def test_complement_is_negation(self):
+        vocabulary = Vocabulary(["a", "b"])
+        ms = ModelSet(vocabulary, [0, 3])
+        assert ms.complement().masks == (1, 2)
+        assert ms.complement().complement() == ms
+
+    def test_issubset_is_entailment(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert ModelSet(vocabulary, [1]).issubset(ModelSet(vocabulary, [0, 1]))
+        assert not ModelSet(vocabulary, [2]).issubset(ModelSet(vocabulary, [0, 1]))
+
+    def test_cross_vocabulary_operations_rejected(self):
+        with pytest.raises(VocabularyError):
+            ModelSet(Vocabulary(["a"]), [0]).union(ModelSet(Vocabulary(["b"]), [0]))
+
+    def test_membership(self):
+        vocabulary = Vocabulary(["a", "b"])
+        ms = ModelSet(vocabulary, [2])
+        assert vocabulary.interpretation({"b"}) in ms
+        assert vocabulary.interpretation({"a"}) not in ms
+        assert 2 in ms and 1 not in ms
+        assert "b" not in ms  # strings are not members
+
+    def test_iteration_yields_sorted_interpretations(self):
+        vocabulary = Vocabulary(["a", "b"])
+        ms = ModelSet(vocabulary, [3, 0])
+        assert [interp.mask for interp in ms] == [0, 3]
+
+    def test_equality_and_hash(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert ModelSet(vocabulary, [1, 2]) == ModelSet(vocabulary, [2, 1])
+        assert hash(ModelSet(vocabulary, [1])) == hash(ModelSet(vocabulary, [1]))
+
+
+class TestModelSetProperties:
+    @given(model_sets(Vocabulary(["a", "b", "c"])))
+    def test_de_morgan(self, ms):
+        universe = ModelSet.universe(ms.vocabulary)
+        other = universe.difference(ms)
+        assert ms.union(other) == universe
+        assert ms.intersection(other).is_empty
+
+    @given(
+        model_sets(Vocabulary(["a", "b", "c"])),
+        model_sets(Vocabulary(["a", "b", "c"])),
+    )
+    def test_union_commutative_intersection_distributes(self, left, right):
+        assert left.union(right) == right.union(left)
+        universe = ModelSet.universe(left.vocabulary)
+        assert left.intersection(universe) == left

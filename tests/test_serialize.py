@@ -1,0 +1,133 @@
+"""Unit tests for JSON serialization of knowledge-base state."""
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.core.weighted import WeightedKnowledgeBase
+from repro.errors import ReproError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.serialize import (
+    knowledge_base_from_json,
+    knowledge_base_to_json,
+    model_set_from_dict,
+    model_set_to_dict,
+    weighted_kb_from_dict,
+    weighted_kb_to_dict,
+)
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+
+from conftest import model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestModelSetRoundTrip:
+    @given(model_sets(VOCAB))
+    def test_round_trip(self, ms):
+        assert model_set_from_dict(model_set_to_dict(ms)) == ms
+
+    def test_dict_is_json_compatible(self):
+        ms = ModelSet(VOCAB, [0, 5])
+        text = json.dumps(model_set_to_dict(ms))
+        assert model_set_from_dict(json.loads(text)) == ms
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            model_set_from_dict({"kind": "weighted-kb"})
+
+
+class TestWeightedKbRoundTrip:
+    def test_round_trip_exact_fractions(self):
+        kb = WeightedKnowledgeBase(
+            VOCAB, {0: Fraction(1, 3), 5: Fraction(7, 2), 2: 4}
+        )
+        restored = weighted_kb_from_dict(weighted_kb_to_dict(kb))
+        assert restored.equivalent(kb)
+        assert restored.weight_of_mask(0) == Fraction(1, 3)
+
+    def test_json_compatible(self):
+        kb = WeightedKnowledgeBase(VOCAB, {1: 9, 2: 2})
+        text = json.dumps(weighted_kb_to_dict(kb))
+        assert weighted_kb_from_dict(json.loads(text)).equivalent(kb)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            weighted_kb_from_dict({"kind": "model-set"})
+
+
+class TestKnowledgeBaseRoundTrip:
+    def test_state_preserved(self):
+        kb = KnowledgeBase("a & (b | c)", atoms=["a", "b", "c"])
+        restored = knowledge_base_from_json(knowledge_base_to_json(kb))
+        assert restored.model_set == kb.model_set
+        assert restored.vocabulary == kb.vocabulary
+
+    def test_history_preserved(self):
+        kb = KnowledgeBase("a & b").revise("!a").arbitrate("a | b")
+        restored = knowledge_base_from_json(knowledge_base_to_json(kb))
+        assert len(restored.history) == 2
+        assert restored.history[0].operation == "revise"
+        assert restored.history[1].operation == "arbitrate"
+        assert restored.history[0].before == kb.history[0].before
+
+    def test_unsatisfiable_kb_round_trips(self):
+        kb = KnowledgeBase("a & !a")
+        restored = knowledge_base_from_json(knowledge_base_to_json(kb))
+        assert not restored.satisfiable
+
+    def test_operators_reattached(self):
+        from repro.operators.revision import SatohRevision
+
+        kb = KnowledgeBase("a & b")
+        restored = knowledge_base_from_json(
+            knowledge_base_to_json(kb), revision=SatohRevision()
+        )
+        changed = restored.revise("!a")
+        assert changed.history[-1].operator == "satoh"
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ReproError):
+            knowledge_base_from_json(json.dumps({"kind": "model-set"}))
+
+    def test_constraints_survive_round_trip(self):
+        kb = KnowledgeBase("a & b", constraints="a -> b")
+        restored = knowledge_base_from_json(knowledge_base_to_json(kb))
+        assert restored.constraints is not None
+        # Constraints must keep binding future changes after the reload.
+        changed = restored.revise("!b")
+        assert changed.entails("a -> b")
+        assert changed.entails("!a")
+
+    def test_unconstrained_round_trip_has_no_constraints(self):
+        kb = KnowledgeBase("a")
+        restored = knowledge_base_from_json(knowledge_base_to_json(kb))
+        assert restored.constraints is None
+
+
+class TestKnowledgeBaseRetraction:
+    def test_contract_stops_belief(self):
+        kb = KnowledgeBase("a & b")
+        contracted = kb.contract("a")
+        assert contracted.ask("a") == "unknown"
+        assert contracted.entails("b")  # minimal-change: b survives
+        assert kb.model_set.issubset(contracted.model_set)
+
+    def test_erase_stops_belief_per_model(self):
+        kb = KnowledgeBase("a & b")
+        erased = kb.erase("a")
+        assert erased.ask("a") == "unknown"
+
+    def test_ask_three_values(self):
+        kb = KnowledgeBase("a & !b")
+        assert kb.ask("a") == "yes"
+        assert kb.ask("b") == "no"
+        kb2 = KnowledgeBase("a | b")
+        assert kb2.ask("a") == "unknown"
+
+    def test_history_records_retractions(self):
+        kb = KnowledgeBase("a & b").contract("a").erase("b")
+        assert [record.operation for record in kb.history] == ["contract", "erase"]

@@ -1,0 +1,112 @@
+"""Unit tests for the interactive theory-change shell."""
+
+import io
+
+import pytest
+
+from repro.kb.shell import Shell
+
+
+def run_session(*lines: str) -> str:
+    out = io.StringIO()
+    shell = Shell(out)
+    for line in lines:
+        if not shell.execute(line):
+            break
+    return out.getvalue()
+
+
+class TestLifecycle:
+    def test_init_reports_models(self):
+        text = run_session("init a & b")
+        assert "1 model(s)" in text
+
+    def test_commands_before_init_error(self):
+        text = run_session("ask a")
+        assert "error" in text and "init" in text
+
+    def test_quit_ends_session(self):
+        out = io.StringIO()
+        shell = Shell(out)
+        assert shell.execute("init a")
+        assert not shell.execute("quit")
+
+    def test_blank_lines_ignored(self):
+        assert run_session("", "   ") == ""
+
+    def test_unknown_command(self):
+        text = run_session("frobnicate a")
+        assert "unknown command" in text
+
+    def test_help_lists_commands(self):
+        text = run_session("help")
+        assert "revise" in text and "arbitrate" in text and "undo" in text
+
+
+class TestChangesAndQueries:
+    def test_revise_then_ask(self):
+        text = run_session("init a & b", "revise !a", "ask b", "ask a")
+        lines = text.strip().splitlines()
+        assert lines[-2] == "yes"  # b survives Dalal revision
+        assert lines[-1] == "no"
+
+    def test_arbitrate(self):
+        text = run_session("init a & b", "arbitrate !a & !b", "ask a")
+        assert text.strip().splitlines()[-1] == "unknown"
+
+    def test_contract_and_erase(self):
+        text = run_session("init a & b", "contract a", "ask a")
+        assert text.strip().splitlines()[-1] == "unknown"
+        text = run_session("init a", "erase a", "ask a")
+        assert text.strip().splitlines()[-1] == "unknown"
+
+    def test_show_prints_minimized_formula(self):
+        text = run_session("init (a & b) | (a & !b)", "show")
+        assert text.strip().splitlines()[-1] == "a"
+
+    def test_models_listing(self):
+        text = run_session("init a | b", "models")
+        assert text.count("{") >= 3
+
+    def test_missing_argument_usage(self):
+        text = run_session("init a", "revise")
+        assert "usage: revise" in text
+
+    def test_parse_errors_are_reported_not_raised(self):
+        text = run_session("init a &")
+        assert "error" in text
+
+
+class TestHistoryAndUndo:
+    def test_history_lists_changes(self):
+        text = run_session("init a", "revise !a", "update a", "history")
+        assert "1. revise[dalal]" in text
+        assert "2. update[winslett]" in text
+
+    def test_empty_history(self):
+        text = run_session("init a", "history")
+        assert "(no changes)" in text
+
+    def test_undo_restores_previous_state(self):
+        text = run_session("init a & b", "revise !a", "undo", "ask a")
+        assert text.strip().splitlines()[-1] == "yes"
+
+    def test_undo_at_bottom(self):
+        text = run_session("init a", "undo")
+        assert "nothing to undo" in text
+
+
+class TestConstrain:
+    def test_constrain_restarts_with_constraints(self):
+        text = run_session("init a", "constrain a -> b", "ask b")
+        assert text.strip().splitlines()[-1] == "yes"
+
+
+class TestRunLoop:
+    def test_run_consumes_stream(self):
+        out = io.StringIO()
+        source = io.StringIO("init a & b\nask a\nquit\n")
+        Shell(out).run(source)
+        text = out.getvalue()
+        assert text.count("repro>") == 3
+        assert "yes" in text

@@ -1,0 +1,80 @@
+"""Unit tests for the degenerate baselines (full meet, drastic fitting)."""
+
+import pytest
+
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.operators.simple import DrasticFitting, FullMeetRevision
+from repro.postulates.axioms import FITTING_AXIOMS, REVISION_AXIOMS
+from repro.postulates.harness import audit_operator
+
+VOCAB = Vocabulary(["a", "b"])
+
+
+def _ms(*masks):
+    return ModelSet(VOCAB, masks)
+
+
+class TestFullMeetRevision:
+    def test_consistent_case(self):
+        assert FullMeetRevision().apply_models(_ms(0, 1), _ms(1, 2)) == _ms(1)
+
+    def test_inconsistent_case_accepts_mu_whole(self):
+        """Unlike Dalal, full meet cannot discriminate among μ's models."""
+        assert FullMeetRevision().apply_models(_ms(0), _ms(1, 3)) == _ms(1, 3)
+
+    def test_satisfies_all_km_revision_axioms(self):
+        audit = audit_operator(FullMeetRevision(), REVISION_AXIOMS, VOCAB)
+        for name, result in audit.items():
+            assert result.holds, str(result)
+
+    def test_fails_a8_by_theorem_3_2(self):
+        from repro.postulates.axioms import axiom_by_name
+        from repro.postulates.harness import check_axiom
+
+        result = check_axiom(FullMeetRevision(), axiom_by_name("A8"), VOCAB)
+        assert not result.holds
+
+    def test_coarser_than_dalal(self):
+        from repro.operators.revision import DalalRevision
+
+        psi, mu = _ms(0), _ms(1, 3)
+        dalal = DalalRevision().apply_models(psi, mu)
+        full_meet = FullMeetRevision().apply_models(psi, mu)
+        assert dalal.issubset(full_meet)
+        assert dalal != full_meet  # Dalal keeps only the 1-flip model
+
+
+class TestDrasticFitting:
+    def test_singleton_base_behaves_like_full_meet(self):
+        operator = DrasticFitting()
+        assert operator.apply_models(_ms(1), _ms(1, 2)) == _ms(1)
+        assert operator.apply_models(_ms(1), _ms(0, 2)) == _ms(0, 2)
+
+    def test_larger_base_collapses(self):
+        """With ≥2 models in ψ every interpretation is at drastic-odist 1,
+        so the order is flat and ψ ▷ μ = μ."""
+        operator = DrasticFitting()
+        mu = _ms(0, 2, 3)
+        assert operator.apply_models(_ms(0, 1), mu) == mu
+
+    def test_respects_a2(self):
+        assert DrasticFitting().apply_models(
+            ModelSet.empty(VOCAB), _ms(1)
+        ).is_empty
+
+    def test_fails_a8_like_its_hamming_sibling(self):
+        from repro.postulates.axioms import axiom_by_name
+        from repro.postulates.harness import check_axiom
+
+        result = check_axiom(DrasticFitting(), axiom_by_name("A8"), VOCAB)
+        assert not result.holds
+
+    def test_satisfies_a1_a7(self):
+        audit = audit_operator(
+            DrasticFitting(),
+            [axiom for axiom in FITTING_AXIOMS if axiom.name != "A8"],
+            VOCAB,
+        )
+        for name, result in audit.items():
+            assert result.holds, str(result)

@@ -1,0 +1,116 @@
+"""Unit tests for Grove sphere systems and the three-presentation theorem."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import VocabularyError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.operators.dilation import DilationDalalRevision
+from repro.operators.revision import DalalRevision
+from repro.orders.preorder import TotalPreorder
+from repro.orders.spheres import SphereSystem
+from repro.postulates.harness import all_model_sets
+
+from conftest import model_sets, nonempty_model_sets
+
+VOCAB = Vocabulary(["a", "b"])
+VOCAB3 = Vocabulary(["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_requires_spheres(self):
+        with pytest.raises(VocabularyError):
+            SphereSystem(VOCAB, [])
+
+    def test_requires_nesting(self):
+        with pytest.raises(VocabularyError):
+            SphereSystem(
+                VOCAB, [ModelSet(VOCAB, [0, 1]), ModelSet(VOCAB, [2, 3])]
+            )
+
+    def test_requires_universal_outermost(self):
+        with pytest.raises(VocabularyError):
+            SphereSystem(VOCAB, [ModelSet(VOCAB, [0, 1])])
+
+    def test_duplicate_spheres_collapsed(self):
+        inner = ModelSet(VOCAB, [0])
+        system = SphereSystem(
+            VOCAB, [inner, inner, ModelSet.universe(VOCAB)]
+        )
+        assert len(system) == 2
+
+    def test_vocabulary_mismatch_rejected(self):
+        with pytest.raises(VocabularyError):
+            SphereSystem(VOCAB, [ModelSet.universe(Vocabulary(["x"]))])
+
+
+class TestPreorderTranslation:
+    def test_from_preorder_levels(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask.bit_count())
+        system = SphereSystem.from_preorder(order)
+        assert system.innermost.masks == (0,)
+        assert len(system) == 3  # popcounts 0, 1, 2 cumulated
+        assert system.spheres[-1].is_universe
+
+    @given(model_sets(VOCAB3))
+    def test_round_trip_preserves_order(self, seed_set):
+        """preorder -> spheres -> preorder is the identity (up to rank
+        isomorphism, which TotalPreorder equality already quotients)."""
+        order = TotalPreorder.from_key(
+            VOCAB3, lambda mask: min(
+                ((mask ^ m).bit_count() for m in seed_set.masks), default=0
+            )
+        )
+        system = SphereSystem.from_preorder(order)
+        assert system.to_preorder() == order
+
+
+class TestGroveRevision:
+    def test_smallest_intersecting(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask.bit_count())
+        system = SphereSystem.from_preorder(order)
+        mu = ModelSet(VOCAB, [0b11])
+        assert system.smallest_intersecting(mu).is_universe
+
+    def test_unsatisfiable_input(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask)
+        system = SphereSystem.from_preorder(order)
+        assert system.revise(ModelSet.empty(VOCAB)).is_empty
+
+    def test_vocabulary_mismatch_rejected(self):
+        order = TotalPreorder.from_key(VOCAB, lambda mask: mask)
+        system = SphereSystem.from_preorder(order)
+        with pytest.raises(VocabularyError):
+            system.revise(ModelSet.empty(Vocabulary(["x"])))
+
+    def test_three_presentations_of_dalal_agree_exhaustively(self):
+        """KM faithful assignment ≡ Grove spheres ≡ Dalal dilation, on
+        every two-atom scenario: the classical triangle, machine-checked."""
+        order_based = DalalRevision()
+        dilation_based = DilationDalalRevision()
+        for psi in all_model_sets(VOCAB, include_empty=False):
+            spheres = SphereSystem.from_preorder(order_based.order_for(psi))
+            for mu in all_model_sets(VOCAB):
+                km = order_based.apply_models(psi, mu)
+                grove = spheres.revise(mu)
+                dalal = dilation_based.apply_models(psi, mu)
+                assert km == grove == dalal, (psi, mu)
+
+    @given(psi=nonempty_model_sets(VOCAB3), mu=model_sets(VOCAB3))
+    def test_three_presentations_property_three_atoms(self, psi, mu):
+        order_based = DalalRevision()
+        spheres = SphereSystem.from_preorder(order_based.order_for(psi))
+        assert spheres.revise(mu) == order_based.apply_models(psi, mu)
+
+    def test_dalal_spheres_are_hamming_balls(self):
+        """The spheres of Dalal's assignment around ψ are exactly the
+        iterated dilations of Mod(ψ) — connecting Grove to Dalal's G."""
+        from repro.operators.dilation import dilate
+
+        psi = ModelSet(VOCAB3, [0b000, 0b110])
+        spheres = SphereSystem.from_preorder(DalalRevision().order_for(psi))
+        dilated = psi
+        for sphere in spheres.spheres:
+            assert sphere == dilated
+            dilated = dilate(dilated)

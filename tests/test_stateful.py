@@ -1,0 +1,124 @@
+"""Stateful property testing: random theory-change sessions.
+
+A hypothesis state machine drives a :class:`KnowledgeBase` through random
+sequences of revisions, updates, arbitrations, contractions, and erasures,
+checking global invariants after every step — the closest thing to fuzzing
+a live database session.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.logic.enumeration import form_formula
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+
+ATOMS = ("a", "b", "c")
+VOCAB = Vocabulary(list(ATOMS))
+
+# Random satisfiable inputs: arbitrary nonempty model sets turned into
+# their canonical formulas (so every corner of the semantic space shows up).
+nonempty_inputs = st.sets(
+    st.integers(min_value=0, max_value=VOCAB.interpretation_count - 1),
+    min_size=1,
+).map(lambda masks: form_formula(ModelSet(VOCAB, masks)))
+
+
+class TheoryChangeSession(RuleBasedStateMachine):
+    """Random walk over theory-change operations."""
+
+    def __init__(self):
+        super().__init__()
+        self.kb = KnowledgeBase("a | !a", atoms=list(ATOMS))
+        self.steps = 0
+
+    @rule(new_info=nonempty_inputs)
+    def revise(self, new_info):
+        self.kb = self.kb.revise(new_info)
+        self.steps += 1
+        # R3: revision by satisfiable input yields a satisfiable base.
+        assert self.kb.satisfiable
+        # R1: the new information holds afterwards.
+        assert self.kb.entails(new_info)
+
+    @rule(new_info=nonempty_inputs)
+    def update(self, new_info):
+        was_satisfiable = self.kb.satisfiable
+        self.kb = self.kb.update(new_info)
+        self.steps += 1
+        # U1 + U3: success, and satisfiability is preserved.
+        assert self.kb.entails(new_info)
+        assert self.kb.satisfiable == was_satisfiable
+
+    @rule(new_info=nonempty_inputs)
+    def arbitrate(self, new_info):
+        was_satisfiable = self.kb.satisfiable
+        self.kb = self.kb.arbitrate(new_info)
+        self.steps += 1
+        # Both voices satisfiable ⇒ a consensus exists (A3 through Δ).
+        assert self.kb.satisfiable or not was_satisfiable
+
+    @rule(retracted=nonempty_inputs)
+    def contract(self, retracted):
+        before = self.kb.model_set
+        self.kb = self.kb.contract(retracted)
+        self.steps += 1
+        # C1: contraction only opens models.
+        assert before.issubset(self.kb.model_set)
+
+    @rule(retracted=nonempty_inputs)
+    def erase(self, retracted):
+        before = self.kb.model_set
+        self.kb = self.kb.erase(retracted)
+        self.steps += 1
+        assert before.issubset(self.kb.model_set)
+
+    @invariant()
+    def vocabulary_is_stable(self):
+        assert self.kb.vocabulary == VOCAB
+
+    @invariant()
+    def history_tracks_steps(self):
+        assert len(self.kb.history) == self.steps
+
+    @invariant()
+    def formula_matches_models(self):
+        formula = self.kb.to_formula()
+        from repro.logic.enumeration import models
+
+        assert models(formula, VOCAB) == self.kb.model_set
+
+
+TestTheoryChangeSession = TheoryChangeSession.TestCase
+
+
+class ConstrainedSession(RuleBasedStateMachine):
+    """The same walk under an integrity constraint: it must never break."""
+
+    CONSTRAINT = "a -> b"
+
+    def __init__(self):
+        super().__init__()
+        self.kb = KnowledgeBase(
+            "b", atoms=list(ATOMS), constraints=self.CONSTRAINT
+        )
+
+    @rule(new_info=nonempty_inputs)
+    def revise(self, new_info):
+        self.kb = self.kb.revise(new_info)
+
+    @rule(new_info=nonempty_inputs)
+    def update(self, new_info):
+        self.kb = self.kb.update(new_info)
+
+    @rule(new_info=nonempty_inputs)
+    def arbitrate(self, new_info):
+        self.kb = self.kb.arbitrate(new_info)
+
+    @invariant()
+    def constraints_always_hold(self):
+        assert self.kb.entails(self.CONSTRAINT)
+
+
+TestConstrainedSession = ConstrainedSession.TestCase

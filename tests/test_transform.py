@@ -1,0 +1,150 @@
+"""Unit tests for normal-form conversions and simplification."""
+
+from hypothesis import given
+
+from repro.logic.enumeration import equivalent
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.syntax import BOTTOM, TOP, Atom, Iff, Implies, Not, Xor
+from repro.logic.transform import (
+    eliminate_sugar,
+    is_cnf,
+    is_dnf,
+    is_nnf,
+    simplify,
+    to_cnf,
+    to_dnf,
+    to_nnf,
+)
+
+from conftest import formulas
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+class TestEliminateSugar:
+    def test_implies(self):
+        result = eliminate_sugar(Implies(Atom("a"), Atom("b")))
+        assert equivalent(result, parse("!a | b"), VOCAB)
+        assert is_nnf(to_nnf(result))
+
+    def test_iff(self):
+        result = eliminate_sugar(Iff(Atom("a"), Atom("b")))
+        assert equivalent(result, parse("(a & b) | (!a & !b)"), VOCAB)
+
+    def test_xor(self):
+        result = eliminate_sugar(Xor(Atom("a"), Atom("b")))
+        assert equivalent(result, parse("(a & !b) | (!a & b)"), VOCAB)
+
+    def test_nested_sugar(self):
+        formula = parse("(a -> b) <-> (b ^ c)")
+        result = eliminate_sugar(formula)
+        assert equivalent(result, formula, VOCAB)
+
+    @given(formulas())
+    def test_preserves_semantics(self, formula):
+        assert equivalent(eliminate_sugar(formula), formula, VOCAB)
+
+
+class TestNnf:
+    def test_pushes_negation_through_and(self):
+        assert to_nnf(parse("!(a & b)")) == parse("!a | !b")
+
+    def test_pushes_negation_through_or(self):
+        assert to_nnf(parse("!(a | b)")) == parse("!a & !b")
+
+    def test_double_negation_removed(self):
+        assert to_nnf(parse("!!a")) == Atom("a")
+
+    def test_negated_constants(self):
+        assert to_nnf(Not(TOP)) == BOTTOM
+        assert to_nnf(Not(BOTTOM)) == TOP
+
+    @given(formulas())
+    def test_nnf_is_nnf_and_equivalent(self, formula):
+        result = to_nnf(formula)
+        assert is_nnf(result)
+        assert equivalent(result, formula, VOCAB)
+
+
+class TestCnf:
+    def test_distributes(self):
+        result = to_cnf(parse("(a & b) | c"))
+        assert is_cnf(result)
+        assert equivalent(result, parse("(a | c) & (b | c)"), VOCAB)
+
+    def test_already_cnf_unchanged_semantics(self):
+        formula = parse("(a | b) & (!a | c)")
+        assert equivalent(to_cnf(formula), formula, VOCAB)
+
+    @given(formulas(max_leaves=8))
+    def test_cnf_is_cnf_and_equivalent(self, formula):
+        result = to_cnf(formula)
+        assert is_cnf(result)
+        assert equivalent(result, formula, VOCAB)
+
+
+class TestDnf:
+    def test_distributes(self):
+        result = to_dnf(parse("(a | b) & c"))
+        assert is_dnf(result)
+        assert equivalent(result, parse("(a & c) | (b & c)"), VOCAB)
+
+    @given(formulas(max_leaves=8))
+    def test_dnf_is_dnf_and_equivalent(self, formula):
+        result = to_dnf(formula)
+        assert is_dnf(result)
+        assert equivalent(result, formula, VOCAB)
+
+
+class TestSimplify:
+    def test_constant_folding_and(self):
+        assert simplify(parse("a & true")) == Atom("a")
+        assert simplify(parse("a & false")) == BOTTOM
+
+    def test_constant_folding_or(self):
+        assert simplify(parse("a | false")) == Atom("a")
+        assert simplify(parse("a | true")) == TOP
+
+    def test_idempotence(self):
+        assert simplify(parse("a & a")) == Atom("a")
+        assert simplify(parse("a | a | a")) == Atom("a")
+
+    def test_complement_detection(self):
+        assert simplify(parse("a & !a")) == BOTTOM
+        assert simplify(parse("a | !a")) == TOP
+
+    def test_double_negation(self):
+        assert simplify(parse("!!a")) == Atom("a")
+
+    def test_negated_constant(self):
+        assert simplify(parse("!true")) == BOTTOM
+
+    @given(formulas())
+    def test_preserves_semantics(self, formula):
+        assert equivalent(simplify(formula), formula, VOCAB)
+
+
+class TestRecognizers:
+    def test_literal_is_everything(self):
+        atom = Atom("a")
+        assert is_nnf(atom) and is_cnf(atom) and is_dnf(atom)
+        negated = Not(atom)
+        assert is_nnf(negated) and is_cnf(negated) and is_dnf(negated)
+
+    def test_clause_is_cnf_not_dnf_shape(self):
+        clause = parse("a | !b | c")
+        assert is_cnf(clause)
+        assert is_dnf(clause)  # a disjunction of literal terms is also DNF
+
+    def test_nested_negation_is_not_nnf(self):
+        assert not is_nnf(parse("!(a & b)"))
+
+    def test_sugar_is_not_nnf(self):
+        assert not is_nnf(parse("a -> b"))
+
+    def test_cnf_rejects_or_of_ands(self):
+        assert not is_cnf(parse("(a & b) | (c & !a)"))
+
+    def test_dnf_rejects_and_of_ors(self):
+        assert not is_dnf(parse("(a | b) & (c | !a)"))

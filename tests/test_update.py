@@ -1,0 +1,134 @@
+"""Unit tests for the update operators (Winslett PMA, Forbus)."""
+
+import pytest
+from hypothesis import given
+
+from repro.logic.enumeration import models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+from repro.operators.base import OperatorFamily
+from repro.operators.update import ForbusUpdate, WinslettUpdate
+
+from conftest import model_sets, nonempty_model_sets
+
+VOCAB = Vocabulary(["a", "b", "c"])
+ALL_UPDATES = [WinslettUpdate(), ForbusUpdate()]
+
+
+def _ms(*atom_sets):
+    return ModelSet(VOCAB, [VOCAB.mask_of(atoms) for atoms in atom_sets])
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize("operator", ALL_UPDATES, ids=lambda op: op.name)
+    def test_family_metadata(self, operator):
+        assert operator.family is OperatorFamily.UPDATE
+
+    @pytest.mark.parametrize("operator", ALL_UPDATES, ids=lambda op: op.name)
+    def test_unsatisfiable_base_stays_unsatisfiable(self, operator):
+        """U8's per-model union means the empty base yields the empty
+        result (unlike revision's R3)."""
+        mu = _ms({"a"})
+        assert operator.apply_models(ModelSet.empty(VOCAB), mu).is_empty
+
+    @pytest.mark.parametrize("operator", ALL_UPDATES, ids=lambda op: op.name)
+    def test_base_implying_new_is_kept(self, operator):
+        """U2: ψ ⊨ μ leaves ψ unchanged."""
+        psi = _ms({"a"}, {"a", "b"})
+        mu = psi.union(_ms({"c"}))
+        assert operator.apply_models(psi, mu) == psi
+
+    @pytest.mark.parametrize("operator", ALL_UPDATES, ids=lambda op: op.name)
+    @given(psi=nonempty_model_sets(VOCAB), mu=model_sets(VOCAB))
+    def test_per_model_union_u8(self, operator, psi, mu):
+        """The defining property: updating a disjunction updates each
+        model independently."""
+        combined = operator.apply_models(psi, mu)
+        pointwise = ModelSet.empty(VOCAB)
+        for interp in psi:
+            singleton = ModelSet(VOCAB, [interp.mask])
+            pointwise = pointwise.union(operator.apply_models(singleton, mu))
+        assert combined == pointwise
+
+
+class TestKmBookMagazineExample:
+    """KM's classic: ψ = exactly one of book/magazine is on the table;
+    μ = the book is on the table.  Update leaves the magazine alone in the
+    world where it was on the table; revision concludes ¬magazine."""
+
+    VOCAB_BM = Vocabulary(["book", "magazine"])
+
+    def test_update_keeps_magazine_possibility(self):
+        psi = parse("(book & !magazine) | (!book & magazine)")
+        mu = parse("book")
+        result = models(WinslettUpdate().apply(psi, mu, self.VOCAB_BM), self.VOCAB_BM)
+        expected = ModelSet(
+            self.VOCAB_BM,
+            [
+                self.VOCAB_BM.mask_of({"book"}),
+                self.VOCAB_BM.mask_of({"book", "magazine"}),
+            ],
+        )
+        assert result == expected
+
+    def test_revision_concludes_no_magazine(self):
+        from repro.operators.revision import DalalRevision
+
+        psi = parse("(book & !magazine) | (!book & magazine)")
+        mu = parse("book")
+        result = models(DalalRevision().apply(psi, mu, self.VOCAB_BM), self.VOCAB_BM)
+        assert result == ModelSet(
+            self.VOCAB_BM, [self.VOCAB_BM.mask_of({"book"})]
+        )
+
+
+class TestWinslett:
+    def test_inclusion_minimal_per_model(self):
+        # From ∅, candidates {a} (diff {a}) and {a,b} (diff {a,b}): only
+        # the ⊆-minimal {a} survives.
+        psi = _ms(set())
+        mu = _ms({"a"}, {"a", "b"})
+        assert WinslettUpdate().apply_models(psi, mu) == _ms({"a"})
+
+    def test_incomparable_diffs_both_kept(self):
+        # From ∅: diffs {a} and {b,c} are ⊆-incomparable — both kept,
+        # although Forbus would keep only the smaller one.
+        psi = _ms(set())
+        mu = _ms({"a"}, {"b", "c"})
+        assert WinslettUpdate().apply_models(psi, mu) == mu
+        assert ForbusUpdate().apply_models(psi, mu) == _ms({"a"})
+
+    def test_gun_scenario(self):
+        vocabulary = Vocabulary(["owns_gun"])
+        psi = parse("owns_gun")
+        mu = parse("!owns_gun")
+        result = models(WinslettUpdate().apply(psi, mu, vocabulary), vocabulary)
+        assert result == ModelSet(vocabulary, [0])
+
+
+class TestForbus:
+    def test_cardinality_minimal_per_model(self):
+        psi = _ms({"a", "b", "c"}, set())
+        mu = _ms({"a"}, {"a", "b"})
+        # From abc: distances 2 ({a}) vs 1 ({a,b}) -> {a,b}.
+        # From ∅: distances 1 vs 2 -> {a}.  Union: both.
+        assert ForbusUpdate().apply_models(psi, mu) == mu
+
+    def test_custom_distance(self):
+        from repro.distances.base import WeightedHammingDistance
+
+        # Make flipping 'a' very expensive: from ∅ the best μ-model
+        # becomes {b,c} rather than {a}.
+        operator = ForbusUpdate(WeightedHammingDistance({"a": 10.0}))
+        psi = _ms(set())
+        mu = _ms({"a"}, {"b", "c"})
+        assert operator.apply_models(psi, mu) == _ms({"b", "c"})
+
+    @given(psi=nonempty_model_sets(VOCAB), mu=nonempty_model_sets(VOCAB))
+    def test_forbus_refines_winslett(self, psi, mu):
+        """Cardinality-minimal diffs are inclusion-minimal, so Forbus's
+        result is always a subset of Winslett's."""
+        forbus = ForbusUpdate().apply_models(psi, mu)
+        winslett = WinslettUpdate().apply_models(psi, mu)
+        assert forbus.issubset(winslett)

@@ -1,0 +1,317 @@
+"""Unit tests for weighted knowledge bases and weighted operators (Section 4)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.weighted import (
+    WeightedArbitration,
+    WeightedKnowledgeBase,
+    WeightedModelFitting,
+    check_weighted_loyal,
+    wdist_assignment,
+)
+from repro.errors import VocabularyError, WeightError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+
+VOCAB = Vocabulary(["a", "b", "c"])
+
+
+def _wkb(weights: dict) -> WeightedKnowledgeBase:
+    return WeightedKnowledgeBase(
+        VOCAB, {VOCAB.mask_of(atoms): weight for atoms, weight in weights.items()}
+    )
+
+
+def weighted_kbs_strategy(vocabulary=VOCAB, max_weight=4):
+    total = vocabulary.interpretation_count
+    return st.dictionaries(
+        st.integers(min_value=0, max_value=total - 1),
+        st.integers(min_value=0, max_value=max_weight),
+        max_size=total,
+    ).map(lambda weights: WeightedKnowledgeBase(vocabulary, weights))
+
+
+class TestConstruction:
+    def test_zero_weights_dropped(self):
+        kb = WeightedKnowledgeBase(VOCAB, {0: 0, 1: 2})
+        assert kb.weight_of_mask(0) == 0
+        assert kb.support().masks == (1,)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(WeightError):
+            WeightedKnowledgeBase(VOCAB, {0: -1})
+
+    def test_non_numeric_weight_rejected(self):
+        with pytest.raises(WeightError):
+            WeightedKnowledgeBase(VOCAB, {0: "heavy"})  # type: ignore[dict-item]
+
+    def test_out_of_range_mask_rejected(self):
+        with pytest.raises(VocabularyError):
+            WeightedKnowledgeBase(VOCAB, {99: 1})
+
+    def test_float_weights_become_fractions(self):
+        kb = WeightedKnowledgeBase(VOCAB, {0: 0.5})
+        assert kb.weight_of_mask(0) == Fraction(1, 2)
+
+    def test_from_weights_interpretation_keys(self):
+        kb = WeightedKnowledgeBase.from_weights(
+            VOCAB, {VOCAB.interpretation({"a"}): 3}
+        )
+        assert kb.weight(VOCAB.interpretation({"a"})) == 3
+
+    def test_from_model_set_is_indicator(self):
+        ms = ModelSet(VOCAB, [0, 3])
+        kb = WeightedKnowledgeBase.from_model_set(ms)
+        assert kb.weight_of_mask(0) == 1
+        assert kb.weight_of_mask(1) == 0
+        assert kb.support() == ms
+
+    def test_from_formula(self):
+        kb = WeightedKnowledgeBase.from_formula(parse("a & !b & !c"), VOCAB, weight=7)
+        assert kb.weight(VOCAB.interpretation({"a"})) == 7
+        assert kb.total_weight() == 7
+
+    def test_uniform_is_the_paper_m_tilde(self):
+        kb = WeightedKnowledgeBase.uniform(VOCAB)
+        assert kb.support().is_universe
+        assert kb.total_weight() == 8
+
+    def test_zero_is_unsatisfiable(self):
+        assert not WeightedKnowledgeBase.zero(VOCAB).is_satisfiable
+
+
+class TestConnectives:
+    def test_join_sums_weights(self):
+        left = _wkb({frozenset({"a"}): 2})
+        right = _wkb({frozenset({"a"}): 3, frozenset({"b"}): 1})
+        joined = left.join(right)
+        assert joined.weight(VOCAB.interpretation({"a"})) == 5
+        assert joined.weight(VOCAB.interpretation({"b"})) == 1
+
+    def test_meet_takes_minimum(self):
+        left = _wkb({frozenset({"a"}): 2, frozenset({"b"}): 4})
+        right = _wkb({frozenset({"a"}): 3})
+        met = left.meet(right)
+        assert met.weight(VOCAB.interpretation({"a"})) == 2
+        assert met.weight(VOCAB.interpretation({"b"})) == 0
+
+    def test_operator_aliases(self):
+        left = _wkb({frozenset({"a"}): 1})
+        right = _wkb({frozenset({"b"}): 1})
+        assert (left | right).total_weight() == 2
+        assert (left & right).total_weight() == 0
+
+    def test_vocabulary_mismatch_rejected(self):
+        other = WeightedKnowledgeBase(Vocabulary(["x"]), {0: 1})
+        with pytest.raises(VocabularyError):
+            _wkb({frozenset({"a"}): 1}).join(other)
+
+    def test_embedding_is_not_a_join_homomorphism(self):
+        """The paper's two disjunctions genuinely differ: regular ∨ unions
+        model sets, weighted ⊔ adds weights — on overlapping models the
+        embeddings diverge.  This is why wdist is loyal but sumdist is not."""
+        overlap = ModelSet(VOCAB, [0, 1])
+        other = ModelSet(VOCAB, [1, 2])
+        embedded_union = WeightedKnowledgeBase.from_model_set(overlap.union(other))
+        union_of_embeddings = WeightedKnowledgeBase.from_model_set(
+            overlap
+        ).join(WeightedKnowledgeBase.from_model_set(other))
+        assert not embedded_union.equivalent(union_of_embeddings)
+        assert union_of_embeddings.weight_of_mask(1) == 2
+
+    @given(weighted_kbs_strategy(), weighted_kbs_strategy())
+    def test_join_commutative_meet_commutative(self, left, right):
+        assert left.join(right).equivalent(right.join(left))
+        assert left.meet(right).equivalent(right.meet(left))
+
+    @given(weighted_kbs_strategy())
+    def test_zero_is_join_identity(self, kb):
+        assert kb.join(WeightedKnowledgeBase.zero(VOCAB)).equivalent(kb)
+
+    def test_scaled(self):
+        kb = _wkb({frozenset({"a"}): 2}).scaled(Fraction(3, 2))
+        assert kb.weight(VOCAB.interpretation({"a"})) == 3
+
+
+class TestImplication:
+    def test_implies_pointwise(self):
+        small = _wkb({frozenset({"a"}): 1})
+        large = _wkb({frozenset({"a"}): 2, frozenset({"b"}): 1})
+        assert small.implies(large)
+        assert not large.implies(small)
+
+    @given(weighted_kbs_strategy(), weighted_kbs_strategy())
+    def test_meet_implies_both(self, left, right):
+        met = left.meet(right)
+        assert met.implies(left) and met.implies(right)
+
+    @given(weighted_kbs_strategy(), weighted_kbs_strategy())
+    def test_both_imply_join(self, left, right):
+        joined = left.join(right)
+        assert left.implies(joined) and right.implies(joined)
+
+
+class TestWdist:
+    def test_example_4_1_values(self):
+        vocabulary = Vocabulary(["S", "D", "Q"])
+        psi = WeightedKnowledgeBase.from_weights(
+            vocabulary,
+            {
+                vocabulary.interpretation({"S"}): 10,
+                vocabulary.interpretation({"D"}): 20,
+                vocabulary.interpretation({"S", "D", "Q"}): 5,
+            },
+        )
+        assert psi.wdist(vocabulary.interpretation({"D"})) == 30
+        assert psi.wdist(vocabulary.interpretation({"S", "D"})) == 35
+
+    def test_additive_under_join(self):
+        """wdist(ψ̃₁ ⊔ ψ̃₂, I) = wdist(ψ̃₁, I) + wdist(ψ̃₂, I) — the key
+        property behind weighted loyalty."""
+        left = _wkb({frozenset({"a"}): 2, frozenset(): 1})
+        right = _wkb({frozenset({"a"}): 1, frozenset({"b", "c"}): 3})
+        for interp in VOCAB.all_interpretations():
+            assert left.join(right).wdist(interp) == left.wdist(interp) + right.wdist(
+                interp
+            )
+
+
+class TestWeightedFitting:
+    def test_example_4_1_end_to_end(self):
+        vocabulary = Vocabulary(["S", "D", "Q"])
+        psi = WeightedKnowledgeBase.from_weights(
+            vocabulary,
+            {
+                vocabulary.interpretation({"S"}): 10,
+                vocabulary.interpretation({"D"}): 20,
+                vocabulary.interpretation({"S", "D", "Q"}): 5,
+            },
+        )
+        mu = WeightedKnowledgeBase.from_weights(
+            vocabulary,
+            {
+                vocabulary.interpretation({"D"}): 1,
+                vocabulary.interpretation({"S", "D"}): 1,
+            },
+        )
+        result = WeightedModelFitting().apply(psi, mu)
+        assert result.weight(vocabulary.interpretation({"D"})) == 1
+        assert result.total_weight() == 1
+
+    def test_result_keeps_mu_weights(self):
+        psi = _wkb({frozenset(): 1})
+        mu = _wkb({frozenset(): 7, frozenset({"a", "b", "c"}): 2})
+        result = WeightedModelFitting().apply(psi, mu)
+        assert result.weight_of_mask(0) == 7
+        assert result.total_weight() == 7
+
+    def test_axiom_f2_unsatisfiable_base(self):
+        mu = _wkb({frozenset({"a"}): 1})
+        result = WeightedModelFitting().apply(
+            WeightedKnowledgeBase.zero(VOCAB), mu
+        )
+        assert not result.is_satisfiable
+
+    def test_vocabulary_mismatch_rejected(self):
+        with pytest.raises(VocabularyError):
+            WeightedModelFitting().apply(
+                WeightedKnowledgeBase.zero(VOCAB),
+                WeightedKnowledgeBase.zero(Vocabulary(["x"])),
+            )
+
+
+class TestWeightedLoyalty:
+    def test_wdist_assignment_is_loyal_on_sample(self):
+        """The weighted story is sound where the unweighted one broke: ⊔
+        adds weights, so additivity gives loyalty — including on the exact
+        scenario that killed the unweighted odist/sumdist assignments."""
+        kbs = [
+            _wkb({frozenset(): 1}),
+            _wkb({frozenset(): 1, frozenset({"a"}): 1}),
+            _wkb({frozenset({"b", "c"}): 1, frozenset({"a", "b", "c"}): 1}),
+            _wkb({frozenset({"a"}): 3, frozenset({"b"}): 2}),
+        ]
+        assert check_weighted_loyal(wdist_assignment(), kbs) is None
+
+    def test_weighted_loyalty_checker_catches_bad_assignment(self):
+        from repro.core.weighted import WeightedLoyalAssignment
+        from repro.orders.preorder import TotalPreorder
+
+        def max_like(kb: WeightedKnowledgeBase) -> TotalPreorder:
+            support = kb.support().masks
+
+            def key(mask: int) -> int:
+                if not support:
+                    return 0
+                return max((mask ^ m).bit_count() for m in support)
+
+            return TotalPreorder.from_key(VOCAB, key)
+
+        bogus = WeightedLoyalAssignment(max_like, name="weighted-odist")
+        kbs = [
+            _wkb({frozenset(): 1}),
+            _wkb({frozenset(): 1, frozenset({"a"}): 1}),
+        ]
+        assert check_weighted_loyal(bogus, kbs) is not None
+
+
+class TestWeightedArbitration:
+    def test_example_4_1_majority(self):
+        vocabulary = Vocabulary(["S", "D", "Q"])
+        students = WeightedKnowledgeBase.from_weights(
+            vocabulary,
+            {
+                vocabulary.interpretation({"S"}): 10,
+                vocabulary.interpretation({"D"}): 20,
+                vocabulary.interpretation({"S", "D", "Q"}): 5,
+            },
+        )
+        # An unconstrained instructor: arbitrate against nothing extra.
+        result = WeightedArbitration().apply(
+            students, WeightedKnowledgeBase.zero(vocabulary)
+        )
+        # With full freedom the consensus minimizes wdist over all of ℳ̃.
+        assert result.is_satisfiable
+
+    def test_commutative(self):
+        left = _wkb({frozenset({"a"}): 9})
+        right = _wkb({frozenset({"b"}): 2})
+        arbitration = WeightedArbitration()
+        assert arbitration.apply(left, right).equivalent(
+            arbitration.apply(right, left)
+        )
+
+    def test_jury_majority(self):
+        left = _wkb({frozenset({"a"}): 9})
+        right = _wkb({frozenset({"b"}): 2})
+        verdict = WeightedArbitration().apply(left, right)
+        assert verdict.support().masks == (VOCAB.mask_of({"a"}),)
+
+    def test_merge_n_ary(self):
+        sources = [
+            _wkb({frozenset({"a"}): 5}),
+            _wkb({frozenset({"a", "b"}): 1}),
+            _wkb({frozenset(): 1}),
+        ]
+        merged = WeightedArbitration().merge(sources)
+        assert merged.is_satisfiable
+        # {a} dominates: wdist = 0*5 + 1 + 1 = 2, no world does better.
+        assert VOCAB.mask_of({"a"}) in merged.support()
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(VocabularyError):
+            WeightedArbitration().merge([])
+
+    def test_result_weights_are_uniform_one(self):
+        """Δ fits ℳ̃ (all weights 1), so consensus worlds carry weight 1 —
+        matching Example 4.1's output format."""
+        left = _wkb({frozenset({"a"}): 9})
+        right = _wkb({frozenset({"b"}): 2})
+        verdict = WeightedArbitration().apply(left, right)
+        for _, weight in verdict.items():
+            assert weight == 1

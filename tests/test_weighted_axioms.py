@@ -1,0 +1,110 @@
+"""Unit tests for the weighted axioms F1–F8 (Theorem 4.1's postulates)."""
+
+import pytest
+
+from repro.core.weighted import (
+    WeightedKnowledgeBase,
+    WeightedModelFitting,
+)
+from repro.logic.interpretation import Vocabulary
+from repro.postulates.weighted_axioms import (
+    WEIGHTED_AXIOMS,
+    audit_weighted_operator,
+    check_weighted_axiom,
+    random_weighted_kbs,
+)
+
+VOCAB = Vocabulary(["a", "b"])
+
+
+class _BrokenWeightedOperator:
+    """Ignores ψ̃ entirely and returns μ̃ doubled — breaks F1."""
+
+    name = "broken-weighted"
+
+    def apply(self, psi, mu):
+        return mu.join(mu)
+
+
+class _IgnoreUnsatOperator:
+    """Returns μ̃ even for unsatisfiable ψ̃ — breaks F2."""
+
+    name = "ignore-unsat"
+
+    def apply(self, psi, mu):
+        return mu
+
+
+class TestRandomWeightedKbs:
+    def test_deterministic(self):
+        first = list(random_weighted_kbs(VOCAB, 5, rng=2))
+        second = list(random_weighted_kbs(VOCAB, 5, rng=2))
+        assert first == second
+
+    def test_count_and_bounds(self):
+        kbs = list(random_weighted_kbs(VOCAB, 10, rng=0, max_weight=3))
+        assert len(kbs) == 10
+        for kb in kbs:
+            for _, weight in kb.items():
+                assert 1 <= weight <= 3
+
+    def test_exclude_unsatisfiable(self):
+        kbs = list(
+            random_weighted_kbs(
+                VOCAB, 30, rng=0, density=0.1, include_unsatisfiable=False
+            )
+        )
+        assert all(kb.is_satisfiable for kb in kbs)
+
+
+class TestWdistOperatorSatisfiesAll:
+    """The paper's Section 4 operator passes every weighted axiom — the
+    weighted framework repairs the unweighted A8 defect."""
+
+    @pytest.fixture(scope="class")
+    def audit(self):
+        return audit_weighted_operator(
+            WeightedModelFitting(), VOCAB, scenarios=300, rng=0
+        )
+
+    @pytest.mark.parametrize("axiom_name", [a.name for a in WEIGHTED_AXIOMS])
+    def test_axiom_holds(self, audit, axiom_name):
+        counterexample = audit[axiom_name]
+        assert counterexample is None, counterexample.describe()
+
+
+class TestBrokenOperatorsCaught:
+    def test_f1_violation_detected(self):
+        axiom = next(a for a in WEIGHTED_AXIOMS if a.name == "F1")
+        counterexample = check_weighted_axiom(
+            _BrokenWeightedOperator(), axiom, VOCAB, scenarios=50
+        )
+        assert counterexample is not None
+        assert counterexample.axiom == "F1"
+        assert "broken-weighted" in counterexample.describe()
+
+    def test_f2_violation_detected(self):
+        axiom = next(a for a in WEIGHTED_AXIOMS if a.name == "F2")
+        counterexample = check_weighted_axiom(
+            _IgnoreUnsatOperator(), axiom, VOCAB, scenarios=200
+        )
+        assert counterexample is not None
+        assert counterexample.axiom == "F2"
+
+    def test_f8_on_the_unweighted_killer_scenario(self):
+        """The unweighted A8 counterexample does NOT transfer: with ⊔
+        adding weights, wdist stays strict and F8 holds on the embedded
+        scenario."""
+        vocabulary = Vocabulary(["a"])
+        psi1 = WeightedKnowledgeBase(vocabulary, {0: 1})
+        psi2 = WeightedKnowledgeBase(vocabulary, {0: 1, 1: 1})
+        mu = WeightedKnowledgeBase(vocabulary, {0: 1, 1: 1})
+        axiom = next(a for a in WEIGHTED_AXIOMS if a.name == "F8")
+        assert (
+            axiom.check_instance(WeightedModelFitting(), (psi1, psi2, mu)) is None
+        )
+        # Concretely: ψ̃₁ ⊔ ψ̃₂ weighs ∅ twice, so wdist(∅) = 1 < 2 = wdist({a})
+        # and the combined fit picks ∅ alone — exactly the joint preference.
+        operator = WeightedModelFitting()
+        combined = operator.apply(psi1.join(psi2), mu)
+        assert combined.support().masks == (0,)
