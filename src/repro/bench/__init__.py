@@ -26,9 +26,11 @@ from repro.bench.scaling import (
     make_formula_workload,
     make_model_set_workload,
     measure_engine_crossover,
+    measure_kernel_speedup,
     measure_operator_sweep,
     run_workload,
     scaling_operators,
+    write_scaling_snapshot,
 )
 
 __all__ = [
@@ -50,6 +52,8 @@ __all__ = [
     "run_workload",
     "measure_operator_sweep",
     "measure_engine_crossover",
+    "measure_kernel_speedup",
+    "write_scaling_snapshot",
     "CostReport",
     "CountingDistance",
     "cost_report",

@@ -9,12 +9,14 @@ pytest-benchmark can time the execution alone.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.arbitration import ArbitrationOperator
 from repro.core.fitting import PriorityFitting, ReveszFitting
+from repro.distances import kernels
 from repro.logic.bdd import BddEngine
 from repro.logic.enumeration import DpllEngine, TruthTableEngine, models
 from repro.logic.interpretation import Vocabulary
@@ -36,6 +38,8 @@ __all__ = [
     "run_workload",
     "measure_operator_sweep",
     "measure_engine_crossover",
+    "measure_kernel_speedup",
+    "write_scaling_snapshot",
 ]
 
 
@@ -150,6 +154,95 @@ def measure_operator_sweep(
                 }
             )
     return rows
+
+
+def measure_kernel_speedup(
+    atom_counts: Sequence[int] = (10, 12, 14),
+    kb_density: float = 0.25,
+    pairs: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """E9 headline rows: scalar-vs-vectorized wall time per vocabulary size.
+
+    For each |𝒯|, runs the same seeded workload through the pre-refactor
+    path (``vectorized=False``: eager whole-universe scalar ranking) and
+    the kernel path (lazy pre-order + numpy batch kernels), asserting the
+    checksums agree, and reports the speedup plus the vectorized
+    operators' :meth:`cache_info` counters.
+    """
+    rows = []
+    for num_atoms in atom_counts:
+        space = 1 << num_atoms
+        kb_models = max(1, int(space * kb_density))
+        workload = make_model_set_workload(
+            num_atoms, kb_models, kb_models, pairs, seed
+        )
+        for factory, name in (
+            (ReveszFitting, "revesz-odist"),
+            (DalalRevision, "dalal"),
+        ):
+            scalar_operator = factory(vectorized=False)
+            start = time.perf_counter()
+            scalar_checksum = run_workload(scalar_operator, workload)
+            scalar_seconds = time.perf_counter() - start
+            vector_operator = factory(vectorized=True)
+            start = time.perf_counter()
+            vector_checksum = run_workload(vector_operator, workload)
+            vector_seconds = time.perf_counter() - start
+            if scalar_checksum != vector_checksum:
+                raise AssertionError(
+                    f"{name}: scalar/vectorized checksum mismatch at "
+                    f"|𝒯|={num_atoms}: {scalar_checksum} != {vector_checksum}"
+                )
+            rows.append(
+                {
+                    "atoms": num_atoms,
+                    "kb_models": kb_models,
+                    "pairs": pairs,
+                    "operator": name,
+                    "scalar_seconds": scalar_seconds,
+                    "vectorized_seconds": vector_seconds,
+                    "speedup": (
+                        scalar_seconds / vector_seconds
+                        if vector_seconds > 0
+                        else float("inf")
+                    ),
+                    "checksum": vector_checksum,
+                    "cache_info": vector_operator.cache_info()._asdict(),
+                }
+            )
+    return rows
+
+
+def write_scaling_snapshot(
+    path: str = "BENCH_e9.json",
+    atom_counts: Sequence[int] = (10, 12, 14),
+    kb_density: float = 0.25,
+    pairs: int = 3,
+    seed: int = 0,
+    sweep_atom_counts: Optional[Sequence[int]] = (4, 6, 8, 10),
+) -> dict:
+    """Emit the E9 perf snapshot consumed by future PRs to track the
+    trajectory: kernel speedup rows plus (optionally) the operator sweep.
+
+    Timestamps are deliberately absent — the snapshot diffs cleanly and
+    the git history dates it.
+    """
+    payload = {
+        "experiment": "E9",
+        "numpy": kernels.HAS_NUMPY,
+        "kernel_speedup": measure_kernel_speedup(
+            atom_counts, kb_density, pairs, seed
+        ),
+    }
+    if sweep_atom_counts is not None:
+        payload["operator_sweep"] = measure_operator_sweep(
+            sweep_atom_counts, kb_density, max(2, pairs), seed
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
 
 
 def measure_engine_crossover(

@@ -33,6 +33,7 @@ from typing import Callable, Optional
 
 from repro.distances.base import InterpretationDistance
 from repro.operators.base import AssignmentOperator, OperatorFamily
+from repro.orders.cache import DEFAULT_CACHE_SIZE
 from repro.orders.loyal import (
     LoyalAssignment,
     leximax_distance_assignment,
@@ -75,8 +76,16 @@ class ReveszFitting(ModelFittingOperator):
     ``Mod(ψ ▷ μ) = ∅`` when ψ is unsatisfiable (axiom A2).
     """
 
-    def __init__(self, distance: Optional[InterpretationDistance] = None):
-        super().__init__(max_distance_assignment(distance), name="revesz-odist")
+    def __init__(
+        self,
+        distance: Optional[InterpretationDistance] = None,
+        vectorized: bool = True,
+        cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
+    ):
+        super().__init__(
+            max_distance_assignment(distance, vectorized, cache_size),
+            name="revesz-odist",
+        )
 
 
 class PriorityFitting(ModelFittingOperator):
@@ -89,9 +98,12 @@ class PriorityFitting(ModelFittingOperator):
         self,
         distance: Optional[InterpretationDistance] = None,
         priority: Optional[Callable[[int], int]] = None,
+        vectorized: bool = True,
+        cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
     ):
         super().__init__(
-            priority_distance_assignment(distance, priority), name="priority-lex"
+            priority_distance_assignment(distance, priority, vectorized, cache_size),
+            name="priority-lex",
         )
 
 
@@ -104,12 +116,28 @@ class SumFitting(ModelFittingOperator):
     disjunction adds weight functions.
     """
 
-    def __init__(self, distance: Optional[InterpretationDistance] = None):
-        super().__init__(sum_distance_assignment(distance), name="sum-fitting")
+    def __init__(
+        self,
+        distance: Optional[InterpretationDistance] = None,
+        vectorized: bool = True,
+        cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
+    ):
+        super().__init__(
+            sum_distance_assignment(distance, vectorized, cache_size),
+            name="sum-fitting",
+        )
 
 
 class LeximaxFitting(ModelFittingOperator):
     """Fitting by the GMax order (sorted descending distance vectors)."""
 
-    def __init__(self, distance: Optional[InterpretationDistance] = None):
-        super().__init__(leximax_distance_assignment(distance), name="leximax-fitting")
+    def __init__(
+        self,
+        distance: Optional[InterpretationDistance] = None,
+        vectorized: bool = True,
+        cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
+    ):
+        super().__init__(
+            leximax_distance_assignment(distance, vectorized, cache_size),
+            name="leximax-fitting",
+        )

@@ -27,12 +27,14 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Callable, Iterable, Mapping, Optional, Union
 
+from repro.distances import kernels
 from repro.distances.base import HammingDistance, InterpretationDistance
 from repro.errors import VocabularyError, WeightError
 from repro.logic.enumeration import models
 from repro.logic.interpretation import Interpretation, Vocabulary
 from repro.logic.semantics import ModelSet
 from repro.logic.syntax import Formula
+from repro.orders.cache import AssignmentCache, CacheInfo, DEFAULT_CACHE_SIZE
 from repro.orders.preorder import TotalPreorder
 
 __all__ = [
@@ -330,18 +332,23 @@ class WeightedLoyalAssignment:
         self,
         builder: Callable[[WeightedKnowledgeBase], TotalPreorder],
         name: str = "weighted-loyal",
+        cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
     ):
         self._builder = builder
-        self._cache: dict[WeightedKnowledgeBase, TotalPreorder] = {}
+        self._cache = AssignmentCache(maxsize=cache_size)
         self.name = name
 
     def order_for(self, knowledge_base: WeightedKnowledgeBase) -> TotalPreorder:
         """The pre-order ``≤ψ̃``."""
-        order = self._cache.get(knowledge_base)
-        if order is None:
-            order = self._builder(knowledge_base)
-            self._cache[knowledge_base] = order
-        return order
+        return self._cache.get_or_build(knowledge_base, self._builder)
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction statistics of the memoized pre-orders."""
+        return self._cache.cache_info()
+
+    def cache_clear(self) -> None:
+        """Drop all memoized pre-orders."""
+        self._cache.clear()
 
     def __call__(self, knowledge_base: WeightedKnowledgeBase) -> TotalPreorder:
         return self.order_for(knowledge_base)
@@ -352,6 +359,8 @@ class WeightedLoyalAssignment:
 
 def wdist_assignment(
     distance: Optional[InterpretationDistance] = None,
+    vectorized: bool = True,
+    cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
 ) -> WeightedLoyalAssignment:
     """The paper's weighted assignment: order by ``wdist``.
 
@@ -360,18 +369,31 @@ def wdist_assignment(
     strict-plus-weak premise sums to a strict conclusion.  (Contrast the
     unweighted ``sumdist`` assignment, where overlapping model sets break
     additivity.)
+
+    Keys stay exact :class:`~fractions.Fraction` values on both paths; the
+    vectorized path clears denominators into one integer dot product per
+    interpretation (see :func:`repro.distances.kernels.wdist_keys`).
     """
     metric = distance if distance is not None else HammingDistance()
 
     def build(knowledge_base: WeightedKnowledgeBase) -> TotalPreorder:
         vocabulary = knowledge_base.vocabulary
+        if not vectorized:
 
-        def key(mask: int) -> Fraction:
-            return knowledge_base.wdist(Interpretation(vocabulary, mask), metric)
+            def key(mask: int) -> Fraction:
+                return knowledge_base.wdist(Interpretation(vocabulary, mask), metric)
 
-        return TotalPreorder.from_key(vocabulary, key)
+            return TotalPreorder.from_key(vocabulary, key)
+        support = sorted(knowledge_base._weights.items())
+        support_masks = [mask for mask, _ in support]
+        weights = [weight for _, weight in support]
 
-    return WeightedLoyalAssignment(build, name="wdist")
+        def batch(masks):
+            return kernels.wdist_keys(masks, support_masks, weights, vocabulary, metric)
+
+        return TotalPreorder.lazy(vocabulary, batch)
+
+    return WeightedLoyalAssignment(build, name="wdist", cache_size=cache_size)
 
 
 class WeightedModelFitting:
@@ -390,6 +412,10 @@ class WeightedModelFitting:
     def assignment(self) -> WeightedLoyalAssignment:
         """The underlying ψ̃ ↦ ≤ψ̃ assignment."""
         return self._assignment
+
+    def cache_info(self) -> CacheInfo:
+        """Statistics of the underlying assignment's pre-order cache."""
+        return self._assignment.cache_info()
 
     def apply(
         self, psi: WeightedKnowledgeBase, mu: WeightedKnowledgeBase

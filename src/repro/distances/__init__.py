@@ -14,6 +14,7 @@ from repro.distances.aggregators import (
     MinAggregator,
     SumAggregator,
 )
+from repro.distances import kernels
 from repro.distances.base import (
     DrasticDistance,
     HammingDistance,
@@ -34,4 +35,5 @@ __all__ = [
     "SumAggregator",
     "LeximaxAggregator",
     "LeximinAggregator",
+    "kernels",
 ]

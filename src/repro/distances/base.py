@@ -88,7 +88,12 @@ class WeightedHammingDistance:
         self._weights = dict(weights)
         self._cache: dict[Vocabulary, tuple[float, ...]] = {}
 
-    def _weight_vector(self, vocabulary: Vocabulary) -> tuple[float, ...]:
+    def weight_vector(self, vocabulary: Vocabulary) -> tuple[float, ...]:
+        """Per-atom weights in vocabulary order (missing atoms weigh 1).
+
+        The batch kernels in :mod:`repro.distances.kernels` consume this
+        vector directly, so it is part of the public surface.
+        """
         vector = self._cache.get(vocabulary)
         if vector is None:
             vector = tuple(
@@ -97,8 +102,11 @@ class WeightedHammingDistance:
             self._cache[vocabulary] = vector
         return vector
 
+    # Backwards-compatible private alias.
+    _weight_vector = weight_vector
+
     def between_masks(self, left: int, right: int, vocabulary: Vocabulary) -> float:
-        vector = self._weight_vector(vocabulary)
+        vector = self.weight_vector(vocabulary)
         difference = left ^ right
         total = 0.0
         while difference:

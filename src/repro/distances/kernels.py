@@ -1,0 +1,353 @@
+"""Vectorized distance kernels: batch Hamming / weighted-Hamming matrices.
+
+Every ranking-based operator in the library reduces to the same hot loop:
+compute ``dist(I, J)`` from a batch of candidate interpretations ``I`` to
+every model ``J`` of a knowledge base, then aggregate each row into an
+order key (max for the paper's ``odist``, min for Dalal, sum for the
+utilitarian reading, sorted-descending for GMax, the raw row for the
+priority-lexicographic order, and a weighted sum for ``wdist``).  This
+module computes the whole distance *matrix* at once: masks are loaded into
+a numpy ``uint64`` array, the pairwise XOR is one broadcast, and the
+popcount is one vectorized pass — turning the O(c·k) scalar Python loop
+into a handful of array operations.
+
+Exactness contract: every kernel reproduces the scalar path bit-for-bit.
+
+* Hamming and drastic distances are integers — trivially exact.
+* :class:`~repro.distances.base.WeightedHammingDistance` accumulates IEEE
+  doubles in increasing atom order, exactly like the scalar
+  ``between_masks`` loop (adding a zero term between two float additions
+  is the identity), so even the float results are identical, not merely
+  close.  Row sums for the sum aggregator likewise accumulate columns
+  left-to-right to mirror Python's ``sum``.
+* :func:`wdist_keys` keeps :class:`~fractions.Fraction` weights exact by
+  clearing denominators: distances are integers, so each key is a single
+  integer dot product divided by the weights' common denominator.
+
+numpy is gated, not required: every public function accepts
+``impl="auto" | "numpy" | "python"`` and falls back to pure Python when
+numpy is absent (or the vocabulary exceeds 63 atoms, past the uint64
+range).  The pure-Python branch doubles as the reference implementation
+for the property tests.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+from typing import Iterable, Optional, Sequence
+
+try:  # pragma: no cover - exercised implicitly on numpy installs
+    import numpy as np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    np = None  # type: ignore[assignment]
+
+from repro.distances.base import (
+    DrasticDistance,
+    HammingDistance,
+    InterpretationDistance,
+    WeightedHammingDistance,
+)
+from repro.logic.interpretation import Vocabulary
+
+__all__ = [
+    "HAS_NUMPY",
+    "hamming_matrix",
+    "drastic_matrix",
+    "weighted_hamming_matrix",
+    "distance_matrix",
+    "max_keys",
+    "min_keys",
+    "sum_keys",
+    "leximax_keys",
+    "row_keys",
+    "wdist_keys",
+    "pairwise_diffs",
+    "minimal_subset_masks",
+]
+
+HAS_NUMPY = np is not None
+
+#: uint64 XOR covers vocabularies up to 63 atoms; beyond that masks are
+#: arbitrary-precision Python ints and the scalar path takes over.
+MAX_KERNEL_ATOMS = 63
+
+
+def _resolve_impl(impl: str, vocabulary_size: int = 0) -> str:
+    if impl not in ("auto", "numpy", "python"):
+        raise ValueError(f"unknown kernel impl {impl!r}")
+    if impl == "numpy":
+        if not HAS_NUMPY:
+            raise RuntimeError("numpy kernels requested but numpy is not installed")
+        return "numpy"
+    if impl == "python":
+        return "python"
+    if HAS_NUMPY and vocabulary_size <= MAX_KERNEL_ATOMS:
+        return "numpy"
+    return "python"
+
+
+def _as_uint64(masks: Sequence[int]):
+    return np.asarray(list(masks), dtype=np.uint64)
+
+
+def _popcount(array):
+    """Vectorized popcount of a uint64 array.
+
+    Kept in ``bitwise_count``'s native uint8 dtype: distances fit in a
+    byte (≤ :data:`MAX_KERNEL_ATOMS`), ``tolist()`` yields plain ints
+    regardless, and widening a 2^14×2^14 matrix to int64 costs more than
+    the popcount itself.  Aggregations that can overflow a byte
+    (:func:`sum_keys`, :func:`wdist_keys`) widen explicitly.
+    """
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(array)
+    # Fallback for numpy < 2.0: popcount 16 bits at a time via a table.
+    table = np.array([bin(i).count("1") for i in range(1 << 16)], dtype=np.int64)
+    total = np.zeros(array.shape, dtype=np.int64)
+    work = array.copy()
+    for _ in range(4):
+        total += table[(work & np.uint64(0xFFFF)).astype(np.int64)]
+        work >>= np.uint64(16)
+    return total
+
+
+# -- pairwise distance matrices -----------------------------------------------------
+
+
+def hamming_matrix(
+    left_masks: Sequence[int], right_masks: Sequence[int], impl: str = "auto"
+):
+    """Integer matrix ``D[i, j] = popcount(left[i] ^ right[j])``.
+
+    Returns a numpy integer array on the numpy path (uint8 where the
+    popcount supports it — distances never exceed 63), a list of lists of
+    ints on the Python path.
+    """
+    if _resolve_impl(impl) == "numpy":
+        left = _as_uint64(left_masks)
+        right = _as_uint64(right_masks)
+        return _popcount(left[:, None] ^ right[None, :])
+    return [
+        [(l ^ r).bit_count() for r in right_masks] for l in left_masks
+    ]
+
+
+def drastic_matrix(
+    left_masks: Sequence[int], right_masks: Sequence[int], impl: str = "auto"
+):
+    """0/1 matrix of the drastic distance (0 iff the masks coincide)."""
+    if _resolve_impl(impl) == "numpy":
+        left = _as_uint64(left_masks)
+        right = _as_uint64(right_masks)
+        # Zero-copy reinterpretation: bool and uint8 share a byte layout.
+        return (left[:, None] != right[None, :]).view(np.uint8)
+    return [[0 if l == r else 1 for r in right_masks] for l in left_masks]
+
+
+def weighted_hamming_matrix(
+    left_masks: Sequence[int],
+    right_masks: Sequence[int],
+    weights: Sequence[object],
+    impl: str = "auto",
+):
+    """Weighted-Hamming matrix, bit-identical to the scalar loop.
+
+    ``weights`` is the per-atom weight vector in vocabulary order (any
+    numeric type; converted with ``float`` exactly as the scalar path's
+    ``0.0 + w`` does).  Accumulation runs over atoms in increasing index
+    order so the IEEE partial sums match the scalar ``between_masks``.
+    """
+    if _resolve_impl(impl, len(weights)) == "numpy":
+        left = _as_uint64(left_masks)
+        right = _as_uint64(right_masks)
+        xor = left[:, None] ^ right[None, :]
+        total = np.zeros(xor.shape, dtype=np.float64)
+        for bit, weight in enumerate(weights):
+            contribution = ((xor >> np.uint64(bit)) & np.uint64(1)).astype(
+                np.float64
+            ) * float(weight)
+            total = total + contribution
+        return total
+    rows = []
+    for l in left_masks:
+        row = []
+        for r in right_masks:
+            difference = l ^ r
+            value = 0.0
+            while difference:
+                low_bit = difference & -difference
+                value += weights[low_bit.bit_length() - 1]
+                difference ^= low_bit
+            row.append(value)
+        rows.append(row)
+    return rows
+
+
+def distance_matrix(
+    left_masks: Sequence[int],
+    right_masks: Sequence[int],
+    vocabulary: Vocabulary,
+    metric: Optional[InterpretationDistance] = None,
+    impl: str = "auto",
+):
+    """Full pairwise distance matrix under an arbitrary metric.
+
+    Hamming, weighted-Hamming, and drastic metrics hit the vectorized
+    kernels; any other :class:`InterpretationDistance` falls back to a
+    scalar double loop (still batched per call, so lazy pre-orders only
+    pay for the masks they are asked about).
+    """
+    if metric is None or isinstance(metric, HammingDistance):
+        return hamming_matrix(left_masks, right_masks, impl)
+    if isinstance(metric, DrasticDistance):
+        return drastic_matrix(left_masks, right_masks, impl)
+    if isinstance(metric, WeightedHammingDistance):
+        return weighted_hamming_matrix(
+            left_masks, right_masks, metric.weight_vector(vocabulary), impl
+        )
+    return [
+        [metric.between_masks(l, r, vocabulary) for r in right_masks]
+        for l in left_masks
+    ]
+
+
+# -- row aggregations into order keys ----------------------------------------------
+
+
+def _is_ndarray(matrix) -> bool:
+    return HAS_NUMPY and isinstance(matrix, np.ndarray)
+
+
+def max_keys(matrix) -> list:
+    """Per-row maximum — the paper's ``odist`` key."""
+    if _is_ndarray(matrix):
+        return np.max(matrix, axis=1).tolist()
+    return [max(row) for row in matrix]
+
+
+def min_keys(matrix) -> list:
+    """Per-row minimum — Dalal's revision key."""
+    if _is_ndarray(matrix):
+        return np.min(matrix, axis=1).tolist()
+    return [min(row) for row in matrix]
+
+
+def sum_keys(matrix) -> list:
+    """Per-row sum — the utilitarian key.
+
+    Integer matrices sum exactly; float matrices accumulate columns
+    left-to-right so the result is bit-identical to Python's ``sum`` over
+    the scalar row.
+    """
+    if _is_ndarray(matrix):
+        if matrix.dtype.kind == "f":
+            acc = np.zeros(matrix.shape[0], dtype=np.float64)
+            for column in range(matrix.shape[1]):
+                acc = acc + matrix[:, column]
+            return acc.tolist()
+        return np.sum(matrix, axis=1, dtype=np.int64).tolist()
+    return [sum(row) for row in matrix]
+
+
+def leximax_keys(matrix) -> list[tuple]:
+    """Per-row distances sorted descending — the GMax key."""
+    if _is_ndarray(matrix):
+        ordered = np.sort(matrix, axis=1)[:, ::-1]
+        return [tuple(row) for row in ordered.tolist()]
+    return [tuple(sorted(row, reverse=True)) for row in matrix]
+
+
+def row_keys(matrix) -> list[tuple]:
+    """Each row as a tuple — the priority-lexicographic key (callers order
+    the knowledge-base columns by priority before building the matrix)."""
+    if _is_ndarray(matrix):
+        return [tuple(row) for row in matrix.tolist()]
+    return [tuple(row) for row in matrix]
+
+
+def wdist_keys(
+    candidate_masks: Sequence[int],
+    support_masks: Sequence[int],
+    weights: Sequence[Fraction],
+    vocabulary: Vocabulary,
+    metric: Optional[InterpretationDistance] = None,
+    impl: str = "auto",
+) -> list[Fraction]:
+    """Exact batch ``wdist(ψ̃, I) = Σ_J dist(I, J) · ψ̃(J)`` keys.
+
+    For the Hamming metric the distances are integers, so clearing the
+    weights' common denominator turns each key into one integer dot
+    product — exact, with an object-dtype fallback if the scaled weights
+    could overflow int64.  Other metrics take the scalar path (wrapping
+    each distance in ``Fraction`` exactly as the scalar ``wdist`` does).
+    """
+    if not support_masks:
+        return [Fraction(0)] * len(candidate_masks)
+    hamming = metric is None or isinstance(metric, HammingDistance)
+    if not hamming:
+        chosen = metric
+        return [
+            sum(
+                (
+                    Fraction(chosen.between_masks(candidate, mask, vocabulary))
+                    * weight
+                    for mask, weight in zip(support_masks, weights)
+                ),
+                Fraction(0),
+            )
+            for candidate in candidate_masks
+        ]
+    resolved = _resolve_impl(impl, vocabulary.size)
+    denominator = lcm(*(weight.denominator for weight in weights))
+    scaled = [
+        weight.numerator * (denominator // weight.denominator)
+        for weight in weights
+    ]
+    if resolved == "numpy":
+        matrix = hamming_matrix(candidate_masks, support_masks, "numpy")
+        bound = max(scaled, default=0) * vocabulary.size * len(scaled)
+        if bound < 2**62:
+            numerators = matrix @ np.asarray(scaled, dtype=np.int64)
+            return [
+                Fraction(int(value), denominator) for value in numerators.tolist()
+            ]
+        rows = matrix.tolist()
+    else:
+        rows = hamming_matrix(candidate_masks, support_masks, "python")
+    return [
+        Fraction(sum(d * s for d, s in zip(row, scaled)), denominator)
+        for row in rows
+    ]
+
+
+# -- diff-set kernels for the inclusion-based revisions ------------------------------
+
+
+def pairwise_diffs(
+    left_masks: Sequence[int], right_masks: Sequence[int], impl: str = "auto"
+) -> set[int]:
+    """The set ``{l ^ r}`` of symmetric-difference masks over all pairs."""
+    if not left_masks or not right_masks:
+        return set()
+    if _resolve_impl(impl) == "numpy":
+        left = _as_uint64(left_masks)
+        right = _as_uint64(right_masks)
+        unique = np.unique(left[:, None] ^ right[None, :])
+        return {int(value) for value in unique.tolist()}
+    return {l ^ r for l in left_masks for r in right_masks}
+
+
+def minimal_subset_masks(masks: Iterable[int]) -> set[int]:
+    """The ⊆-minimal elements of a set of difference bitmasks.
+
+    Scans in increasing popcount order, testing each mask only against the
+    minimal elements found so far (any dominator of a mask is itself
+    dominated by a minimal element of no greater popcount), replacing the
+    quadratic all-pairs subset check.
+    """
+    minimal: list[int] = []
+    for mask in sorted(set(masks), key=lambda m: (m.bit_count(), m)):
+        if not any((kept & mask) == kept for kept in minimal):
+            minimal.append(mask)
+    return set(minimal)

@@ -131,6 +131,12 @@ class AssignmentOperator(TheoryChangeOperator):
         """Expose ``≤ψ`` (used by Theorem 3.1 round-trip tests)."""
         return self._assignment.order_for(psi)
 
+    def cache_info(self):
+        """Statistics of the assignment's pre-order cache, or ``None`` when
+        the assignment does not expose one."""
+        probe = getattr(self._assignment, "cache_info", None)
+        return probe() if probe is not None else None
+
     def apply_models(self, psi: ModelSet, mu: ModelSet) -> ModelSet:
         self._check_vocabularies(psi, mu)
         if psi.is_empty:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.distances import kernels
 from repro.distances.base import InterpretationDistance
 from repro.logic.semantics import ModelSet
 from repro.operators.base import (
@@ -29,6 +30,7 @@ from repro.operators.base import (
     OperatorFamily,
     TheoryChangeOperator,
 )
+from repro.orders.cache import DEFAULT_CACHE_SIZE
 from repro.orders.faithful import dalal_assignment
 
 __all__ = [
@@ -49,9 +51,14 @@ class DalalRevision(AssignmentOperator):
     (it satisfies R1–R6).
     """
 
-    def __init__(self, distance: Optional[InterpretationDistance] = None):
+    def __init__(
+        self,
+        distance: Optional[InterpretationDistance] = None,
+        vectorized: bool = True,
+        cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
+    ):
         super().__init__(
-            dalal_assignment(distance),
+            dalal_assignment(distance, vectorized, cache_size),
             name="dalal",
             family=OperatorFamily.REVISION,
             unsat_base="accept-new",
@@ -60,17 +67,7 @@ class DalalRevision(AssignmentOperator):
 
 def _minimal_diff_sets(diffs: set[int]) -> set[int]:
     """The ⊆-minimal elements of a set of difference bitmasks."""
-    minimal: set[int] = set()
-    for diff in diffs:
-        dominated = False
-        for other in diffs:
-            if other != diff and (other & diff) == other:
-                # other ⊂ diff
-                dominated = True
-                break
-        if not dominated:
-            minimal.add(diff)
-    return minimal
+    return kernels.minimal_subset_masks(diffs)
 
 
 class SatohRevision(TheoryChangeOperator):
@@ -90,9 +87,7 @@ class SatohRevision(TheoryChangeOperator):
             return mu
         if mu.is_empty:
             return mu
-        diffs = {
-            mu_mask ^ psi_mask for mu_mask in mu.masks for psi_mask in psi.masks
-        }
+        diffs = kernels.pairwise_diffs(mu.masks, psi.masks)
         minimal = _minimal_diff_sets(diffs)
         chosen = [
             mu_mask
@@ -151,9 +146,7 @@ class WeberRevision(TheoryChangeOperator):
             return mu
         if mu.is_empty:
             return mu
-        diffs = {
-            mu_mask ^ psi_mask for mu_mask in mu.masks for psi_mask in psi.masks
-        }
+        diffs = kernels.pairwise_diffs(mu.masks, psi.masks)
         minimal = _minimal_diff_sets(diffs)
         forgotten = 0
         for diff in minimal:

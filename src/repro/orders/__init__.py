@@ -7,6 +7,7 @@ come with mechanical condition checkers used by the test suite and the E5
 experiment.
 """
 
+from repro.orders.cache import AssignmentCache, CacheInfo, DEFAULT_CACHE_SIZE
 from repro.orders.faithful import (
     FaithfulAssignment,
     FaithfulnessViolation,
@@ -23,11 +24,20 @@ from repro.orders.loyal import (
     priority_distance_assignment,
     sum_distance_assignment,
 )
-from repro.orders.preorder import PartialPreorder, TotalPreorder, minimal_by_leq
+from repro.orders.preorder import (
+    LazyTotalPreorder,
+    PartialPreorder,
+    TotalPreorder,
+    minimal_by_leq,
+)
 from repro.orders.spheres import SphereSystem
 
 __all__ = [
     "TotalPreorder",
+    "LazyTotalPreorder",
+    "AssignmentCache",
+    "CacheInfo",
+    "DEFAULT_CACHE_SIZE",
     "PartialPreorder",
     "minimal_by_leq",
     "SphereSystem",

@@ -1,0 +1,107 @@
+"""A bounded, statistics-exposing cache for assignment pre-orders.
+
+Faithful, loyal, and weighted-loyal assignments all memoize the pre-order
+``≤ψ`` per knowledge base — syntax irrelevance makes the model set a
+perfect cache key.  The original ad-hoc ``dict`` caches, however, grew
+without bound over a long shell or benchmark session.  This module gives
+every assignment one shared implementation: an LRU-bounded mapping with
+``functools.lru_cache``-style statistics, surfaced through
+``cache_info()`` on the assignments, the operators built from them, and
+the E9 bench harness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Hashable, NamedTuple, Optional, TypeVar
+
+__all__ = ["AssignmentCache", "CacheInfo", "DEFAULT_CACHE_SIZE"]
+
+#: Default bound on memoized pre-orders per assignment.  Pre-orders are
+#: lazy, so an entry costs only its computed keys; 256 knowledge bases is
+#: generous for interactive sessions while keeping worst-case memory flat.
+DEFAULT_CACHE_SIZE = 256
+
+V = TypeVar("V")
+
+
+class CacheInfo(NamedTuple):
+    """A snapshot of cache statistics (shape follows ``functools.lru_cache``,
+    plus an eviction counter)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    maxsize: Optional[int]
+    currsize: int
+
+
+class AssignmentCache:
+    """A bounded LRU mapping from hashable keys to built values.
+
+    ``maxsize=None`` disables the bound (the pre-refactor behaviour, kept
+    for callers that genuinely want unbounded memoization).
+
+    >>> cache = AssignmentCache(maxsize=2)
+    >>> cache.get_or_build("a", lambda key: key.upper())
+    'A'
+    >>> cache.get_or_build("a", lambda key: key.upper())
+    'A'
+    >>> cache.cache_info()
+    CacheInfo(hits=1, misses=1, evictions=0, maxsize=2, currsize=1)
+    """
+
+    __slots__ = ("_data", "_maxsize", "_hits", "_misses", "_evictions")
+
+    def __init__(self, maxsize: Optional[int] = DEFAULT_CACHE_SIZE):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError(f"cache maxsize must be positive or None, got {maxsize}")
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self._maxsize = maxsize
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_build(self, key: Hashable, builder: Callable[..., V]) -> V:
+        """Return the cached value for ``key``, building (and caching) it
+        via ``builder(key)`` on a miss.  Hits refresh LRU recency."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self._misses += 1
+            value = builder(key)
+            self._data[key] = value
+            if self._maxsize is not None:
+                while len(self._data) > self._maxsize:
+                    self._data.popitem(last=False)
+                    self._evictions += 1
+            return value  # type: ignore[return-value]
+        self._hits += 1
+        self._data.move_to_end(key)
+        return value  # type: ignore[return-value]
+
+    def cache_info(self) -> CacheInfo:
+        """Current hit/miss/eviction counters and occupancy."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            maxsize=self._maxsize,
+            currsize=len(self._data),
+        )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the statistics."""
+        self._data.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def __repr__(self) -> str:
+        return f"AssignmentCache({self.cache_info()!r})"

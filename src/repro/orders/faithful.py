@@ -20,8 +20,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.distances import kernels
 from repro.distances.base import HammingDistance, InterpretationDistance
 from repro.logic.semantics import ModelSet
+from repro.orders.cache import AssignmentCache, CacheInfo, DEFAULT_CACHE_SIZE
 from repro.orders.preorder import TotalPreorder
 
 __all__ = [
@@ -35,27 +37,33 @@ __all__ = [
 class FaithfulAssignment:
     """A function from knowledge bases (as model sets) to total pre-orders.
 
-    Wraps a builder callable and memoizes per model set.  Because the key
-    is the model set, logically equivalent knowledge bases receive the
-    identical pre-order (KM condition 3).
+    Wraps a builder callable and memoizes per model set in a bounded LRU
+    :class:`~repro.orders.cache.AssignmentCache`.  Because the key is the
+    model set, logically equivalent knowledge bases receive the identical
+    pre-order (KM condition 3).
     """
 
     def __init__(
         self,
         builder: Callable[[ModelSet], TotalPreorder],
         name: str = "faithful",
+        cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
     ):
         self._builder = builder
-        self._cache: dict[ModelSet, TotalPreorder] = {}
+        self._cache = AssignmentCache(maxsize=cache_size)
         self.name = name
 
     def order_for(self, knowledge_base: ModelSet) -> TotalPreorder:
         """The pre-order ``≤ψ`` for a knowledge base given by its models."""
-        order = self._cache.get(knowledge_base)
-        if order is None:
-            order = self._builder(knowledge_base)
-            self._cache[knowledge_base] = order
-        return order
+        return self._cache.get_or_build(knowledge_base, self._builder)
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction statistics of the memoized pre-orders."""
+        return self._cache.cache_info()
+
+    def cache_clear(self) -> None:
+        """Drop all memoized pre-orders."""
+        self._cache.clear()
 
     def __call__(self, knowledge_base: ModelSet) -> TotalPreorder:
         return self.order_for(knowledge_base)
@@ -66,6 +74,8 @@ class FaithfulAssignment:
 
 def dalal_assignment(
     distance: Optional[InterpretationDistance] = None,
+    vectorized: bool = True,
+    cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
 ) -> FaithfulAssignment:
     """Dalal's faithful assignment: rank by distance to the nearest model.
 
@@ -78,18 +88,26 @@ def dalal_assignment(
     def build(knowledge_base: ModelSet) -> TotalPreorder:
         vocabulary = knowledge_base.vocabulary
         kb_masks = knowledge_base.masks
+        if not kb_masks:
+            return TotalPreorder.lazy(vocabulary, lambda masks: [0.0] * len(masks))
+        if not vectorized:
 
-        def key(mask: int) -> float:
-            if not kb_masks:
-                return 0.0
-            return min(
-                metric.between_masks(mask, kb_mask, vocabulary)
-                for kb_mask in kb_masks
+            def key(mask: int) -> float:
+                return min(
+                    metric.between_masks(mask, kb_mask, vocabulary)
+                    for kb_mask in kb_masks
+                )
+
+            return TotalPreorder.from_key(vocabulary, key)
+
+        def batch(masks):
+            return kernels.min_keys(
+                kernels.distance_matrix(masks, kb_masks, vocabulary, metric)
             )
 
-        return TotalPreorder.from_key(vocabulary, key)
+        return TotalPreorder.lazy(vocabulary, batch)
 
-    return FaithfulAssignment(build, name="dalal")
+    return FaithfulAssignment(build, name="dalal", cache_size=cache_size)
 
 
 class FaithfulnessViolation:

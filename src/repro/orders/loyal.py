@@ -40,9 +40,11 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.distances import kernels
 from repro.distances.base import HammingDistance, InterpretationDistance
 from repro.logic.interpretation import Vocabulary
 from repro.logic.semantics import ModelSet
+from repro.orders.cache import AssignmentCache, CacheInfo, DEFAULT_CACHE_SIZE
 from repro.orders.preorder import TotalPreorder
 
 __all__ = [
@@ -62,25 +64,31 @@ class LoyalAssignment:
 
     Keyed by model set, so loyalty condition 1 (syntax irrelevance) holds
     by construction.  Conditions 2–3 are properties of the builder and can
-    be audited with :func:`check_loyal`.
+    be audited with :func:`check_loyal`.  Built orders are memoized in a
+    bounded LRU :class:`~repro.orders.cache.AssignmentCache`.
     """
 
     def __init__(
         self,
         builder: Callable[[ModelSet], TotalPreorder],
         name: str = "loyal",
+        cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
     ):
         self._builder = builder
-        self._cache: dict[ModelSet, TotalPreorder] = {}
+        self._cache = AssignmentCache(maxsize=cache_size)
         self.name = name
 
     def order_for(self, knowledge_base: ModelSet) -> TotalPreorder:
         """The pre-order ``≤ψ`` for a knowledge base given by its models."""
-        order = self._cache.get(knowledge_base)
-        if order is None:
-            order = self._builder(knowledge_base)
-            self._cache[knowledge_base] = order
-        return order
+        return self._cache.get_or_build(knowledge_base, self._builder)
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction statistics of the memoized pre-orders."""
+        return self._cache.cache_info()
+
+    def cache_clear(self) -> None:
+        """Drop all memoized pre-orders."""
+        self._cache.clear()
 
     def __call__(self, knowledge_base: ModelSet) -> TotalPreorder:
         return self.order_for(knowledge_base)
@@ -103,64 +111,111 @@ def _distance_rows(
     return row
 
 
+def _kernel_batch(
+    kb_masks: Sequence[int],
+    vocabulary: Vocabulary,
+    metric: InterpretationDistance,
+    aggregate: Callable[[object], list],
+) -> Callable[[Sequence[int]], list]:
+    """A batch key function: distance matrix over the requested masks only,
+    aggregated per row."""
+
+    def batch(masks: Sequence[int]) -> list:
+        return aggregate(
+            kernels.distance_matrix(masks, kb_masks, vocabulary, metric)
+        )
+
+    return batch
+
+
+def _constant_order(vocabulary: Vocabulary, key: object) -> TotalPreorder:
+    """The all-equivalent order used for the unsatisfiable knowledge base
+    (axiom A2 short-circuits before Min, so only the shape matters)."""
+    return TotalPreorder.lazy(vocabulary, lambda masks: [key] * len(masks))
+
+
 def max_distance_assignment(
     distance: Optional[InterpretationDistance] = None,
+    vectorized: bool = True,
+    cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
 ) -> LoyalAssignment:
     """The paper's ``odist`` ordering: ``I ≤ψ J iff max-dist(ψ,I) ≤
     max-dist(ψ,J)``.  See the module docstring for its known loyalty
-    defect."""
+    defect.  ``vectorized=False`` selects the scalar reference path
+    (eager, pure-Python) used by the equality tests and the E9 baseline."""
     metric = distance if distance is not None else HammingDistance()
 
     def build(knowledge_base: ModelSet) -> TotalPreorder:
-        row = _distance_rows(knowledge_base, metric)
+        vocabulary = knowledge_base.vocabulary
         if knowledge_base.is_empty:
-            return TotalPreorder.from_key(knowledge_base.vocabulary, lambda m: 0)
-        return TotalPreorder.from_key(
-            knowledge_base.vocabulary, lambda mask: max(row(mask))
+            return _constant_order(vocabulary, 0)
+        if not vectorized:
+            row = _distance_rows(knowledge_base, metric)
+            return TotalPreorder.from_key(vocabulary, lambda mask: max(row(mask)))
+        return TotalPreorder.lazy(
+            vocabulary,
+            _kernel_batch(knowledge_base.masks, vocabulary, metric, kernels.max_keys),
         )
 
-    return LoyalAssignment(build, name="odist(max)")
+    return LoyalAssignment(build, name="odist(max)", cache_size=cache_size)
 
 
 def sum_distance_assignment(
     distance: Optional[InterpretationDistance] = None,
+    vectorized: bool = True,
+    cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
 ) -> LoyalAssignment:
     """Total-distance ordering (unit-weight ``wdist`` read back onto
     regular knowledge bases)."""
     metric = distance if distance is not None else HammingDistance()
 
     def build(knowledge_base: ModelSet) -> TotalPreorder:
-        row = _distance_rows(knowledge_base, metric)
+        vocabulary = knowledge_base.vocabulary
         if knowledge_base.is_empty:
-            return TotalPreorder.from_key(knowledge_base.vocabulary, lambda m: 0)
-        return TotalPreorder.from_key(
-            knowledge_base.vocabulary, lambda mask: sum(row(mask))
+            return _constant_order(vocabulary, 0)
+        if not vectorized:
+            row = _distance_rows(knowledge_base, metric)
+            return TotalPreorder.from_key(vocabulary, lambda mask: sum(row(mask)))
+        return TotalPreorder.lazy(
+            vocabulary,
+            _kernel_batch(knowledge_base.masks, vocabulary, metric, kernels.sum_keys),
         )
 
-    return LoyalAssignment(build, name="sumdist")
+    return LoyalAssignment(build, name="sumdist", cache_size=cache_size)
 
 
 def leximax_distance_assignment(
     distance: Optional[InterpretationDistance] = None,
+    vectorized: bool = True,
+    cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
 ) -> LoyalAssignment:
     """GMax ordering: distance multiset sorted descending, lexicographic."""
     metric = distance if distance is not None else HammingDistance()
 
     def build(knowledge_base: ModelSet) -> TotalPreorder:
-        row = _distance_rows(knowledge_base, metric)
+        vocabulary = knowledge_base.vocabulary
         if knowledge_base.is_empty:
-            return TotalPreorder.from_key(knowledge_base.vocabulary, lambda m: ())
-        return TotalPreorder.from_key(
-            knowledge_base.vocabulary,
-            lambda mask: tuple(sorted(row(mask), reverse=True)),
+            return _constant_order(vocabulary, ())
+        if not vectorized:
+            row = _distance_rows(knowledge_base, metric)
+            return TotalPreorder.from_key(
+                vocabulary, lambda mask: tuple(sorted(row(mask), reverse=True))
+            )
+        return TotalPreorder.lazy(
+            vocabulary,
+            _kernel_batch(
+                knowledge_base.masks, vocabulary, metric, kernels.leximax_keys
+            ),
         )
 
-    return LoyalAssignment(build, name="leximax")
+    return LoyalAssignment(build, name="leximax", cache_size=cache_size)
 
 
 def priority_distance_assignment(
     distance: Optional[InterpretationDistance] = None,
     priority: Optional[Callable[[int], int]] = None,
+    vectorized: bool = True,
+    cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
 ) -> LoyalAssignment:
     """The corrected, provably loyal assignment.
 
@@ -182,17 +237,24 @@ def priority_distance_assignment(
 
     def build(knowledge_base: ModelSet) -> TotalPreorder:
         vocabulary = knowledge_base.vocabulary
+        if knowledge_base.is_empty:
+            return _constant_order(vocabulary, ())
         ordered_models = sorted(knowledge_base.masks, key=rank)
+        if not vectorized:
 
-        def key(mask: int) -> tuple[float, ...]:
-            return tuple(
-                metric.between_masks(mask, model, vocabulary)
-                for model in ordered_models
-            )
+            def key(mask: int) -> tuple[float, ...]:
+                return tuple(
+                    metric.between_masks(mask, model, vocabulary)
+                    for model in ordered_models
+                )
 
-        return TotalPreorder.from_key(vocabulary, key)
+            return TotalPreorder.from_key(vocabulary, key)
+        return TotalPreorder.lazy(
+            vocabulary,
+            _kernel_batch(ordered_models, vocabulary, metric, kernels.row_keys),
+        )
 
-    return LoyalAssignment(build, name="priority-lex")
+    return LoyalAssignment(build, name="priority-lex", cache_size=cache_size)
 
 
 @dataclass(frozen=True)

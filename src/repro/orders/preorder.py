@@ -8,6 +8,11 @@ representations are provided:
   key, ``I ≤ J`` iff ``key(I) ≤ key(J)``.  Every ranking is automatically
   reflexive, transitive, and total; conversely every total pre-order over a
   finite set arises this way, so nothing is lost.  ``Min`` is a single scan.
+* :class:`LazyTotalPreorder` — the same ranking contract, but keys are
+  computed on demand in *batches*: ``Min(Mod(μ), ≤ψ)`` touches only the
+  masks in ``Mod(μ)`` instead of all ``2^|𝒯|`` interpretations.  Whole-
+  universe views (``levels``, equality, hashing, ``repr``) materialize
+  transparently and memoize.
 * :class:`PartialPreorder` — an explicit ``leq`` predicate (used by the
   update operators, whose per-model orders compare symmetric-difference
   *sets* by inclusion and are genuinely partial).  ``Min`` is the quadratic
@@ -22,7 +27,12 @@ from repro.errors import VocabularyError
 from repro.logic.interpretation import Interpretation, Vocabulary
 from repro.logic.semantics import ModelSet
 
-__all__ = ["TotalPreorder", "PartialPreorder", "minimal_by_leq"]
+__all__ = [
+    "TotalPreorder",
+    "LazyTotalPreorder",
+    "PartialPreorder",
+    "minimal_by_leq",
+]
 
 
 class TotalPreorder:
@@ -55,10 +65,24 @@ class TotalPreorder:
     def from_key(
         cls, vocabulary: Vocabulary, key: Callable[[int], object]
     ) -> "TotalPreorder":
-        """Build from a key function on bitmasks."""
+        """Build (eagerly) from a key function on bitmasks."""
         return cls(
             vocabulary, [key(mask) for mask in range(vocabulary.interpretation_count)]
         )
+
+    @staticmethod
+    def lazy(
+        vocabulary: Vocabulary,
+        batch_keys: Callable[[Sequence[int]], Sequence[object]],
+    ) -> "LazyTotalPreorder":
+        """Build a lazily evaluated ranking from a *batch* key function.
+
+        ``batch_keys(masks)`` must return one key per requested mask; it is
+        called only for masks whose keys have not been computed yet, so
+        ``minimal(Mod(μ))`` costs O(|Mod(μ)|) key evaluations instead of
+        O(2^|𝒯|).
+        """
+        return LazyTotalPreorder(vocabulary, batch_keys)
 
     # -- accessors -------------------------------------------------------------
 
@@ -71,10 +95,19 @@ class TotalPreorder:
         """The order key of the interpretation with this bitmask."""
         return self._keys[mask]
 
+    def keys_for_masks(self, masks: Sequence[int]) -> list[object]:
+        """Order keys for a batch of bitmasks (the restricted evaluation
+        entry point; lazy subclasses override it to compute on demand)."""
+        return [self._keys[mask] for mask in masks]
+
+    def _materialized_keys(self) -> tuple[object, ...]:
+        """The full key vector, one entry per interpretation."""
+        return self._keys  # type: ignore[return-value]
+
     def key_of(self, interpretation: Interpretation) -> object:
         """The order key of an interpretation."""
         self._check(interpretation.vocabulary)
-        return self._keys[interpretation.mask]
+        return self.key_of_mask(interpretation.mask)
 
     def _check(self, vocabulary: Vocabulary) -> None:
         if vocabulary != self._vocabulary:
@@ -114,15 +147,18 @@ class TotalPreorder:
         """The paper's ``Min(S, ≤)`` for this pre-order.
 
         For a ranking this is simply the candidates achieving the smallest
-        key; the result is empty iff ``candidates`` is empty.
+        key; the result is empty iff ``candidates`` is empty.  Keys are
+        requested only for the candidate masks, so a lazy pre-order never
+        ranks interpretations outside ``Mod(μ)``.
         """
         self._check(candidates.vocabulary)
         if candidates.is_empty:
             return candidates
+        masks = candidates.masks
+        keys = self.keys_for_masks(masks)
         best: object = None
         chosen: list[int] = []
-        for mask in candidates.masks:
-            key = self._keys[mask]
+        for mask, key in zip(masks, keys):
             if best is None or key < best:  # type: ignore[operator]
                 best = key
                 chosen = [mask]
@@ -134,7 +170,7 @@ class TotalPreorder:
         """Equivalence classes in increasing key order (the "rings" around
         the knowledge base)."""
         by_key: dict[object, list[int]] = {}
-        for mask, key in enumerate(self._keys):
+        for mask, key in enumerate(self._materialized_keys()):
             by_key.setdefault(key, []).append(mask)
         return [
             ModelSet(self._vocabulary, masks)
@@ -154,9 +190,10 @@ class TotalPreorder:
         return self._ranks() == other._ranks()
 
     def _ranks(self) -> tuple[int, ...]:
-        distinct = sorted(set(self._keys))  # type: ignore[type-var]
+        keys = self._materialized_keys()
+        distinct = sorted(set(keys))  # type: ignore[type-var]
         position = {key: rank for rank, key in enumerate(distinct)}
-        return tuple(position[key] for key in self._keys)
+        return tuple(position[key] for key in keys)
 
     def __hash__(self) -> int:
         return hash((self._vocabulary, self._ranks()))
@@ -166,6 +203,74 @@ class TotalPreorder:
         for level in self.levels():
             parts.append("{" + ", ".join(repr(i) for i in level) + "}")
         return "TotalPreorder(" + " < ".join(parts) + ")"
+
+
+class LazyTotalPreorder(TotalPreorder):
+    """A total pre-order whose keys are computed on demand, in batches.
+
+    Built from ``batch_keys(masks) -> keys`` (typically a vectorized
+    distance kernel over just the requested masks).  Computed keys are
+    memoized, so repeated queries and eventual materialization never
+    re-rank a mask.  All comparison, ``Min``, equality, and display
+    behaviour is inherited — only key retrieval changes.
+    """
+
+    __slots__ = ("_batch", "_memo")
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        batch_keys: Callable[[Sequence[int]], Sequence[object]],
+    ):
+        self._vocabulary = vocabulary
+        self._keys = None  # materialized on first whole-universe view
+        self._batch = batch_keys
+        self._memo: dict[int, object] = {}
+
+    def keys_for_masks(self, masks: Sequence[int]) -> list[object]:
+        memo = self._memo
+        missing = [mask for mask in masks if mask not in memo]
+        if missing:
+            computed = self._batch(missing)
+            if len(computed) != len(missing):
+                raise VocabularyError(
+                    f"batch key function returned {len(computed)} keys "
+                    f"for {len(missing)} masks"
+                )
+            for mask, key in zip(missing, computed):
+                memo[mask] = key
+        return [memo[mask] for mask in masks]
+
+    def key_of_mask(self, mask: int) -> object:
+        memo = self._memo
+        if mask in memo:
+            return memo[mask]
+        return self.keys_for_masks((mask,))[0]
+
+    @property
+    def computed_count(self) -> int:
+        """How many interpretation keys have been evaluated so far (a
+        laziness observability hook for tests and benchmarks)."""
+        return len(self._memo)
+
+    def _materialized_keys(self) -> tuple[object, ...]:
+        if self._keys is None:
+            self._keys = tuple(
+                self.keys_for_masks(range(self._vocabulary.interpretation_count))
+            )
+        return self._keys
+
+    def leq_masks(self, left: int, right: int) -> bool:
+        keys = self.keys_for_masks((left, right))
+        return keys[0] <= keys[1]  # type: ignore[operator]
+
+    def lt_masks(self, left: int, right: int) -> bool:
+        keys = self.keys_for_masks((left, right))
+        return keys[0] < keys[1]  # type: ignore[operator]
+
+    def equivalent_masks(self, left: int, right: int) -> bool:
+        keys = self.keys_for_masks((left, right))
+        return keys[0] == keys[1]
 
 
 def minimal_by_leq(

@@ -1,0 +1,66 @@
+"""Shared hypothesis strategies for the test suite.
+
+Lives in its own module (rather than ``conftest.py``) so test files can
+``from _strategies import ...`` without colliding with the benchmarks
+suite's ``conftest`` module of the same basename.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
+    Atom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Xor,
+    conjoin,
+    disjoin,
+)
+
+
+def atoms_strategy(names: tuple[str, ...] = ("a", "b", "c")) -> st.SearchStrategy:
+    """Strategy producing Atom leaves over fixed names."""
+    return st.sampled_from([Atom(name) for name in names])
+
+
+def formulas(
+    names: tuple[str, ...] = ("a", "b", "c"), max_leaves: int = 12
+) -> st.SearchStrategy[Formula]:
+    """Strategy producing arbitrary formulas over the given atom names,
+    including the constants and all sugar connectives."""
+    leaves = st.one_of(atoms_strategy(names), st.just(TOP), st.just(BOTTOM))
+
+    def extend(children: st.SearchStrategy[Formula]) -> st.SearchStrategy[Formula]:
+        return st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda pair: conjoin(pair)),
+            st.tuples(children, children).map(lambda pair: disjoin(pair)),
+            st.tuples(children, children).map(lambda pair: Implies(*pair)),
+            st.tuples(children, children).map(lambda pair: Iff(*pair)),
+            st.tuples(children, children).map(lambda pair: Xor(*pair)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+def model_sets(vocabulary: Vocabulary) -> st.SearchStrategy[ModelSet]:
+    """Strategy producing arbitrary model sets over the vocabulary."""
+    total = vocabulary.interpretation_count
+    return st.sets(st.integers(min_value=0, max_value=total - 1)).map(
+        lambda masks: ModelSet(vocabulary, masks)
+    )
+
+
+def nonempty_model_sets(vocabulary: Vocabulary) -> st.SearchStrategy[ModelSet]:
+    """Strategy producing satisfiable model sets."""
+    total = vocabulary.interpretation_count
+    return st.sets(
+        st.integers(min_value=0, max_value=total - 1), min_size=1
+    ).map(lambda masks: ModelSet(vocabulary, masks))

@@ -1,24 +1,18 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite (strategies live in
+``_strategies.py`` so they can be imported without basename collisions)."""
 
 from __future__ import annotations
 
-import hypothesis.strategies as st
 import pytest
 from hypothesis import settings
 
 from repro.logic.interpretation import Vocabulary
-from repro.logic.semantics import ModelSet
-from repro.logic.syntax import (
-    BOTTOM,
-    TOP,
-    Atom,
-    Formula,
-    Iff,
-    Implies,
-    Not,
-    Xor,
-    conjoin,
-    disjoin,
+
+from _strategies import (  # noqa: F401 - re-exported for fixture-style use
+    atoms_strategy,
+    formulas,
+    model_sets,
+    nonempty_model_sets,
 )
 
 # Keep hypothesis fast and deterministic across the suite.
@@ -45,47 +39,3 @@ def vocab_abc() -> Vocabulary:
 def vocab_sdq() -> Vocabulary:
     """The classroom vocabulary of Examples 3.1/4.1."""
     return Vocabulary(["S", "D", "Q"])
-
-
-# -- hypothesis strategies --------------------------------------------------------
-
-
-def atoms_strategy(names: tuple[str, ...] = ("a", "b", "c")) -> st.SearchStrategy:
-    """Strategy producing Atom leaves over fixed names."""
-    return st.sampled_from([Atom(name) for name in names])
-
-
-def formulas(
-    names: tuple[str, ...] = ("a", "b", "c"), max_leaves: int = 12
-) -> st.SearchStrategy[Formula]:
-    """Strategy producing arbitrary formulas over the given atom names,
-    including the constants and all sugar connectives."""
-    leaves = st.one_of(atoms_strategy(names), st.just(TOP), st.just(BOTTOM))
-
-    def extend(children: st.SearchStrategy[Formula]) -> st.SearchStrategy[Formula]:
-        return st.one_of(
-            children.map(Not),
-            st.tuples(children, children).map(lambda pair: conjoin(pair)),
-            st.tuples(children, children).map(lambda pair: disjoin(pair)),
-            st.tuples(children, children).map(lambda pair: Implies(*pair)),
-            st.tuples(children, children).map(lambda pair: Iff(*pair)),
-            st.tuples(children, children).map(lambda pair: Xor(*pair)),
-        )
-
-    return st.recursive(leaves, extend, max_leaves=max_leaves)
-
-
-def model_sets(vocabulary: Vocabulary) -> st.SearchStrategy[ModelSet]:
-    """Strategy producing arbitrary model sets over the vocabulary."""
-    total = vocabulary.interpretation_count
-    return st.sets(st.integers(min_value=0, max_value=total - 1)).map(
-        lambda masks: ModelSet(vocabulary, masks)
-    )
-
-
-def nonempty_model_sets(vocabulary: Vocabulary) -> st.SearchStrategy[ModelSet]:
-    """Strategy producing satisfiable model sets."""
-    total = vocabulary.interpretation_count
-    return st.sets(
-        st.integers(min_value=0, max_value=total - 1), min_size=1
-    ).map(lambda masks: ModelSet(vocabulary, masks))

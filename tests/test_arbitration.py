@@ -12,7 +12,7 @@ from repro.logic.parser import parse
 from repro.logic.semantics import ModelSet
 from repro.operators.base import OperatorFamily
 
-from conftest import model_sets, nonempty_model_sets
+from _strategies import model_sets, nonempty_model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

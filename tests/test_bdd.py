@@ -10,7 +10,7 @@ from repro.logic.interpretation import Vocabulary
 from repro.logic.parser import parse
 from repro.logic.syntax import Atom
 
-from conftest import formulas
+from _strategies import formulas
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

@@ -18,7 +18,7 @@ from repro.logic.sat import enumerate_assignments, solve
 from repro.logic.syntax import BOTTOM, TOP
 from repro.logic.transform import to_cnf
 
-from conftest import formulas
+from _strategies import formulas
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

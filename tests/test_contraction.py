@@ -16,7 +16,7 @@ from repro.operators.simple import FullMeetRevision
 from repro.operators.update import ForbusUpdate, WinslettUpdate
 from repro.postulates.harness import all_model_sets
 
-from conftest import model_sets, nonempty_model_sets
+from _strategies import model_sets, nonempty_model_sets
 
 VOCAB = Vocabulary(["a", "b"])
 ALL_KBS = all_model_sets(VOCAB)

@@ -15,7 +15,7 @@ from repro.operators.dilation import (
 from repro.operators.revision import DalalRevision
 from repro.postulates.harness import all_model_sets
 
-from conftest import model_sets, nonempty_model_sets
+from _strategies import model_sets, nonempty_model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

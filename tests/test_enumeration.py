@@ -21,7 +21,7 @@ from repro.logic.parser import parse
 from repro.logic.semantics import ModelSet
 from repro.logic.syntax import BOTTOM, TOP, Atom
 
-from conftest import formulas, model_sets
+from _strategies import formulas, model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

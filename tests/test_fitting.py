@@ -17,7 +17,7 @@ from repro.logic.semantics import ModelSet
 from repro.operators.base import OperatorFamily
 from repro.orders.loyal import priority_distance_assignment
 
-from conftest import model_sets, nonempty_model_sets
+from _strategies import model_sets, nonempty_model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 ALL_FITTINGS = [ReveszFitting(), PriorityFitting(), SumFitting(), LeximaxFitting()]

@@ -10,7 +10,7 @@ from repro.logic.interpretation import Vocabulary
 from repro.logic.parser import parse
 from repro.logic.semantics import ModelSet
 
-from conftest import formulas, model_sets
+from _strategies import formulas, model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

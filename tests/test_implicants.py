@@ -13,7 +13,7 @@ from repro.logic.parser import parse
 from repro.logic.semantics import ModelSet
 from repro.logic.syntax import BOTTOM, TOP, Atom, formula_size
 
-from conftest import model_sets
+from _strategies import model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

@@ -14,7 +14,7 @@ from repro.errors import OperatorError
 from repro.logic.interpretation import Vocabulary
 from repro.logic.semantics import ModelSet
 
-from conftest import nonempty_model_sets
+from _strategies import nonempty_model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

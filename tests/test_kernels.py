@@ -1,0 +1,279 @@
+"""Property tests for the vectorized distance kernels.
+
+Every kernel carries an exactness contract: not "close", but *identical*
+to the scalar reference path — including IEEE float results from
+:class:`WeightedHammingDistance` (same accumulation order) and exact
+:class:`~fractions.Fraction` keys from ``wdist``.  Hypothesis drives the
+comparison across random vocabularies of 2–12 atoms.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.core.fitting import (
+    LeximaxFitting,
+    PriorityFitting,
+    ReveszFitting,
+    SumFitting,
+)
+from repro.core.weighted import WeightedKnowledgeBase, wdist_assignment
+from repro.distances import kernels
+from repro.distances.base import (
+    DrasticDistance,
+    HammingDistance,
+    WeightedHammingDistance,
+)
+from repro.logic.interpretation import Interpretation, Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.operators.revision import DalalRevision
+
+IMPLS = ["python"] + (["numpy"] if kernels.HAS_NUMPY else [])
+
+
+def _matrix_rows(matrix) -> list[list]:
+    return matrix.tolist() if hasattr(matrix, "tolist") else matrix
+
+
+@st.composite
+def mask_instances(draw, min_atoms=2, max_atoms=12, min_masks=0):
+    """A vocabulary plus two non-empty-ish mask batches over it."""
+    num_atoms = draw(st.integers(min_atoms, max_atoms))
+    vocabulary = Vocabulary([f"x{i}" for i in range(num_atoms)])
+    space = vocabulary.interpretation_count
+    masks = st.integers(0, space - 1)
+    left = draw(st.lists(masks, min_size=max(1, min_masks), max_size=12, unique=True))
+    right = draw(st.lists(masks, min_size=min_masks, max_size=12, unique=True))
+    return vocabulary, left, right
+
+
+@st.composite
+def weight_fractions(draw, vocabulary_size):
+    """Per-atom Fraction weights with small numerators/denominators."""
+    return [
+        Fraction(draw(st.integers(0, 9)), draw(st.integers(1, 7)))
+        for _ in range(vocabulary_size)
+    ]
+
+
+class TestMatrixEquality:
+    @given(mask_instances(min_masks=1))
+    def test_hamming_matrix_matches_scalar(self, instance):
+        vocabulary, left, right = instance
+        metric = HammingDistance()
+        expected = [
+            [metric.between_masks(l, r, vocabulary) for r in right] for l in left
+        ]
+        for impl in IMPLS:
+            assert _matrix_rows(kernels.hamming_matrix(left, right, impl)) == expected
+
+    @given(mask_instances(min_masks=1))
+    def test_drastic_matrix_matches_scalar(self, instance):
+        vocabulary, left, right = instance
+        metric = DrasticDistance()
+        expected = [
+            [metric.between_masks(l, r, vocabulary) for r in right] for l in left
+        ]
+        for impl in IMPLS:
+            assert _matrix_rows(kernels.drastic_matrix(left, right, impl)) == expected
+
+    @given(mask_instances(min_masks=1), st.data())
+    def test_weighted_matrix_bit_identical(self, instance, data):
+        vocabulary, left, right = instance
+        weights = data.draw(weight_fractions(vocabulary.size))
+        metric = WeightedHammingDistance(
+            dict(zip(vocabulary.atoms, [float(w) for w in weights]))
+        )
+        expected = [
+            [metric.between_masks(l, r, vocabulary) for r in right] for l in left
+        ]
+        vector = metric.weight_vector(vocabulary)
+        for impl in IMPLS:
+            got = _matrix_rows(kernels.weighted_hamming_matrix(left, right, vector, impl))
+            # Strict equality: the kernels accumulate in scalar order.
+            assert got == expected, impl
+
+    @given(mask_instances(min_masks=1))
+    def test_distance_matrix_dispatch(self, instance):
+        vocabulary, left, right = instance
+        for metric in (None, HammingDistance(), DrasticDistance()):
+            reference = metric if metric is not None else HammingDistance()
+            expected = [
+                [reference.between_masks(l, r, vocabulary) for r in right]
+                for l in left
+            ]
+            got = _matrix_rows(
+                kernels.distance_matrix(left, right, vocabulary, metric)
+            )
+            assert got == expected
+
+
+class TestKeyAggregators:
+    @given(mask_instances(min_masks=1))
+    def test_row_aggregates_match_python(self, instance):
+        vocabulary, left, right = instance
+        rows = [[(l ^ r).bit_count() for r in right] for l in left]
+        for impl in IMPLS:
+            matrix = kernels.hamming_matrix(left, right, impl)
+            assert kernels.max_keys(matrix) == [max(row) for row in rows]
+            assert kernels.min_keys(matrix) == [min(row) for row in rows]
+            assert kernels.sum_keys(matrix) == [sum(row) for row in rows]
+            assert kernels.leximax_keys(matrix) == [
+                tuple(sorted(row, reverse=True)) for row in rows
+            ]
+            assert kernels.row_keys(matrix) == [tuple(row) for row in rows]
+
+    @given(mask_instances(min_masks=1), st.data())
+    def test_float_sum_keys_bit_identical(self, instance, data):
+        vocabulary, left, right = instance
+        weights = data.draw(weight_fractions(vocabulary.size))
+        metric = WeightedHammingDistance(
+            dict(zip(vocabulary.atoms, [float(w) for w in weights]))
+        )
+        scalar = [
+            sum(metric.between_masks(l, r, vocabulary) for r in right) for l in left
+        ]
+        vector = metric.weight_vector(vocabulary)
+        for impl in IMPLS:
+            matrix = kernels.weighted_hamming_matrix(left, right, vector, impl)
+            assert kernels.sum_keys(matrix) == scalar, impl
+
+
+class TestWdistKeys:
+    @given(mask_instances(min_masks=1), st.data())
+    def test_exact_fractions_match_scalar_wdist(self, instance, data):
+        vocabulary, candidates, support = instance
+        weights = data.draw(weight_fractions(vocabulary.size))
+        # Reuse the masks as weighted support; weights per support model.
+        support_weights = [
+            Fraction(data.draw(st.integers(1, 9)), data.draw(st.integers(1, 7)))
+            for _ in support
+        ]
+        kb = WeightedKnowledgeBase(
+            vocabulary, dict(zip(support, support_weights))
+        )
+        expected = [
+            kb.wdist(Interpretation(vocabulary, mask)) for mask in candidates
+        ]
+        for impl in IMPLS:
+            got = kernels.wdist_keys(
+                candidates,
+                sorted(kb._weights),
+                [kb._weights[m] for m in sorted(kb._weights)],
+                vocabulary,
+                impl=impl,
+            )
+            assert got == expected, impl
+            assert all(isinstance(value, Fraction) for value in got)
+
+    def test_empty_support_is_zero(self):
+        vocabulary = Vocabulary(["a", "b"])
+        assert kernels.wdist_keys([0, 1, 2], [], [], vocabulary) == [
+            Fraction(0)
+        ] * 3
+
+    def test_huge_weights_fall_back_to_exact_python_ints(self):
+        vocabulary = Vocabulary(["a", "b", "c"])
+        weights = [Fraction(10**30), Fraction(1, 3)]
+        got = kernels.wdist_keys([0b101], [0b010, 0b111], weights, vocabulary)
+        expected = [
+            Fraction(3) * Fraction(10**30) + Fraction(1) * Fraction(1, 3)
+        ]
+        assert got == expected
+
+
+class TestOperatorEquivalence:
+    """Scalar and vectorized paths select identical Mod(ψ ▷ μ) / Mod(ψ ∘ μ)."""
+
+    FACTORIES = [
+        ReveszFitting,
+        SumFitting,
+        LeximaxFitting,
+        PriorityFitting,
+        DalalRevision,
+    ]
+
+    @given(mask_instances(min_masks=1))
+    def test_randomized_inputs(self, instance):
+        vocabulary, psi_masks, mu_masks = instance
+        psi = ModelSet(vocabulary, psi_masks)
+        mu = ModelSet(vocabulary, mu_masks)
+        for factory in self.FACTORIES:
+            scalar = factory(vectorized=False).apply_models(psi, mu)
+            vectorized = factory(vectorized=True).apply_models(psi, mu)
+            assert scalar == vectorized, factory.__name__
+
+    @given(mask_instances(min_masks=1), st.data())
+    def test_weighted_hamming_metric(self, instance, data):
+        vocabulary, psi_masks, mu_masks = instance
+        weights = data.draw(weight_fractions(vocabulary.size))
+        metric = WeightedHammingDistance(
+            dict(zip(vocabulary.atoms, [float(w) for w in weights]))
+        )
+        psi = ModelSet(vocabulary, psi_masks)
+        mu = ModelSet(vocabulary, mu_masks)
+        for factory in (ReveszFitting, DalalRevision):
+            scalar = factory(distance=metric, vectorized=False).apply_models(psi, mu)
+            vectorized = factory(distance=metric, vectorized=True).apply_models(
+                psi, mu
+            )
+            assert scalar == vectorized, factory.__name__
+
+    @given(mask_instances(min_masks=1), st.data())
+    def test_weighted_fitting_min(self, instance, data):
+        vocabulary, support, mu_masks = instance
+        support_weights = [
+            Fraction(data.draw(st.integers(1, 9)), data.draw(st.integers(1, 7)))
+            for _ in support
+        ]
+        kb = WeightedKnowledgeBase(vocabulary, dict(zip(support, support_weights)))
+        mu = ModelSet(vocabulary, mu_masks)
+        scalar_order = wdist_assignment(vectorized=False).order_for(kb)
+        vector_order = wdist_assignment(vectorized=True).order_for(kb)
+        assert scalar_order.minimal(mu) == vector_order.minimal(mu)
+
+
+class TestDiffKernels:
+    @given(mask_instances())
+    def test_pairwise_diffs_matches_setcomp(self, instance):
+        _, left, right = instance
+        expected = {l ^ r for l in left for r in right}
+        for impl in IMPLS:
+            assert kernels.pairwise_diffs(left, right, impl) == expected
+
+    @given(st.lists(st.integers(0, 2**12 - 1), max_size=40))
+    def test_minimal_subset_masks_matches_quadratic(self, masks):
+        unique = set(masks)
+        expected = {
+            diff
+            for diff in unique
+            if not any(
+                other != diff and (other & diff) == other for other in unique
+            )
+        }
+        assert kernels.minimal_subset_masks(masks) == expected
+
+
+class TestImplGating:
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.hamming_matrix([0], [1], impl="cuda")
+
+    def test_wide_vocabulary_falls_back_to_python(self):
+        # 64+ atom masks exceed uint64; auto must pick the python path.
+        assert kernels._resolve_impl("auto", 64) == "python"
+        assert kernels._resolve_impl("auto", 63) == (
+            "numpy" if kernels.HAS_NUMPY else "python"
+        )
+
+    @pytest.mark.skipif(not kernels.HAS_NUMPY, reason="requires numpy")
+    def test_numpy_popcount_edge_values(self):
+        import numpy as np
+
+        values = np.array([0, 1, 0xFFFF, 2**63, 2**64 - 1], dtype=np.uint64)
+        expected = [int(v).bit_count() for v in values.tolist()]
+        assert kernels._popcount(values).tolist() == expected

@@ -10,7 +10,7 @@ from repro.logic.semantics import ModelSet
 from repro.operators.base import OperatorFamily
 from repro.operators.revision import SatohRevision
 
-from conftest import model_sets, nonempty_model_sets
+from _strategies import model_sets, nonempty_model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

@@ -19,7 +19,7 @@ from repro.logic.syntax import (
     Xor,
 )
 
-from conftest import formulas
+from _strategies import formulas
 
 
 class TestBasics:

@@ -8,7 +8,7 @@ from repro.logic.interpretation import Vocabulary
 from repro.logic.semantics import ModelSet
 from repro.orders.preorder import PartialPreorder, TotalPreorder, minimal_by_leq
 
-from conftest import model_sets
+from _strategies import model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

@@ -18,7 +18,7 @@ from repro.logic.syntax import Not, conjoin, disjoin
 from repro.operators.revision import DalalRevision, SatohRevision
 from repro.operators.update import WinslettUpdate
 
-from conftest import formulas, model_sets, nonempty_model_sets
+from _strategies import formulas, model_sets, nonempty_model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

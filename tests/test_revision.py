@@ -15,7 +15,7 @@ from repro.operators.revision import (
     WeberRevision,
 )
 
-from conftest import model_sets, nonempty_model_sets
+from _strategies import model_sets, nonempty_model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 ALL_REVISIONS = [DalalRevision(), SatohRevision(), BorgidaRevision(), WeberRevision()]

@@ -10,7 +10,7 @@ from repro.logic.interpretation import Vocabulary
 from repro.logic.sat import SatStats, enumerate_assignments, solve
 from repro.logic.semantics import truth_table
 
-from conftest import formulas
+from _strategies import formulas
 
 
 def _satisfies(clauses, assignment) -> bool:

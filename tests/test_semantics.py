@@ -10,7 +10,7 @@ from repro.logic.parser import parse
 from repro.logic.semantics import ModelSet, evaluate, truth_table
 from repro.logic.syntax import BOTTOM, TOP, Atom
 
-from conftest import formulas, model_sets
+from _strategies import formulas, model_sets
 
 
 class TestEvaluate:

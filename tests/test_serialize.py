@@ -20,7 +20,7 @@ from repro.kb.serialize import (
 from repro.logic.interpretation import Vocabulary
 from repro.logic.semantics import ModelSet
 
-from conftest import model_sets
+from _strategies import model_sets
 
 VOCAB = Vocabulary(["a", "b", "c"])
 

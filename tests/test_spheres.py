@@ -12,7 +12,7 @@ from repro.orders.preorder import TotalPreorder
 from repro.orders.spheres import SphereSystem
 from repro.postulates.harness import all_model_sets
 
-from conftest import model_sets, nonempty_model_sets
+from _strategies import model_sets, nonempty_model_sets
 
 VOCAB = Vocabulary(["a", "b"])
 VOCAB3 = Vocabulary(["a", "b", "c"])

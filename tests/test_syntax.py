@@ -25,7 +25,7 @@ from repro.logic.syntax import (
     substitute,
 )
 
-from conftest import formulas
+from _strategies import formulas
 
 
 class TestAtom:

@@ -17,7 +17,7 @@ from repro.logic.transform import (
     to_nnf,
 )
 
-from conftest import formulas
+from _strategies import formulas
 
 VOCAB = Vocabulary(["a", "b", "c"])
 
