@@ -192,7 +192,9 @@ def _cmd_audit(args, out) -> int:
         operators = [op for op in operators if op.name in wanted]
         if not operators:
             raise ReproError(f"no such operators: {sorted(wanted)}")
-    matrix = compute_matrix(operators, vocabulary, max_scenarios=args.scenarios)
+    matrix = compute_matrix(
+        operators, vocabulary, max_scenarios=args.scenarios, jobs=args.jobs
+    )
     print(render_matrix(matrix), file=out)
     return 0
 
@@ -270,6 +272,12 @@ def _build_parser() -> argparse.ArgumentParser:
     audit_parser.add_argument("--scenarios", type=int, default=5000)
     audit_parser.add_argument(
         "--operator", action="append", help="restrict to named operators"
+    )
+    audit_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="audit worker processes (1 = serial legacy path)",
     )
     audit_parser.set_defaults(handler=_cmd_audit)
 

@@ -1,0 +1,68 @@
+"""Batched, parallel postulate-audit engine.
+
+The postulate harness (:mod:`repro.postulates.harness`) defines *what* an
+audit checks; this package makes the checking fast:
+
+* :mod:`repro.engine.batched` — operators evaluated over one shared
+  pairwise distance matrix per (operator, vocabulary), with bounded
+  memoization of per-ψ key vectors and (ψ, μ) results;
+* :mod:`repro.engine.bitops` — whole chunks of scenarios evaluated as
+  numpy bitmask formulas, one per axiom;
+* :mod:`repro.engine.chunks` — deterministic chunking of scenario spaces
+  (index ranges for enumeration, captured RNG states for sampling);
+* :mod:`repro.engine.pool` — process-pool fan-out with a deterministic
+  merge, early cancellation under ``stop_at_first``, and a serial
+  fallback bit-identical to the legacy loop.
+
+Entry points: :func:`run_audit` for full operator × axiom sweeps (used by
+``repro.postulates.matrix.compute_matrix(jobs=...)`` and the CLI's
+``repro audit --jobs``), :func:`check_axiom_parallel` for one pair.
+"""
+
+from repro.engine.batched import (
+    BatchedOperator,
+    MAX_BATCH_ATOMS,
+    bits_of_model_set,
+    model_set_of_bits,
+)
+from repro.engine.bitops import ApplyTable, BIT_EVALUATORS, TABLE_UNIVERSE_LIMIT
+from repro.engine.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_EXHAUSTIVE_LIMIT,
+    ChunkSpec,
+    ScenarioPlan,
+    decode_chunk,
+    plan_scenarios,
+    sample_scenario_bits,
+)
+from repro.engine.pool import (
+    AuditOutcome,
+    ChunkOutcome,
+    ChunkTask,
+    EngineStats,
+    check_axiom_parallel,
+    run_audit,
+)
+
+__all__ = [
+    "BatchedOperator",
+    "MAX_BATCH_ATOMS",
+    "bits_of_model_set",
+    "model_set_of_bits",
+    "ApplyTable",
+    "BIT_EVALUATORS",
+    "TABLE_UNIVERSE_LIMIT",
+    "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_EXHAUSTIVE_LIMIT",
+    "ChunkSpec",
+    "ScenarioPlan",
+    "decode_chunk",
+    "plan_scenarios",
+    "sample_scenario_bits",
+    "AuditOutcome",
+    "ChunkOutcome",
+    "ChunkTask",
+    "EngineStats",
+    "check_axiom_parallel",
+    "run_audit",
+]

@@ -1,0 +1,431 @@
+"""Process-pool fan-out for postulate audits.
+
+The engine turns an audit — every (operator, axiom) pair over one
+vocabulary — into chunk-level work units (:mod:`repro.engine.chunks`),
+ships the operator roster to pool workers once via the pool initializer,
+and evaluates each chunk with the batched machinery
+(:mod:`repro.engine.batched` / :mod:`repro.engine.bitops`).
+
+Determinism is the design constraint, parallelism the payoff:
+
+* scenario order is global and reproducible (index ranges / captured RNG
+  states), so the merged verdicts do not depend on completion order;
+* the reported counterexample is the one at the *smallest* global
+  scenario index — with ``stop_at_first`` the merge also reports
+  ``scenarios_checked`` as that index + 1, exactly what the serial loop
+  would have counted;
+* early cancellation under ``stop_at_first`` only ever cancels chunks
+  whose first scenario lies *after* the best failure seen so far, so no
+  potentially-earlier counterexample is abandoned.
+
+``jobs=1`` never touches the pool or the batched evaluator: it routes
+through the legacy scalar harness loop and is bit-identical to it by
+construction.  Operators that fail to pickle degrade to the same serial
+path with a warning rather than an error.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+try:  # pragma: no cover - numpy is baked into the container
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro.engine.batched import BatchedOperator, model_set_of_bits
+from repro.engine.bitops import ApplyTable, BIT_EVALUATORS, supports_table
+from repro.engine.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkSpec,
+    ScenarioPlan,
+    decode_chunk,
+    plan_scenarios,
+)
+from repro.errors import PostulateError
+from repro.logic.interpretation import Vocabulary
+from repro.operators.base import TheoryChangeOperator
+from repro.postulates.axioms import Axiom
+from repro.postulates.counterexample import CheckResult, Counterexample
+
+__all__ = [
+    "ChunkTask",
+    "ChunkOutcome",
+    "EngineStats",
+    "AuditOutcome",
+    "run_audit",
+    "check_axiom_parallel",
+]
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One unit of worker work: a chunk of one (operator, axiom) audit."""
+
+    unit: int
+    op_index: int
+    axiom: Axiom
+    plan_mode: str
+    roles: int
+    kb_universe: int
+    interpretation_count: int
+    chunk: ChunkSpec
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """A worker's verdict on one chunk.
+
+    ``first_offset`` is the in-chunk offset of the earliest failing
+    scenario (``chunk.start + first_offset`` is its global index), with
+    its reconstructed counterexample.  Cache counters are deltas, so the
+    parent can sum them across chunks and workers.
+    """
+
+    unit: int
+    ordinal: int
+    start: int
+    first_offset: Optional[int]
+    counterexample: Optional[Counterexample]
+    key_hits: int = 0
+    key_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+
+
+@dataclass
+class EngineStats:
+    """Aggregated counters for one engine run."""
+
+    chunks: int = 0
+    scenarios: int = 0
+    key_hits: int = 0
+    key_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    serial_fallback: bool = False
+
+
+@dataclass
+class AuditOutcome:
+    """Results keyed ``operator name → axiom name → CheckResult``, plus
+    the engine's aggregate counters."""
+
+    results: dict[str, dict[str, CheckResult]] = field(default_factory=dict)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+
+# -- worker side ----------------------------------------------------------------
+
+#: Per-process state: the unpickled vocabulary, batched operator roster,
+#: and lazily built apply tables, installed by the pool initializer so
+#: every chunk of every audit in the run reuses them.
+_WORKER_STATE: Optional[dict] = None
+
+
+def _build_worker_state(vocabulary: Vocabulary, operators: Sequence[TheoryChangeOperator]) -> dict:
+    return {
+        "vocabulary": vocabulary,
+        "operators": [BatchedOperator(op, vocabulary) for op in operators],
+        "tables": {},
+    }
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_STATE
+    vocabulary, operators = pickle.loads(payload)
+    _WORKER_STATE = _build_worker_state(vocabulary, operators)
+
+
+def _cache_snapshot(operator: BatchedOperator) -> tuple[int, int, int, int]:
+    info = operator.cache_info()
+    return (
+        info["keys"].hits,
+        info["keys"].misses,
+        info["results"].hits,
+        info["results"].misses,
+    )
+
+
+def evaluate_chunk(state: dict, task: ChunkTask) -> ChunkOutcome:
+    """Evaluate one chunk against the worker state.
+
+    Module-level (and state-explicit) so tests can drive the exact worker
+    code path in-process.
+    """
+    vocabulary: Vocabulary = state["vocabulary"]
+    operator: BatchedOperator = state["operators"][task.op_index]
+    before = _cache_snapshot(operator)
+    plan = ScenarioPlan(
+        roles=task.roles,
+        interpretation_count=task.interpretation_count,
+        kb_universe=task.kb_universe,
+        total=task.chunk.start + task.chunk.count,
+        mode=task.plan_mode,
+        exhaustive=False,
+        chunks=(task.chunk,),
+    )
+    scenarios = decode_chunk(plan, task.chunk)
+    first_offset: Optional[int] = None
+    counterexample: Optional[Counterexample] = None
+    evaluator = BIT_EVALUATORS.get(task.axiom.name)
+    if evaluator is not None and supports_table(task.kb_universe):
+        tables = state["tables"]
+        table = tables.get(task.op_index)
+        if table is None:
+            table = tables[task.op_index] = ApplyTable(operator, task.kb_universe)
+        columns = np.asarray(scenarios, dtype=np.int64).reshape(
+            len(scenarios), task.roles
+        )
+        failures = evaluator(
+            table.lookup, *(columns[:, role] for role in range(task.roles))
+        )
+        failing = np.flatnonzero(failures)
+        if failing.size:
+            first_offset = int(failing[0])
+    else:
+        for offset, scenario_bits in enumerate(scenarios):
+            scenario = tuple(
+                model_set_of_bits(vocabulary, bits) for bits in scenario_bits
+            )
+            counterexample = task.axiom.check_instance(operator, scenario)
+            if counterexample is not None:
+                first_offset = offset
+                break
+    if first_offset is not None and counterexample is None:
+        scenario = tuple(
+            model_set_of_bits(vocabulary, bits) for bits in scenarios[first_offset]
+        )
+        counterexample = task.axiom.check_instance(operator, scenario)
+        if counterexample is None:  # pragma: no cover - exactness violation
+            raise PostulateError(
+                f"bit evaluator for {task.axiom.name} flagged a scenario the "
+                f"scalar checker accepts (operator {operator.name})"
+            )
+    after = _cache_snapshot(operator)
+    return ChunkOutcome(
+        unit=task.unit,
+        ordinal=task.chunk.ordinal,
+        start=task.chunk.start,
+        first_offset=first_offset,
+        counterexample=counterexample,
+        key_hits=after[0] - before[0],
+        key_misses=after[1] - before[1],
+        result_hits=after[2] - before[2],
+        result_misses=after[3] - before[3],
+    )
+
+
+def _run_chunk(task: ChunkTask) -> ChunkOutcome:
+    assert _WORKER_STATE is not None, "pool worker used before initialization"
+    return evaluate_chunk(_WORKER_STATE, task)
+
+
+# -- parent side ----------------------------------------------------------------
+
+
+@dataclass
+class _Unit:
+    """Parent-side bookkeeping for one (operator, axiom) audit."""
+
+    operator: TheoryChangeOperator
+    axiom: Axiom
+    plan: ScenarioPlan
+    best_index: Optional[int] = None
+    counterexample: Optional[Counterexample] = None
+
+    def absorb(self, outcome: ChunkOutcome) -> bool:
+        """Merge a chunk outcome; True iff the best failure improved."""
+        if outcome.first_offset is None:
+            return False
+        index = outcome.start + outcome.first_offset
+        if self.best_index is None or index < self.best_index:
+            self.best_index = index
+            self.counterexample = outcome.counterexample
+            return True
+        return False
+
+    def to_result(self, stop_at_first: bool) -> CheckResult:
+        checked = self.plan.total
+        if stop_at_first and self.best_index is not None:
+            checked = self.best_index + 1
+        return CheckResult(
+            axiom=self.axiom.name,
+            operator=self.operator.name,
+            holds=self.best_index is None,
+            scenarios_checked=checked,
+            exhaustive=self.plan.exhaustive,
+            counterexample=self.counterexample,
+        )
+
+
+def _plan_units(
+    operators: Sequence[TheoryChangeOperator],
+    axioms: Sequence[Axiom],
+    vocabulary: Vocabulary,
+    max_scenarios: int,
+    rng: int | random.Random,
+    chunk_size: int,
+) -> list[_Unit]:
+    """Plan every (operator, axiom) audit in the legacy iteration order.
+
+    An integer seed builds a fresh stream per unit — matching the serial
+    harness, where each ``check_axiom`` call seeds its own generator — and
+    a shared ``Random`` instance is consumed sequentially in this same
+    order, again matching a serial sweep.
+    """
+    units: list[_Unit] = []
+    for operator in operators:
+        for axiom in axioms:
+            generator = random.Random(rng) if isinstance(rng, int) else rng
+            plan = plan_scenarios(
+                vocabulary, len(axiom.roles), max_scenarios, generator, chunk_size
+            )
+            units.append(_Unit(operator, axiom, plan))
+    return units
+
+
+def _serial_audit(
+    units: list[_Unit],
+    vocabulary: Vocabulary,
+    max_scenarios: int,
+    rng: int | random.Random,
+    stop_at_first: bool,
+) -> AuditOutcome:
+    """The pure-serial fallback: the legacy scalar loop, unit by unit."""
+    from repro.postulates.harness import check_axiom
+
+    outcome = AuditOutcome(stats=EngineStats(serial_fallback=True))
+    shared = rng if isinstance(rng, random.Random) else None
+    for unit in units:
+        generator = random.Random(rng) if shared is None else shared
+        result = check_axiom(
+            unit.operator,
+            unit.axiom,
+            vocabulary,
+            max_scenarios=max_scenarios,
+            rng=generator,
+            stop_at_first=stop_at_first,
+        )
+        outcome.results.setdefault(unit.operator.name, {})[unit.axiom.name] = result
+        outcome.stats.scenarios += result.scenarios_checked
+    return outcome
+
+
+def run_audit(
+    operators: Sequence[TheoryChangeOperator],
+    axioms: Sequence[Axiom],
+    vocabulary: Vocabulary,
+    max_scenarios: int = 50_000,
+    rng: int | random.Random = 0,
+    stop_at_first: bool = True,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> AuditOutcome:
+    """Audit every operator against every axiom, fanned out over ``jobs``
+    pool workers (``jobs=1``: the legacy serial loop, bit-identical to
+    calling :func:`repro.postulates.harness.check_axiom` per pair)."""
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    units = _plan_units(operators, axioms, vocabulary, max_scenarios, rng, chunk_size)
+    if jobs == 1:
+        return _serial_audit(units, vocabulary, max_scenarios, rng, stop_at_first)
+    try:
+        payload = pickle.dumps((vocabulary, list(operators)))
+    except Exception as error:  # pickling contract violated by a custom operator
+        warnings.warn(
+            f"audit engine: operator roster does not pickle ({error}); "
+            "falling back to the serial harness",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial_audit(units, vocabulary, max_scenarios, rng, stop_at_first)
+
+    outcome = AuditOutcome()
+    stats = outcome.stats
+    context = None
+    try:
+        import multiprocessing
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+    except ImportError:  # pragma: no cover
+        pass
+    with ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=(payload,), mp_context=context
+    ) as executor:
+        pending = {}
+        for unit_id, unit in enumerate(units):
+            op_index = operators.index(unit.operator)
+            for chunk in unit.plan.chunks:
+                task = ChunkTask(
+                    unit=unit_id,
+                    op_index=op_index,
+                    axiom=unit.axiom,
+                    plan_mode=unit.plan.mode,
+                    roles=unit.plan.roles,
+                    kb_universe=unit.plan.kb_universe,
+                    interpretation_count=unit.plan.interpretation_count,
+                    chunk=chunk,
+                )
+                pending[executor.submit(_run_chunk, task)] = task
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                task = pending.pop(future)
+                if future.cancelled():
+                    continue
+                chunk_outcome = future.result()
+                unit = units[chunk_outcome.unit]
+                stats.chunks += 1
+                stats.scenarios += task.chunk.count
+                stats.key_hits += chunk_outcome.key_hits
+                stats.key_misses += chunk_outcome.key_misses
+                stats.result_hits += chunk_outcome.result_hits
+                stats.result_misses += chunk_outcome.result_misses
+                if unit.absorb(chunk_outcome) and stop_at_first:
+                    # Only chunks that start *after* the best failure can
+                    # be skipped: an earlier chunk may still hold the
+                    # globally first counterexample.
+                    for other, other_task in list(pending.items()):
+                        if (
+                            other_task.unit == chunk_outcome.unit
+                            and other_task.chunk.start > unit.best_index
+                            and other.cancel()
+                        ):
+                            pending.pop(other)
+    for unit in units:
+        outcome.results.setdefault(unit.operator.name, {})[
+            unit.axiom.name
+        ] = unit.to_result(stop_at_first)
+    return outcome
+
+
+def check_axiom_parallel(
+    operator: TheoryChangeOperator,
+    axiom: Axiom,
+    vocabulary: Vocabulary,
+    max_scenarios: int = 50_000,
+    rng: int | random.Random = 0,
+    stop_at_first: bool = True,
+    jobs: int = 2,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> CheckResult:
+    """Parallel counterpart of :func:`repro.postulates.harness.check_axiom`
+    for a single (operator, axiom) pair."""
+    outcome = run_audit(
+        [operator],
+        [axiom],
+        vocabulary,
+        max_scenarios=max_scenarios,
+        rng=rng,
+        stop_at_first=stop_at_first,
+        jobs=jobs,
+        chunk_size=chunk_size,
+    )
+    return outcome.results[operator.name][axiom.name]

@@ -20,7 +20,22 @@ from typing import Iterable, Iterator
 
 from repro.errors import VocabularyError
 
-__all__ = ["Vocabulary", "Interpretation"]
+__all__ = ["Vocabulary", "Interpretation", "iter_set_bits"]
+
+
+def iter_set_bits(bits: int) -> Iterator[int]:
+    """Positions of the set bits of ``bits``, in increasing order.
+
+    The standard decoding of "a set of interpretations packed into one
+    integer" (bit ``m`` set ⇔ mask ``m`` is a member).  Runs in
+    O(popcount) rather than O(range), which matters when callers decode
+    sparse subsets of large interpretation spaces.
+    """
+    remaining = bits
+    while remaining:
+        low = remaining & -remaining
+        yield low.bit_length() - 1
+        remaining ^= low
 
 
 class Vocabulary:

@@ -127,6 +127,13 @@ class AssignmentOperator(TheoryChangeOperator):
         """The underlying ψ ↦ ≤ψ assignment."""
         return self._assignment
 
+    @property
+    def unsat_base(self) -> str:
+        """The unsatisfiable-ψ policy: ``"empty"`` (axiom A2) or
+        ``"accept-new"`` (R3).  The audit engine's batched evaluator
+        replicates this branch, so it is part of the public contract."""
+        return self._unsat_base
+
     def order_for(self, psi: ModelSet) -> TotalPreorder:
         """Expose ``≤ψ`` (used by Theorem 3.1 round-trip tests)."""
         return self._assignment.order_for(psi)

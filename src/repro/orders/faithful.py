@@ -20,14 +20,15 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.distances import kernels
 from repro.distances.base import HammingDistance, InterpretationDistance
 from repro.logic.semantics import ModelSet
 from repro.orders.cache import AssignmentCache, CacheInfo, DEFAULT_CACHE_SIZE
+from repro.orders.loyal import DistanceOrderBuilder
 from repro.orders.preorder import TotalPreorder
 
 __all__ = [
     "FaithfulAssignment",
+    "MinDistanceBuilder",
     "dalal_assignment",
     "check_faithful",
     "FaithfulnessViolation",
@@ -50,8 +51,26 @@ class FaithfulAssignment:
         cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
     ):
         self._builder = builder
+        self._cache_size = cache_size
         self._cache = AssignmentCache(maxsize=cache_size)
         self.name = name
+
+    @property
+    def builder(self) -> Callable[[ModelSet], TotalPreorder]:
+        """The underlying ψ ↦ ≤ψ builder (the audit engine inspects its
+        batching metadata: ``kind``, ``metric``)."""
+        return self._builder
+
+    def __getstate__(self):
+        # As with loyal assignments: ship the recipe, not the memo cache.
+        return {
+            "builder": self._builder,
+            "cache_size": self._cache_size,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(state["builder"], state["name"], state["cache_size"])
 
     def order_for(self, knowledge_base: ModelSet) -> TotalPreorder:
         """The pre-order ``≤ψ`` for a knowledge base given by its models."""
@@ -72,6 +91,16 @@ class FaithfulAssignment:
         return f"FaithfulAssignment({self.name!r})"
 
 
+class MinDistanceBuilder(DistanceOrderBuilder):
+    """Dalal's key: distance to the nearest model of ψ."""
+
+    kind = "min"
+    empty_key: object = 0.0
+
+    def _scalar_key(self, row):
+        return lambda mask: min(row(mask))
+
+
 def dalal_assignment(
     distance: Optional[InterpretationDistance] = None,
     vectorized: bool = True,
@@ -84,30 +113,9 @@ def dalal_assignment(
     so faithfulness conditions 1–2 hold whenever ψ is satisfiable.
     """
     metric = distance if distance is not None else HammingDistance()
-
-    def build(knowledge_base: ModelSet) -> TotalPreorder:
-        vocabulary = knowledge_base.vocabulary
-        kb_masks = knowledge_base.masks
-        if not kb_masks:
-            return TotalPreorder.lazy(vocabulary, lambda masks: [0.0] * len(masks))
-        if not vectorized:
-
-            def key(mask: int) -> float:
-                return min(
-                    metric.between_masks(mask, kb_mask, vocabulary)
-                    for kb_mask in kb_masks
-                )
-
-            return TotalPreorder.from_key(vocabulary, key)
-
-        def batch(masks):
-            return kernels.min_keys(
-                kernels.distance_matrix(masks, kb_masks, vocabulary, metric)
-            )
-
-        return TotalPreorder.lazy(vocabulary, batch)
-
-    return FaithfulAssignment(build, name="dalal", cache_size=cache_size)
+    return FaithfulAssignment(
+        MinDistanceBuilder(metric, vectorized), name="dalal", cache_size=cache_size
+    )
 
 
 class FaithfulnessViolation:

@@ -42,13 +42,14 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from repro.distances import kernels
 from repro.distances.base import HammingDistance, InterpretationDistance
-from repro.logic.interpretation import Vocabulary
+from repro.logic.interpretation import Vocabulary, iter_set_bits
 from repro.logic.semantics import ModelSet
 from repro.orders.cache import AssignmentCache, CacheInfo, DEFAULT_CACHE_SIZE
 from repro.orders.preorder import TotalPreorder
 
 __all__ = [
     "LoyalAssignment",
+    "bitmask_priority",
     "max_distance_assignment",
     "sum_distance_assignment",
     "leximax_distance_assignment",
@@ -66,6 +67,10 @@ class LoyalAssignment:
     by construction.  Conditions 2–3 are properties of the builder and can
     be audited with :func:`check_loyal`.  Built orders are memoized in a
     bounded LRU :class:`~repro.orders.cache.AssignmentCache`.
+
+    Assignments built from the module's builder classes pickle cleanly
+    (the memo cache is dropped, not shipped), which is what lets the
+    audit engine send operators to process-pool workers.
     """
 
     def __init__(
@@ -75,8 +80,27 @@ class LoyalAssignment:
         cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
     ):
         self._builder = builder
+        self._cache_size = cache_size
         self._cache = AssignmentCache(maxsize=cache_size)
         self.name = name
+
+    @property
+    def builder(self) -> Callable[[ModelSet], TotalPreorder]:
+        """The underlying ψ ↦ ≤ψ builder (the audit engine inspects its
+        batching metadata: ``kind``, ``metric``, ``rank``)."""
+        return self._builder
+
+    def __getstate__(self):
+        # Built pre-orders stay home: a worker rebuilds what it needs, and
+        # lazy pre-orders can hold large memoized key tables.
+        return {
+            "builder": self._builder,
+            "cache_size": self._cache_size,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(state["builder"], state["name"], state["cache_size"])
 
     def order_for(self, knowledge_base: ModelSet) -> TotalPreorder:
         """The pre-order ``≤ψ`` for a knowledge base given by its models."""
@@ -97,41 +121,158 @@ class LoyalAssignment:
         return f"LoyalAssignment({self.name!r})"
 
 
-def _distance_rows(
-    knowledge_base: ModelSet, metric: InterpretationDistance
-) -> Callable[[int], list[float]]:
-    vocabulary = knowledge_base.vocabulary
-    kb_masks = knowledge_base.masks
-
-    def row(mask: int) -> list[float]:
-        return [
-            metric.between_masks(mask, kb_mask, vocabulary) for kb_mask in kb_masks
-        ]
-
-    return row
+def bitmask_priority(mask: int) -> int:
+    """The default global priority on interpretations: bitmask order."""
+    return mask
 
 
-def _kernel_batch(
-    kb_masks: Sequence[int],
-    vocabulary: Vocabulary,
-    metric: InterpretationDistance,
-    aggregate: Callable[[object], list],
-) -> Callable[[Sequence[int]], list]:
-    """A batch key function: distance matrix over the requested masks only,
-    aggregated per row."""
+#: Row aggregators per order kind (the audit engine's batched evaluator
+#: looks builders up here by their ``kind`` attribute and applies the same
+#: aggregator to slices of a shared full-pairwise distance matrix).
+KIND_AGGREGATORS: dict[str, Callable[[object], list]] = {
+    "max": kernels.max_keys,
+    "min": kernels.min_keys,
+    "sum": kernels.sum_keys,
+    "leximax": kernels.leximax_keys,
+    "row": kernels.row_keys,
+}
 
-    def batch(masks: Sequence[int]) -> list:
-        return aggregate(
-            kernels.distance_matrix(masks, kb_masks, vocabulary, metric)
+
+@dataclass(frozen=True)
+class _ConstantKeys:
+    """Batch key function of the all-equivalent order (unsatisfiable ψ;
+    axiom A2 short-circuits before Min, so only the shape matters)."""
+
+    key: object
+
+    def __call__(self, masks: Sequence[int]) -> list:
+        return [self.key] * len(masks)
+
+
+@dataclass(frozen=True)
+class KernelBatchKeys:
+    """Batch key function: distance matrix over the requested masks only,
+    aggregated per row with the kernel aggregator for ``kind``."""
+
+    kb_masks: tuple[int, ...]
+    vocabulary: Vocabulary
+    metric: InterpretationDistance
+    kind: str
+
+    def __call__(self, masks: Sequence[int]) -> list:
+        return KIND_AGGREGATORS[self.kind](
+            kernels.distance_matrix(masks, self.kb_masks, self.vocabulary, self.metric)
         )
 
-    return batch
+
+@dataclass(frozen=True)
+class _ScalarRow:
+    """Per-mask distance row to the knowledge base's models (the scalar
+    reference path)."""
+
+    kb_masks: tuple[int, ...]
+    vocabulary: Vocabulary
+    metric: InterpretationDistance
+
+    def __call__(self, mask: int) -> list:
+        return [
+            self.metric.between_masks(mask, kb_mask, self.vocabulary)
+            for kb_mask in self.kb_masks
+        ]
 
 
-def _constant_order(vocabulary: Vocabulary, key: object) -> TotalPreorder:
-    """The all-equivalent order used for the unsatisfiable knowledge base
-    (axiom A2 short-circuits before Min, so only the shape matters)."""
-    return TotalPreorder.lazy(vocabulary, lambda masks: [key] * len(masks))
+class DistanceOrderBuilder:
+    """A picklable ψ ↦ ≤ψ builder aggregating distances to Mod(ψ).
+
+    ``kind`` names the row aggregation (see :data:`KIND_AGGREGATORS`) and
+    doubles as the batching contract consumed by the audit engine:
+    a builder of kind ``k`` ranks mask ``I`` by ``agg_k`` of the distance
+    row from ``I`` to the knowledge base's models, listed in
+    :meth:`ordered_models` order.
+    """
+
+    #: The aggregation kind; subclasses override.
+    kind = "max"
+    #: Key of the all-equivalent order used for the unsatisfiable ψ.
+    empty_key: object = 0
+
+    def __init__(self, metric: InterpretationDistance, vectorized: bool = True):
+        self.metric = metric
+        self.vectorized = vectorized
+
+    def ordered_models(self, knowledge_base: ModelSet) -> tuple[int, ...]:
+        """The distance-row columns, in the order the key reads them."""
+        return knowledge_base.masks
+
+    def _scalar_key(self, row: Callable[[int], list]) -> Callable[[int], object]:
+        raise NotImplementedError
+
+    def __call__(self, knowledge_base: ModelSet) -> TotalPreorder:
+        vocabulary = knowledge_base.vocabulary
+        if knowledge_base.is_empty:
+            return TotalPreorder.lazy(vocabulary, _ConstantKeys(self.empty_key))
+        columns = self.ordered_models(knowledge_base)
+        if not self.vectorized:
+            row = _ScalarRow(columns, vocabulary, self.metric)
+            return TotalPreorder.from_key(vocabulary, self._scalar_key(row))
+        return TotalPreorder.lazy(
+            vocabulary,
+            KernelBatchKeys(columns, vocabulary, self.metric, self.kind),
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(kind={self.kind!r}, metric={self.metric!r})"
+
+
+class MaxDistanceBuilder(DistanceOrderBuilder):
+    """The paper's ``odist`` key: maximum distance to any model of ψ."""
+
+    kind = "max"
+
+    def _scalar_key(self, row):
+        return lambda mask: max(row(mask))
+
+
+class SumDistanceBuilder(DistanceOrderBuilder):
+    """Total-distance key (unit-weight ``wdist``)."""
+
+    kind = "sum"
+
+    def _scalar_key(self, row):
+        return lambda mask: sum(row(mask))
+
+
+class LeximaxDistanceBuilder(DistanceOrderBuilder):
+    """GMax key: the distance multiset sorted descending."""
+
+    kind = "leximax"
+    empty_key: object = ()
+
+    def _scalar_key(self, row):
+        return lambda mask: tuple(sorted(row(mask), reverse=True))
+
+
+class PriorityDistanceBuilder(DistanceOrderBuilder):
+    """Priority-lexicographic key: the distance vector to Mod(ψ) read in a
+    fixed global priority order."""
+
+    kind = "row"
+    empty_key: object = ()
+
+    def __init__(
+        self,
+        metric: InterpretationDistance,
+        rank: Callable[[int], int] = bitmask_priority,
+        vectorized: bool = True,
+    ):
+        super().__init__(metric, vectorized)
+        self.rank = rank
+
+    def ordered_models(self, knowledge_base: ModelSet) -> tuple[int, ...]:
+        return tuple(sorted(knowledge_base.masks, key=self.rank))
+
+    def _scalar_key(self, row):
+        return lambda mask: tuple(row(mask))
 
 
 def max_distance_assignment(
@@ -144,20 +285,9 @@ def max_distance_assignment(
     defect.  ``vectorized=False`` selects the scalar reference path
     (eager, pure-Python) used by the equality tests and the E9 baseline."""
     metric = distance if distance is not None else HammingDistance()
-
-    def build(knowledge_base: ModelSet) -> TotalPreorder:
-        vocabulary = knowledge_base.vocabulary
-        if knowledge_base.is_empty:
-            return _constant_order(vocabulary, 0)
-        if not vectorized:
-            row = _distance_rows(knowledge_base, metric)
-            return TotalPreorder.from_key(vocabulary, lambda mask: max(row(mask)))
-        return TotalPreorder.lazy(
-            vocabulary,
-            _kernel_batch(knowledge_base.masks, vocabulary, metric, kernels.max_keys),
-        )
-
-    return LoyalAssignment(build, name="odist(max)", cache_size=cache_size)
+    return LoyalAssignment(
+        MaxDistanceBuilder(metric, vectorized), name="odist(max)", cache_size=cache_size
+    )
 
 
 def sum_distance_assignment(
@@ -168,20 +298,9 @@ def sum_distance_assignment(
     """Total-distance ordering (unit-weight ``wdist`` read back onto
     regular knowledge bases)."""
     metric = distance if distance is not None else HammingDistance()
-
-    def build(knowledge_base: ModelSet) -> TotalPreorder:
-        vocabulary = knowledge_base.vocabulary
-        if knowledge_base.is_empty:
-            return _constant_order(vocabulary, 0)
-        if not vectorized:
-            row = _distance_rows(knowledge_base, metric)
-            return TotalPreorder.from_key(vocabulary, lambda mask: sum(row(mask)))
-        return TotalPreorder.lazy(
-            vocabulary,
-            _kernel_batch(knowledge_base.masks, vocabulary, metric, kernels.sum_keys),
-        )
-
-    return LoyalAssignment(build, name="sumdist", cache_size=cache_size)
+    return LoyalAssignment(
+        SumDistanceBuilder(metric, vectorized), name="sumdist", cache_size=cache_size
+    )
 
 
 def leximax_distance_assignment(
@@ -191,24 +310,9 @@ def leximax_distance_assignment(
 ) -> LoyalAssignment:
     """GMax ordering: distance multiset sorted descending, lexicographic."""
     metric = distance if distance is not None else HammingDistance()
-
-    def build(knowledge_base: ModelSet) -> TotalPreorder:
-        vocabulary = knowledge_base.vocabulary
-        if knowledge_base.is_empty:
-            return _constant_order(vocabulary, ())
-        if not vectorized:
-            row = _distance_rows(knowledge_base, metric)
-            return TotalPreorder.from_key(
-                vocabulary, lambda mask: tuple(sorted(row(mask), reverse=True))
-            )
-        return TotalPreorder.lazy(
-            vocabulary,
-            _kernel_batch(
-                knowledge_base.masks, vocabulary, metric, kernels.leximax_keys
-            ),
-        )
-
-    return LoyalAssignment(build, name="leximax", cache_size=cache_size)
+    return LoyalAssignment(
+        LeximaxDistanceBuilder(metric, vectorized), name="leximax", cache_size=cache_size
+    )
 
 
 def priority_distance_assignment(
@@ -233,28 +337,12 @@ def priority_distance_assignment(
     the construction only reads ``Mod(ψ)``.
     """
     metric = distance if distance is not None else HammingDistance()
-    rank = priority if priority is not None else (lambda mask: mask)
-
-    def build(knowledge_base: ModelSet) -> TotalPreorder:
-        vocabulary = knowledge_base.vocabulary
-        if knowledge_base.is_empty:
-            return _constant_order(vocabulary, ())
-        ordered_models = sorted(knowledge_base.masks, key=rank)
-        if not vectorized:
-
-            def key(mask: int) -> tuple[float, ...]:
-                return tuple(
-                    metric.between_masks(mask, model, vocabulary)
-                    for model in ordered_models
-                )
-
-            return TotalPreorder.from_key(vocabulary, key)
-        return TotalPreorder.lazy(
-            vocabulary,
-            _kernel_batch(ordered_models, vocabulary, metric, kernels.row_keys),
-        )
-
-    return LoyalAssignment(build, name="priority-lex", cache_size=cache_size)
+    rank = priority if priority is not None else bitmask_priority
+    return LoyalAssignment(
+        PriorityDistanceBuilder(metric, rank, vectorized),
+        name="priority-lex",
+        cache_size=cache_size,
+    )
 
 
 @dataclass(frozen=True)
@@ -344,6 +432,5 @@ def check_loyal_exhaustive(
     for bits in range(1 << total):
         if bits == 0 and not include_empty:
             continue
-        masks = [mask for mask in range(total) if bits & (1 << mask)]
-        subsets.append(ModelSet(vocabulary, masks))
+        subsets.append(ModelSet(vocabulary, iter_set_bits(bits)))
     return check_loyal(assignment, subsets)

@@ -86,15 +86,23 @@ def _ce(
 
 
 # -- success axioms (R1 = U1 = A1) ---------------------------------------------
+#
+# The shared checkers (success, joint satisfiability, the two conjunction
+# directions) are module-level callable classes rather than closures so
+# that Axiom objects pickle — the audit engine ships axioms to process-
+# pool workers.
 
 
-def _make_success(name: str) -> Axiom:
-    def check(op: TheoryChangeOperator, scenario: Scenario):
+@dataclass(frozen=True)
+class _SuccessCheck:
+    name: str
+
+    def __call__(self, op: TheoryChangeOperator, scenario: Scenario):
         psi, mu = scenario
         result = op.apply_models(psi, mu)
         if not result.issubset(mu):
             return _ce(
-                name,
+                self.name,
                 op,
                 {"psi": psi, "mu": mu},
                 {"result": result},
@@ -102,7 +110,9 @@ def _make_success(name: str) -> Axiom:
             )
         return None
 
-    return Axiom(name, "ψ * μ implies μ", ("psi", "mu"), check)
+
+def _make_success(name: str) -> Axiom:
+    return Axiom(name, "ψ * μ implies μ", ("psi", "mu"), _SuccessCheck(name))
 
 
 # -- R2 --------------------------------------------------------------------------
@@ -144,15 +154,18 @@ def _check_r3(op: TheoryChangeOperator, scenario: Scenario):
     return None
 
 
-def _make_joint_satisfiability(name: str) -> Axiom:
-    def check(op: TheoryChangeOperator, scenario: Scenario):
+@dataclass(frozen=True)
+class _JointSatisfiabilityCheck:
+    name: str
+
+    def __call__(self, op: TheoryChangeOperator, scenario: Scenario):
         psi, mu = scenario
         if psi.is_empty or mu.is_empty:
             return None
         result = op.apply_models(psi, mu)
         if result.is_empty:
             return _ce(
-                name,
+                self.name,
                 op,
                 {"psi": psi, "mu": mu},
                 {"result": result},
@@ -160,25 +173,30 @@ def _make_joint_satisfiability(name: str) -> Axiom:
             )
         return None
 
+
+def _make_joint_satisfiability(name: str) -> Axiom:
     return Axiom(
         name,
         "if ψ and μ are satisfiable then ψ * μ is satisfiable",
         ("psi", "mu"),
-        check,
+        _JointSatisfiabilityCheck(name),
     )
 
 
 # -- R5/R6 (= U5, A5/A6) -------------------------------------------------------------
 
 
-def _make_conjunction_lower(name: str) -> Axiom:
-    def check(op: TheoryChangeOperator, scenario: Scenario):
+@dataclass(frozen=True)
+class _ConjunctionLowerCheck:
+    name: str
+
+    def __call__(self, op: TheoryChangeOperator, scenario: Scenario):
         psi, mu, phi = scenario
         left = op.apply_models(psi, mu).intersection(phi)
         right = op.apply_models(psi, mu.intersection(phi))
         if not left.issubset(right):
             return _ce(
-                name,
+                self.name,
                 op,
                 {"psi": psi, "mu": mu, "phi": phi},
                 {"lhs (ψ*μ)∧φ": left, "rhs ψ*(μ∧φ)": right},
@@ -186,13 +204,21 @@ def _make_conjunction_lower(name: str) -> Axiom:
             )
         return None
 
+
+def _make_conjunction_lower(name: str) -> Axiom:
     return Axiom(
-        name, "(ψ * μ) ∧ φ implies ψ * (μ ∧ φ)", ("psi", "mu", "phi"), check
+        name,
+        "(ψ * μ) ∧ φ implies ψ * (μ ∧ φ)",
+        ("psi", "mu", "phi"),
+        _ConjunctionLowerCheck(name),
     )
 
 
-def _make_conjunction_upper(name: str) -> Axiom:
-    def check(op: TheoryChangeOperator, scenario: Scenario):
+@dataclass(frozen=True)
+class _ConjunctionUpperCheck:
+    name: str
+
+    def __call__(self, op: TheoryChangeOperator, scenario: Scenario):
         psi, mu, phi = scenario
         left = op.apply_models(psi, mu).intersection(phi)
         if left.is_empty:
@@ -200,7 +226,7 @@ def _make_conjunction_upper(name: str) -> Axiom:
         right = op.apply_models(psi, mu.intersection(phi))
         if not right.issubset(left):
             return _ce(
-                name,
+                self.name,
                 op,
                 {"psi": psi, "mu": mu, "phi": phi},
                 {"lhs (ψ*μ)∧φ": left, "rhs ψ*(μ∧φ)": right},
@@ -208,11 +234,13 @@ def _make_conjunction_upper(name: str) -> Axiom:
             )
         return None
 
+
+def _make_conjunction_upper(name: str) -> Axiom:
     return Axiom(
         name,
         "if (ψ * μ) ∧ φ is satisfiable then ψ * (μ ∧ φ) implies (ψ * μ) ∧ φ",
         ("psi", "mu", "phi"),
-        check,
+        _ConjunctionUpperCheck(name),
     )
 
 

@@ -17,10 +17,11 @@ R4/U4/A4 is checked separately at formula level).
 from __future__ import annotations
 
 import random
-from itertools import product
+from itertools import islice, product
 from typing import Iterable, Iterator, Optional, Sequence
 
-from repro.logic.interpretation import Vocabulary
+from repro.engine.chunks import DEFAULT_EXHAUSTIVE_LIMIT
+from repro.logic.interpretation import Vocabulary, iter_set_bits
 from repro.logic.semantics import ModelSet
 from repro.operators.base import TheoryChangeOperator
 from repro.postulates.axioms import Axiom
@@ -34,9 +35,10 @@ __all__ = [
     "audit_operator",
 ]
 
-#: Role-count threshold above which exhaustive checking switches to
-#: sampling automatically (see :func:`check_axiom`).
-EXHAUSTIVE_LIMIT = 300_000
+#: Scenario-space size above which enumeration switches to sampling
+#: (see :func:`check_axiom`).  Shared with the audit engine's planner so
+#: serial and parallel runs pick the same mode.
+EXHAUSTIVE_LIMIT = DEFAULT_EXHAUSTIVE_LIMIT
 
 
 def all_model_sets(
@@ -53,8 +55,7 @@ def all_model_sets(
     for bits in range(1 << count):
         if bits == 0 and not include_empty:
             continue
-        masks = [mask for mask in range(count) if bits & (1 << mask)]
-        sets.append(ModelSet(vocabulary, masks))
+        sets.append(ModelSet(vocabulary, iter_set_bits(bits)))
     return sets
 
 
@@ -90,8 +91,7 @@ def sampled_scenarios(
             if bits == 0 and not include_empty:
                 acceptable = False
                 break
-            masks = [mask for mask in range(total) if bits & (1 << mask)]
-            scenario.append(ModelSet(vocabulary, masks))
+            scenario.append(ModelSet(vocabulary, iter_set_bits(bits)))
         if acceptable:
             produced += 1
             yield tuple(scenario)
@@ -104,30 +104,52 @@ def check_axiom(
     max_scenarios: int = 50_000,
     rng: int | random.Random = 0,
     stop_at_first: bool = True,
+    jobs: int = 1,
 ) -> CheckResult:
     """Check one axiom for one operator over the vocabulary.
 
-    Uses exhaustive scenarios when the space fits in ``EXHAUSTIVE_LIMIT``
-    tuples (adjusted down to ``max_scenarios``), otherwise seeded sampling
-    of ``max_scenarios`` tuples.  Returns a :class:`CheckResult` carrying
-    the first counterexample found, if any.
+    Enumerates the scenario space when it fits in ``EXHAUSTIVE_LIMIT``
+    tuples, truncating enumeration at ``max_scenarios`` (the result is
+    marked ``exhaustive`` only when nothing was cut); larger spaces use
+    seeded sampling of ``max_scenarios`` tuples.  Returns a
+    :class:`CheckResult` carrying the first counterexample found, if any —
+    also under ``stop_at_first=False``, which keeps scanning (to count the
+    full space) but still reports the earliest failure.
+
+    ``jobs > 1`` routes through the parallel audit engine
+    (:func:`repro.engine.pool.check_axiom_parallel`), whose merge is
+    deterministic and result-identical to this serial loop.
     """
+    if jobs > 1:
+        from repro.engine.pool import check_axiom_parallel
+
+        return check_axiom_parallel(
+            operator,
+            axiom,
+            vocabulary,
+            max_scenarios=max_scenarios,
+            rng=rng,
+            stop_at_first=stop_at_first,
+            jobs=jobs,
+        )
     roles = len(axiom.roles)
     space = (1 << vocabulary.interpretation_count) ** roles
-    exhaustive = space <= min(EXHAUSTIVE_LIMIT, max_scenarios)
-    if exhaustive:
-        scenarios: Iterable[tuple[ModelSet, ...]] = exhaustive_scenarios(
-            vocabulary, roles
+    if space <= EXHAUSTIVE_LIMIT:
+        scenarios: Iterable[tuple[ModelSet, ...]] = islice(
+            exhaustive_scenarios(vocabulary, roles), max_scenarios
         )
+        exhaustive = space <= max_scenarios
     else:
         scenarios = sampled_scenarios(vocabulary, roles, max_scenarios, rng)
+        exhaustive = False
     checked = 0
     first: Optional[Counterexample] = None
     for scenario in scenarios:
         checked += 1
         counterexample = axiom.check_instance(operator, scenario)
         if counterexample is not None:
-            first = counterexample
+            if first is None:
+                first = counterexample
             if stop_at_first:
                 break
     return CheckResult(
@@ -146,8 +168,20 @@ def audit_operator(
     vocabulary: Vocabulary,
     max_scenarios: int = 50_000,
     rng: int | random.Random = 0,
+    jobs: int = 1,
 ) -> dict[str, CheckResult]:
-    """Check a whole axiom set for one operator; results keyed by axiom."""
+    """Check a whole axiom set for one operator; results keyed by axiom.
+
+    With ``jobs > 1`` the whole sweep runs through one process pool (one
+    roster shipment, shared per-worker caches) instead of per-axiom.
+    """
+    if jobs > 1:
+        from repro.engine.pool import run_audit
+
+        outcome = run_audit(
+            [operator], axioms, vocabulary, max_scenarios=max_scenarios, rng=rng, jobs=jobs
+        )
+        return outcome.results[operator.name]
     results: dict[str, CheckResult] = {}
     for axiom in axioms:
         results[axiom.name] = check_axiom(

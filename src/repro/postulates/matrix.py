@@ -69,18 +69,36 @@ def compute_matrix(
     axioms: Sequence[Axiom] = ALL_AXIOMS,
     max_scenarios: int = 20_000,
     rng: int | random.Random = 0,
+    jobs: int = 1,
 ) -> SatisfactionMatrix:
     """Audit every operator against every axiom.
 
     Over a two-atom vocabulary the two-role axioms are exhaustive (256
     scenarios) and three-role axioms exhaust 4096 scenarios, so the matrix
     is a proof for |𝒯| = 2 and strong evidence beyond.
+
+    ``jobs > 1`` runs the whole sweep through the parallel audit engine —
+    one process pool, one operator-roster shipment, batched chunk
+    evaluation — with results identical to the serial loop.
     """
-    results: dict[str, dict[str, CheckResult]] = {}
-    for operator in operators:
-        results[operator.name] = audit_operator(
-            operator, axioms, vocabulary, max_scenarios, rng
+    if jobs > 1:
+        from repro.engine.pool import run_audit
+
+        outcome = run_audit(
+            operators,
+            axioms,
+            vocabulary,
+            max_scenarios=max_scenarios,
+            rng=rng,
+            jobs=jobs,
         )
+        results = outcome.results
+    else:
+        results = {}
+        for operator in operators:
+            results[operator.name] = audit_operator(
+                operator, axioms, vocabulary, max_scenarios, rng
+            )
     return SatisfactionMatrix(
         operators=tuple(op.name for op in operators),
         axioms=tuple(a.name for a in axioms),

@@ -153,16 +153,41 @@ def witness_r1_r2_r3_u8(
     return None
 
 
+#: The three scenario families of Theorem 3.2, in the paper's order.
+_WITNESS_FAMILIES: tuple[tuple[str, object], ...] = (
+    ("R2+A8", witness_r2_a8),
+    ("U2+U8+A8", witness_u2_u8_a8),
+    ("R1+R2+R3+U8", witness_r1_r2_r3_u8),
+)
+
+
 def all_witnesses(
-    operator: TheoryChangeOperator, vocabulary: Vocabulary
+    operator: TheoryChangeOperator, vocabulary: Vocabulary, jobs: int = 1
 ) -> dict[str, Optional[DisjointnessWitness]]:
     """Run all three scenario families; keys name the combos.
 
     For Theorem 3.2 to hold, every operator must produce a witness in each
-    family (``None`` anywhere would refute the theorem).
+    family (``None`` anywhere would refute the theorem).  ``jobs > 1``
+    fans the families out over a process pool (the witness finders are
+    module-level and the shipped operators pickle, per the audit engine's
+    contract); results are order-independent, so the dict is identical to
+    a serial run.
     """
+    if jobs > 1:
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            pickle.dumps(operator)
+        except Exception:
+            pass  # unpicklable operator: fall through to the serial loop
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(_WITNESS_FAMILIES))) as pool:
+                futures = {
+                    combo: pool.submit(finder, operator, vocabulary)
+                    for combo, finder in _WITNESS_FAMILIES
+                }
+                return {combo: future.result() for combo, future in futures.items()}
     return {
-        "R2+A8": witness_r2_a8(operator, vocabulary),
-        "U2+U8+A8": witness_u2_u8_a8(operator, vocabulary),
-        "R1+R2+R3+U8": witness_r1_r2_r3_u8(operator, vocabulary),
+        combo: finder(operator, vocabulary) for combo, finder in _WITNESS_FAMILIES
     }

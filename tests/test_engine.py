@@ -1,0 +1,229 @@
+"""Tests for the batched, parallel postulate-audit engine.
+
+The engine's contract is bit-identity with the legacy serial harness:
+same verdicts, same scenario counts, and the same *first* counterexample,
+whether chunks run in-process or across a pool.  These tests pin that
+contract on small vocabularies where the serial path is cheap enough to
+recompute from scratch.
+"""
+
+import pickle
+import random
+from itertools import islice, product
+
+import pytest
+
+from repro.bench.experiments import standard_operators
+from repro.core.fitting import ReveszFitting
+from repro.engine.batched import BatchedOperator, bits_of_model_set
+from repro.engine.chunks import (
+    decode_chunk,
+    plan_scenarios,
+    sample_scenario_bits,
+)
+from repro.engine.pool import run_audit
+from repro.logic.interpretation import Vocabulary
+from repro.operators.revision import DalalRevision
+from repro.postulates.axioms import ALL_AXIOMS, axiom_by_name
+from repro.postulates.harness import check_axiom, sampled_scenarios
+
+VOCAB1 = Vocabulary(["a"])
+VOCAB2 = Vocabulary(["a", "b"])
+VOCAB3 = Vocabulary(["a", "b", "c"])
+
+
+class TestParallelDeterminism:
+    def test_full_sweep_identical_on_one_atom(self):
+        """Every operator × every axiom: jobs=1 and jobs=4 agree cell by
+        cell (CheckResult equality covers holds, counts, exhaustiveness,
+        and the full counterexample content)."""
+        operators = standard_operators()
+        serial = run_audit(operators, ALL_AXIOMS, VOCAB1, jobs=1)
+        parallel = run_audit(operators, ALL_AXIOMS, VOCAB1, jobs=4)
+        assert serial.stats.serial_fallback
+        assert not parallel.stats.serial_fallback
+        for operator in operators:
+            for axiom in ALL_AXIOMS:
+                left = serial.results[operator.name][axiom.name]
+                right = parallel.results[operator.name][axiom.name]
+                assert left == right, f"{operator.name}/{axiom.name}"
+
+    def test_first_counterexample_without_early_stop(self):
+        """stop_at_first=False must report the *first* violation in
+        enumeration order — the pool's min-index merge and the serial
+        scan must pick the same scenario."""
+        operator = ReveszFitting()
+        axiom = axiom_by_name("A8")
+        serial = check_axiom(
+            operator, axiom, VOCAB2, stop_at_first=False, jobs=1
+        )
+        parallel = check_axiom(
+            operator, axiom, VOCAB2, stop_at_first=False, jobs=4
+        )
+        assert not serial.holds
+        assert serial == parallel
+        # Without early stop, the full (truncated) space is counted.
+        assert serial.scenarios_checked == parallel.scenarios_checked
+
+    def test_early_stop_counts_match(self):
+        """stop_at_first=True counts scenarios up to and including the
+        first violation, identically in both modes."""
+        operator = ReveszFitting()
+        axiom = axiom_by_name("A8")
+        serial = check_axiom(operator, axiom, VOCAB2, stop_at_first=True, jobs=1)
+        parallel = check_axiom(
+            operator, axiom, VOCAB2, stop_at_first=True, jobs=4
+        )
+        assert serial == parallel
+
+    def test_sampled_mode_identical(self):
+        """Three atoms force sampling; captured per-chunk RNG states must
+        replay the exact serial stream."""
+        operator = DalalRevision()
+        axiom = axiom_by_name("R5")
+        serial = check_axiom(
+            operator, axiom, VOCAB3, max_scenarios=300, rng=7, jobs=1
+        )
+        parallel = check_axiom(
+            operator, axiom, VOCAB3, max_scenarios=300, rng=7, jobs=3
+        )
+        assert not serial.exhaustive
+        assert serial == parallel
+
+
+class TestPickling:
+    @pytest.mark.parametrize(
+        "operator", standard_operators(), ids=lambda op: op.name
+    )
+    def test_operator_round_trip(self, operator):
+        """Operators ship to workers by pickle; the copy must behave
+        identically."""
+        clone = pickle.loads(pickle.dumps(operator))
+        assert clone.name == operator.name
+        assert clone.family == operator.family
+        scenario = next(sampled_scenarios(VOCAB2, 2, 1, rng=5))
+        psi, mu = scenario
+        assert clone.apply_models(psi, mu) == operator.apply_models(psi, mu)
+
+    @pytest.mark.parametrize("axiom", ALL_AXIOMS, ids=lambda a: a.name)
+    def test_axiom_round_trip(self, axiom):
+        clone = pickle.loads(pickle.dumps(axiom))
+        assert clone.name == axiom.name
+        assert clone.roles == axiom.roles
+        operator = DalalRevision()
+        scenario = tuple(
+            islice(sampled_scenarios(VOCAB2, len(axiom.roles), 1, rng=9), 1)
+        )[0]
+        assert clone.check_instance(operator, scenario) == axiom.check_instance(
+            operator, scenario
+        )
+
+
+class TestBatchedCaches:
+    def test_batched_operator_reuses_keys_and_results(self):
+        """Recurring ψ must hit the key cache; recurring (ψ, μ) pairs the
+        result cache — the engine's whole premise."""
+        batched = BatchedOperator(DalalRevision(), VOCAB2)
+        assert batched.batched
+        for _ in range(3):
+            for mu_bits in range(1, 16):
+                batched.apply_bits(5, mu_bits)
+        info = batched.cache_info()
+        assert info["keys"].hits > 0
+        assert info["results"].hits > 0
+        assert info["keys"].misses == 1  # one distinct ψ
+
+    def test_engine_stats_report_cache_hits(self):
+        """A parallel audit over recurring KBs must show nonzero cache
+        hits in the merged worker stats."""
+        outcome = run_audit(
+            [DalalRevision()],
+            [axiom_by_name("R2"), axiom_by_name("R5")],
+            VOCAB2,
+            max_scenarios=2_000,
+            jobs=2,
+        )
+        assert outcome.stats.key_hits > 0
+        # result_hits can be 0 here: the apply table dedupes repeated
+        # (ψ, μ) pairs before they reach the result cache.  Misses still
+        # count the unique pairs actually computed.
+        assert outcome.stats.result_misses > 0
+        assert outcome.stats.scenarios > 0
+
+    def test_batched_matches_scalar_operator(self):
+        """The batched evaluator must reproduce the wrapped operator's
+        output bits for every (ψ, μ) over the full two-atom universe."""
+        operator = DalalRevision()
+        batched = BatchedOperator(operator, VOCAB2)
+        for psi_bits, mu_bits in product(range(16), repeat=2):
+            scalar = bits_of_model_set(
+                operator.apply_models(
+                    _model_set(VOCAB2, psi_bits), _model_set(VOCAB2, mu_bits)
+                )
+            )
+            assert batched.apply_bits(psi_bits, mu_bits) == scalar
+
+
+class TestChunking:
+    def test_enumerated_chunks_cover_product_order(self):
+        """Concatenated chunk decodes must equal itertools.product over
+        model-set bits — the legacy exhaustive order."""
+        plan = plan_scenarios(VOCAB2, roles=2, max_scenarios=10_000, chunk_size=37)
+        assert plan.mode == "enumerate"
+        assert plan.exhaustive
+        decoded = [
+            scenario
+            for chunk in plan.chunks
+            for scenario in decode_chunk(plan, chunk)
+        ]
+        expected = list(product(range(16), repeat=2))
+        assert decoded == expected
+
+    def test_sampled_chunks_replay_serial_stream(self):
+        """Per-chunk RNG snapshots must reproduce the one serial stream."""
+        plan = plan_scenarios(VOCAB3, roles=3, max_scenarios=500, rng=7, chunk_size=64)
+        assert plan.mode == "sample"
+        assert not plan.exhaustive
+        decoded = [
+            scenario
+            for chunk in plan.chunks
+            for scenario in decode_chunk(plan, chunk)
+        ]
+        generator = random.Random(7)
+        expected = sample_scenario_bits(
+            generator, 3, 500, VOCAB3.interpretation_count
+        )
+        assert decoded == expected
+        # And the legacy harness draws the same model sets from the seed.
+        legacy = [
+            tuple(bits_of_model_set(role) for role in scenario)
+            for scenario in sampled_scenarios(VOCAB3, 3, 500, rng=7)
+        ]
+        assert decoded == legacy
+
+    def test_enumeration_truncates_at_max_scenarios(self):
+        """An enumerable space larger than max_scenarios is truncated and
+        flagged non-exhaustive — in the plan and in check_axiom."""
+        plan = plan_scenarios(VOCAB2, roles=3, max_scenarios=100)
+        assert plan.mode == "enumerate"
+        assert plan.total == 100
+        assert not plan.exhaustive
+        result = check_axiom(
+            DalalRevision(), axiom_by_name("R5"), VOCAB2, max_scenarios=100
+        )
+        assert result.scenarios_checked <= 100
+        assert not result.exhaustive
+        parallel = check_axiom(
+            DalalRevision(),
+            axiom_by_name("R5"),
+            VOCAB2,
+            max_scenarios=100,
+            jobs=2,
+        )
+        assert result == parallel
+
+
+def _model_set(vocabulary, bits):
+    from repro.engine.batched import model_set_of_bits
+
+    return model_set_of_bits(vocabulary, bits)
