@@ -23,6 +23,7 @@ import os
 import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.bench.experiments import standard_operators
 from repro.distances import kernels
 from repro.engine.batched import bits_of_model_set
@@ -148,8 +149,13 @@ def write_audit_snapshot(
     job_counts: Sequence[int] = (4,),
     rng: int = 0,
     axioms: Optional[Sequence[Axiom]] = None,
+    metrics_path: Optional[str] = None,
 ) -> dict:
     """Emit the E7 audit-engine snapshot (one row per worker count).
+
+    ``metrics_path`` additionally writes an observability payload
+    (``repro.obs`` metrics JSON) from one instrumented audit run *after*
+    the timed rows, so the timings themselves stay uninstrumented.
 
     Timestamps are deliberately absent — the snapshot diffs cleanly and
     the git history dates it.
@@ -167,4 +173,16 @@ def write_audit_snapshot(
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    if metrics_path is not None:
+        vocabulary = Vocabulary([chr(ord("a") + index) for index in range(atoms)])
+        with obs.use() as registry:
+            run_audit(
+                standard_operators(),
+                list(chosen),
+                vocabulary,
+                max_scenarios=max_scenarios,
+                rng=rng,
+                jobs=job_counts[0],
+            )
+            obs.write_metrics(metrics_path, registry)
     return payload

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.core.arbitration import ArbitrationOperator
 from repro.core.fitting import PriorityFitting, ReveszFitting
 from repro.distances import kernels
@@ -221,9 +222,15 @@ def write_scaling_snapshot(
     pairs: int = 3,
     seed: int = 0,
     sweep_atom_counts: Optional[Sequence[int]] = (4, 6, 8, 10),
+    metrics_path: Optional[str] = None,
 ) -> dict:
     """Emit the E9 perf snapshot consumed by future PRs to track the
     trajectory: kernel speedup rows plus (optionally) the operator sweep.
+
+    ``metrics_path`` additionally writes an observability payload
+    (``repro.obs`` metrics JSON) from one instrumented replay of the
+    smallest kernel workload *after* the timed rows, so the timings
+    themselves stay uninstrumented.
 
     Timestamps are deliberately absent — the snapshot diffs cleanly and
     the git history dates it.
@@ -242,6 +249,17 @@ def write_scaling_snapshot(
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    if metrics_path is not None:
+        num_atoms = min(atom_counts)
+        space = 1 << num_atoms
+        kb_models = max(1, int(space * kb_density))
+        workload = make_model_set_workload(
+            num_atoms, kb_models, kb_models, pairs, seed
+        )
+        with obs.use() as registry:
+            for factory in (ReveszFitting, DalalRevision):
+                run_workload(factory(vectorized=True), workload)
+            obs.write_metrics(metrics_path, registry)
     return payload
 
 

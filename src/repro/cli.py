@@ -9,6 +9,7 @@ Commands
 ``arbitrate``    arbitration ψ Δ φ (optionally weighted by vote counts)
 ``merge``        n-ary consensus over named sources
 ``audit``        the operator × axiom satisfaction matrix
+``stats``        an instrumented smoke audit printing the metrics snapshot
 ``experiments``  run the paper-reproduction drivers E1–E8
 
 Formulas use the library's surface syntax (``!``, ``&``, ``|``, ``->``,
@@ -31,6 +32,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.bench.experiments import (
     run_e1_intro_example,
     run_e2_dalal_revision,
@@ -192,10 +194,51 @@ def _cmd_audit(args, out) -> int:
         operators = [op for op in operators if op.name in wanted]
         if not operators:
             raise ReproError(f"no such operators: {sorted(wanted)}")
-    matrix = compute_matrix(
-        operators, vocabulary, max_scenarios=args.scenarios, jobs=args.jobs
-    )
+    observe = args.stats or args.metrics_out
+    if not observe:
+        matrix = compute_matrix(
+            operators, vocabulary, max_scenarios=args.scenarios, jobs=args.jobs
+        )
+        print(render_matrix(matrix), file=out)
+        return 0
+    with obs.use() as registry:
+        matrix = compute_matrix(
+            operators, vocabulary, max_scenarios=args.scenarios, jobs=args.jobs
+        )
+        payload = obs.metrics_payload(registry)
     print(render_matrix(matrix), file=out)
+    if args.stats:
+        print(file=out)
+        print(obs.render_metrics(payload), file=out)
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    """An instrumented smoke audit: exercises kernels, caches, harness,
+    and (with ``--jobs``) the pool, then reports the metrics snapshot."""
+    vocabulary = Vocabulary(
+        [chr(ord("a") + index) for index in range(args.atoms_count)]
+    )
+    with obs.use() as registry:
+        compute_matrix(
+            standard_operators(),
+            vocabulary,
+            max_scenarios=args.scenarios,
+            jobs=args.jobs,
+        )
+        payload = obs.metrics_payload(registry)
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        print(obs.render_metrics(payload), file=out)
     return 0
 
 
@@ -279,7 +322,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="audit worker processes (1 = serial legacy path)",
     )
+    audit_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the metrics snapshot after the matrix",
+    )
+    audit_parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics snapshot as JSON to FILE",
+    )
     audit_parser.set_defaults(handler=_cmd_audit)
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="instrumented smoke audit + metrics snapshot"
+    )
+    stats_parser.add_argument("--atoms-count", type=int, default=2)
+    stats_parser.add_argument("--scenarios", type=int, default=500)
+    stats_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="audit worker processes (1 = serial legacy path)",
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    stats_parser.set_defaults(handler=_cmd_stats)
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="run the paper-reproduction drivers"

@@ -335,7 +335,7 @@ class WeightedLoyalAssignment:
         cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
     ):
         self._builder = builder
-        self._cache = AssignmentCache(maxsize=cache_size)
+        self._cache = AssignmentCache(maxsize=cache_size, name=f"assignment.{name}")
         self.name = name
 
     def order_for(self, knowledge_base: WeightedKnowledgeBase) -> TotalPreorder:

@@ -33,6 +33,7 @@ for the property tests.
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 from math import lcm
 from typing import Iterable, Optional, Sequence
@@ -42,6 +43,7 @@ try:  # pragma: no cover - exercised implicitly on numpy installs
 except ImportError:  # pragma: no cover - the container bakes numpy in
     np = None  # type: ignore[assignment]
 
+from repro import obs
 from repro.distances.base import (
     DrasticDistance,
     HammingDistance,
@@ -197,7 +199,40 @@ def distance_matrix(
     kernels; any other :class:`InterpretationDistance` falls back to a
     scalar double loop (still batched per call, so lazy pre-orders only
     pay for the masks they are asked about).
+
+    When observability is active (:mod:`repro.obs`) each build records
+    the chosen implementation (``kernels.dispatch.<impl>``), a build
+    timer (``kernels.matrix_seconds``), and the matrix shape
+    (``kernels.last_matrix_cells``); the disabled path pays one branch.
     """
+    registry = obs.active()
+    if registry is None:
+        return _distance_matrix(left_masks, right_masks, vocabulary, metric, impl)
+    start = time.perf_counter()
+    matrix = _distance_matrix(left_masks, right_masks, vocabulary, metric, impl)
+    elapsed = time.perf_counter() - start
+    if metric is None or isinstance(
+        metric, (HammingDistance, DrasticDistance, WeightedHammingDistance)
+    ):
+        resolved = _resolve_impl(impl, vocabulary.size)
+    else:
+        resolved = "scalar-metric"
+    registry.counter("kernels.matrix_builds").inc()
+    registry.counter(f"kernels.dispatch.{resolved}").inc()
+    registry.histogram("kernels.matrix_seconds").observe(elapsed)
+    registry.gauge("kernels.last_matrix_cells").set(
+        len(left_masks) * len(right_masks)
+    )
+    return matrix
+
+
+def _distance_matrix(
+    left_masks: Sequence[int],
+    right_masks: Sequence[int],
+    vocabulary: Vocabulary,
+    metric: Optional[InterpretationDistance],
+    impl: str,
+):
     if metric is None or isinstance(metric, HammingDistance):
         return hamming_matrix(left_masks, right_masks, impl)
     if isinstance(metric, DrasticDistance):

@@ -88,9 +88,10 @@ class BatchedOperator(TheoryChangeOperator):
         self.name = operator.name
         self.family = operator.family
         self._keys = AssignmentCache(
-            maxsize=KEY_CACHE_SIZE if key_cache_size is None else key_cache_size
+            maxsize=KEY_CACHE_SIZE if key_cache_size is None else key_cache_size,
+            name="engine.keys",
         )
-        self._results = AssignmentCache(maxsize=result_cache_size)
+        self._results = AssignmentCache(maxsize=result_cache_size, name="engine.results")
         self._builder = None
         self._kind = None
         self._unsat_base = None

@@ -26,11 +26,13 @@ path with a warning rather than an error.
 
 from __future__ import annotations
 
+import os
 import pickle
 import random
+import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 try:  # pragma: no cover - numpy is baked into the container
@@ -38,6 +40,7 @@ try:  # pragma: no cover - numpy is baked into the container
 except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
+from repro import obs
 from repro.engine.batched import BatchedOperator, model_set_of_bits
 from repro.engine.bitops import ApplyTable, BIT_EVALUATORS, supports_table
 from repro.engine.chunks import (
@@ -85,6 +88,12 @@ class ChunkOutcome:
     scenario (``chunk.start + first_offset`` is its global index), with
     its reconstructed counterexample.  Cache counters are deltas, so the
     parent can sum them across chunks and workers.
+
+    ``seconds`` is the chunk's worker-side wall time.  When observability
+    is active, ``metrics`` carries the worker registry's full snapshot
+    and ``(pid, seq)`` let the parent keep only the freshest snapshot per
+    worker process (worker registries are cumulative, so the last
+    snapshot per worker, merged once, counts everything exactly once).
     """
 
     unit: int
@@ -96,11 +105,20 @@ class ChunkOutcome:
     key_misses: int = 0
     result_hits: int = 0
     result_misses: int = 0
+    seconds: float = 0.0
+    pid: int = 0
+    seq: int = 0
+    metrics: Optional[dict] = None
 
 
 @dataclass
 class EngineStats:
-    """Aggregated counters for one engine run."""
+    """Aggregated counters for one engine run.
+
+    ``chunk_seconds`` sums worker-side chunk wall time (CPU-seconds of
+    useful work, comparable across job counts); ``elapsed_seconds`` is
+    the parent's end-to-end wall time for the run.
+    """
 
     chunks: int = 0
     scenarios: int = 0
@@ -108,6 +126,8 @@ class EngineStats:
     key_misses: int = 0
     result_hits: int = 0
     result_misses: int = 0
+    chunk_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
     serial_fallback: bool = False
 
 
@@ -136,9 +156,24 @@ def _build_worker_state(vocabulary: Vocabulary, operators: Sequence[TheoryChange
     }
 
 
+#: Monotone per-process counter stamped onto outcomes so the parent can
+#: order a worker's registry snapshots without trusting delivery order.
+_WORKER_SEQ = 0
+
+
 def _init_worker(payload: bytes) -> None:
-    global _WORKER_STATE
-    vocabulary, operators = pickle.loads(payload)
+    global _WORKER_STATE, _WORKER_SEQ
+    vocabulary, operators, obs_enabled = pickle.loads(payload)
+    _WORKER_SEQ = 0
+    # Start every worker from a fresh registry — before building worker
+    # state, so the shared-matrix kernel builds are attributed to this
+    # worker.  Under the fork start method the child inherits the
+    # parent's counters, and merging an inherited registry back would
+    # double-count the parent's history.
+    if obs_enabled:
+        obs.enable(obs.MetricsRegistry())
+    else:
+        obs.disable()
     _WORKER_STATE = _build_worker_state(vocabulary, operators)
 
 
@@ -160,6 +195,7 @@ def evaluate_chunk(state: dict, task: ChunkTask) -> ChunkOutcome:
     """
     vocabulary: Vocabulary = state["vocabulary"]
     operator: BatchedOperator = state["operators"][task.op_index]
+    chunk_start = time.perf_counter()
     before = _cache_snapshot(operator)
     plan = ScenarioPlan(
         roles=task.roles,
@@ -208,6 +244,12 @@ def evaluate_chunk(state: dict, task: ChunkTask) -> ChunkOutcome:
                 f"scalar checker accepts (operator {operator.name})"
             )
     after = _cache_snapshot(operator)
+    elapsed = time.perf_counter() - chunk_start
+    registry = obs.active()
+    if registry is not None:
+        registry.counter("engine.chunks_completed").inc()
+        registry.counter("engine.scenarios").inc(task.chunk.count)
+        registry.histogram("engine.chunk_seconds").observe(elapsed)
     return ChunkOutcome(
         unit=task.unit,
         ordinal=task.chunk.ordinal,
@@ -218,12 +260,24 @@ def evaluate_chunk(state: dict, task: ChunkTask) -> ChunkOutcome:
         key_misses=after[1] - before[1],
         result_hits=after[2] - before[2],
         result_misses=after[3] - before[3],
+        seconds=elapsed,
     )
 
 
 def _run_chunk(task: ChunkTask) -> ChunkOutcome:
+    global _WORKER_SEQ
     assert _WORKER_STATE is not None, "pool worker used before initialization"
-    return evaluate_chunk(_WORKER_STATE, task)
+    outcome = evaluate_chunk(_WORKER_STATE, task)
+    registry = obs.active()
+    if registry is None:
+        return outcome
+    # Ship the worker's cumulative registry with each outcome; the parent
+    # keeps only the freshest (pid, seq) snapshot per worker and merges
+    # once at the end of the run.
+    _WORKER_SEQ += 1
+    return replace(
+        outcome, pid=os.getpid(), seq=_WORKER_SEQ, metrics=registry.snapshot()
+    )
 
 
 # -- parent side ----------------------------------------------------------------
@@ -261,6 +315,11 @@ class _Unit:
             scenarios_checked=checked,
             exhaustive=self.plan.exhaustive,
             counterexample=self.counterexample,
+            metrics={
+                "scenarios_checked": checked,
+                "truncated": self.plan.mode == "enumerate"
+                and not self.plan.exhaustive,
+            },
         )
 
 
@@ -302,6 +361,7 @@ def _serial_audit(
 
     outcome = AuditOutcome(stats=EngineStats(serial_fallback=True))
     shared = rng if isinstance(rng, random.Random) else None
+    start = time.perf_counter()
     for unit in units:
         generator = random.Random(rng) if shared is None else shared
         result = check_axiom(
@@ -314,6 +374,17 @@ def _serial_audit(
         )
         outcome.results.setdefault(unit.operator.name, {})[unit.axiom.name] = result
         outcome.stats.scenarios += result.scenarios_checked
+    outcome.stats.elapsed_seconds = time.perf_counter() - start
+    registry = obs.active()
+    if registry is not None:
+        registry.counter("engine.audits").inc()
+        registry.histogram("engine.audit_seconds").observe(
+            outcome.stats.elapsed_seconds
+        )
+        if outcome.stats.elapsed_seconds > 0:
+            registry.gauge("engine.scenarios_per_second").set(
+                outcome.stats.scenarios / outcome.stats.elapsed_seconds
+            )
     return outcome
 
 
@@ -336,7 +407,7 @@ def run_audit(
     if jobs == 1:
         return _serial_audit(units, vocabulary, max_scenarios, rng, stop_at_first)
     try:
-        payload = pickle.dumps((vocabulary, list(operators)))
+        payload = pickle.dumps((vocabulary, list(operators), obs.enabled()))
     except Exception as error:  # pickling contract violated by a custom operator
         warnings.warn(
             f"audit engine: operator roster does not pickle ({error}); "
@@ -348,6 +419,9 @@ def run_audit(
 
     outcome = AuditOutcome()
     stats = outcome.stats
+    run_start = time.perf_counter()
+    # Freshest worker registry snapshot per pid: {pid: (seq, snapshot)}.
+    worker_metrics: dict[int, tuple[int, dict]] = {}
     context = None
     try:
         import multiprocessing
@@ -356,7 +430,9 @@ def run_audit(
             context = multiprocessing.get_context("fork")
     except ImportError:  # pragma: no cover
         pass
-    with ProcessPoolExecutor(
+    with obs.span(
+        "engine.run_audit", jobs=jobs, units=len(units)
+    ), ProcessPoolExecutor(
         max_workers=jobs, initializer=_init_worker, initargs=(payload,), mp_context=context
     ) as executor:
         pending = {}
@@ -388,6 +464,14 @@ def run_audit(
                 stats.key_misses += chunk_outcome.key_misses
                 stats.result_hits += chunk_outcome.result_hits
                 stats.result_misses += chunk_outcome.result_misses
+                stats.chunk_seconds += chunk_outcome.seconds
+                if chunk_outcome.metrics is not None:
+                    stored = worker_metrics.get(chunk_outcome.pid)
+                    if stored is None or chunk_outcome.seq > stored[0]:
+                        worker_metrics[chunk_outcome.pid] = (
+                            chunk_outcome.seq,
+                            chunk_outcome.metrics,
+                        )
                 if unit.absorb(chunk_outcome) and stop_at_first:
                     # Only chunks that start *after* the best failure can
                     # be skipped: an earlier chunk may still hold the
@@ -399,6 +483,19 @@ def run_audit(
                             and other.cancel()
                         ):
                             pending.pop(other)
+    stats.elapsed_seconds = time.perf_counter() - run_start
+    registry = obs.active()
+    if registry is not None:
+        # Fold each worker's registry into the parent exactly once, then
+        # record the parent-side aggregates for this run.
+        for _, snapshot in worker_metrics.values():
+            registry.merge_snapshot(snapshot)
+        registry.counter("engine.audits").inc()
+        registry.histogram("engine.audit_seconds").observe(stats.elapsed_seconds)
+        if stats.elapsed_seconds > 0:
+            registry.gauge("engine.scenarios_per_second").set(
+                stats.scenarios / stats.elapsed_seconds
+            )
     for unit in units:
         outcome.results.setdefault(unit.operator.name, {})[
             unit.axiom.name

@@ -1,0 +1,164 @@
+"""``repro.obs`` — dependency-free observability for the whole library.
+
+Three pieces, one switch:
+
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
+  counters, gauges, and histogram timers with a ``snapshot()`` →
+  plain-dict API and exact cross-process merging;
+* :mod:`repro.obs.tracing` — ``span(name, **attrs)`` context-manager
+  tracing with monotonic durations, parent/child nesting, and a
+  ring-buffer recorder that dumps JSON;
+* :mod:`repro.obs.export` — the combined metrics+spans JSON payload and
+  its text rendering (``repro audit --stats`` / ``--metrics-out``).
+
+Observability is **off by default** and costs one global read plus one
+branch per instrumented call site while off.  Turn it on for a scope::
+
+    from repro import obs
+
+    with obs.use() as registry:
+        run_audit(...)
+        payload = obs.metrics_payload(registry)
+
+or globally with :func:`enable` / :func:`disable`, or for a whole process
+by exporting ``REPRO_OBS=1``.  Instrumented call sites follow one
+pattern::
+
+    registry = obs.active()
+    if registry is not None:
+        registry.counter("engine.chunks_completed").inc()
+
+The stable metric-name schema is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.export import metrics_payload, render_metrics, write_metrics
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Timer,
+)
+from repro.obs.tracing import (
+    DEFAULT_SPAN_CAPACITY,
+    SpanRecord,
+    SpanRecorder,
+    current_span_id,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "SpanRecord",
+    "SpanRecorder",
+    "span",
+    "current_span_id",
+    "metrics_payload",
+    "render_metrics",
+    "write_metrics",
+    "enable",
+    "disable",
+    "enabled",
+    "active",
+    "active_recorder",
+    "get_registry",
+    "use",
+]
+
+_lock = threading.Lock()
+_registry: Optional[MetricsRegistry] = None
+_recorder: Optional[SpanRecorder] = None
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None,
+    span_capacity: int = DEFAULT_SPAN_CAPACITY,
+) -> MetricsRegistry:
+    """Turn observability on process-wide; returns the active registry.
+
+    A fresh registry and span recorder are created unless ``registry`` is
+    supplied (in which case it becomes active with a fresh recorder).
+    Idempotent when already enabled with no explicit registry.
+    """
+    global _registry, _recorder
+    with _lock:
+        if registry is None and _registry is not None:
+            return _registry
+        _registry = registry if registry is not None else MetricsRegistry()
+        _recorder = SpanRecorder(capacity=span_capacity)
+        return _registry
+
+
+def disable() -> None:
+    """Turn observability off process-wide (instruments are discarded)."""
+    global _registry, _recorder
+    with _lock:
+        _registry = None
+        _recorder = None
+
+
+def enabled() -> bool:
+    """Whether a registry is currently active."""
+    return _registry is not None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when observability is off.
+
+    This is the hot-path probe: instrumented call sites branch on the
+    result so the disabled path does no further work.
+    """
+    return _registry
+
+
+def active_recorder() -> Optional[SpanRecorder]:
+    """The active span recorder, or ``None`` when observability is off."""
+    return _recorder
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The active registry, or the shared no-op registry when off."""
+    registry = _registry
+    return registry if registry is not None else NULL_REGISTRY
+
+
+@contextmanager
+def use(
+    registry: Optional[MetricsRegistry] = None,
+    span_capacity: int = DEFAULT_SPAN_CAPACITY,
+) -> Iterator[MetricsRegistry]:
+    """Scoped observability: enable on entry, restore the prior state on
+    exit.  The CLI and the bench snapshot writers run under this, so they
+    never leak an enabled session into library callers."""
+    global _registry, _recorder
+    with _lock:
+        previous = (_registry, _recorder)
+        _registry = registry if registry is not None else MetricsRegistry()
+        _recorder = SpanRecorder(capacity=span_capacity)
+        current = _registry
+    try:
+        yield current
+    finally:
+        with _lock:
+            _registry, _recorder = previous
+
+
+# Opt-in for whole processes (e.g. worker pools, bench runs) without code
+# changes; anything other than these truthy spellings leaves it off.
+if os.environ.get("REPRO_OBS", "").strip().lower() in ("1", "true", "yes", "on"):
+    enable()

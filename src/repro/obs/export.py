@@ -1,0 +1,110 @@
+"""Exporters: metrics + spans as one JSON payload, or a text summary.
+
+The JSON payload is the machine-readable telemetry contract — written by
+``repro audit --metrics-out``, ``repro stats --json``, and the E7/E9
+bench snapshot writers, and validated by the checked-in schema at
+``tests/data/metrics.schema.json``::
+
+    {
+      "version": 1,
+      "counters":   {"engine.chunks_completed": 232, ...},
+      "gauges":     {"engine.scenarios_per_second": 351882.0, ...},
+      "histograms": {"engine.chunk_seconds": {"count": ..., "total": ...,
+                     "min": ..., "max": ..., "mean": ...}, ...},
+      "spans":      [{"span_id": 1, "parent_id": null, "name": ...,
+                      "start": ..., "duration": ..., "attrs": {...}}, ...]
+    }
+
+The text rendering (:func:`render_metrics`) is what ``--stats`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.metrics import SNAPSHOT_VERSION, MetricsRegistry
+from repro.obs.tracing import SpanRecorder
+
+__all__ = ["metrics_payload", "write_metrics", "render_metrics"]
+
+
+def metrics_payload(
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[SpanRecorder] = None,
+) -> dict:
+    """The versioned JSON payload for a registry (default: the active one).
+
+    Spans come from ``recorder`` (default: the active session's recorder);
+    an absent/disabled session yields an empty-but-valid payload.
+    """
+    from repro import obs
+
+    if registry is None:
+        registry = obs.active()
+    if recorder is None:
+        recorder = obs.active_recorder()
+    snapshot = registry.snapshot() if registry is not None else {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    return {
+        "version": SNAPSHOT_VERSION,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": snapshot["histograms"],
+        "spans": recorder.export() if recorder is not None else [],
+    }
+
+
+def write_metrics(
+    path: str,
+    registry: Optional[MetricsRegistry] = None,
+    recorder: Optional[SpanRecorder] = None,
+) -> dict:
+    """Write :func:`metrics_payload` to ``path``; returns the payload."""
+    payload = metrics_payload(registry, recorder)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_metrics(payload: dict) -> str:
+    """Aligned plain-text summary of a :func:`metrics_payload` dict."""
+    lines: list[str] = []
+    counters = payload.get("counters", {})
+    gauges = payload.get("gauges", {})
+    histograms = payload.get("histograms", {})
+    spans = payload.get("spans", [])
+    names = list(counters) + list(gauges) + list(histograms)
+    if not names:
+        return "no metrics recorded (observability disabled or idle)"
+    width = max(len(name) for name in names) + 2
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name.ljust(width)}{_format_value(value)}")
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name.ljust(width)}{_format_value(value)}")
+    if histograms:
+        lines.append("histograms (count / total / mean / min / max, seconds):")
+        for name, summary in histograms.items():
+            lines.append(
+                f"  {name.ljust(width)}"
+                f"{summary['count']} / {_format_value(summary['total'])} / "
+                f"{_format_value(summary['mean'])} / "
+                f"{_format_value(summary['min'])} / {_format_value(summary['max'])}"
+            )
+    if spans:
+        lines.append(f"spans: {len(spans)} recorded")
+    return "\n".join(lines)

@@ -1,0 +1,368 @@
+"""Process-local metrics: counters, gauges, and histogram timers.
+
+The registry is deliberately dependency-free and tiny: a
+:class:`MetricsRegistry` owns named instruments, every mutation is
+thread-safe, and :meth:`MetricsRegistry.snapshot` renders the whole state
+as a plain dict of JSON-serializable primitives — the shape consumed by
+``repro audit --metrics-out``, the bench snapshot writers, and the
+checked-in JSON schema (``tests/data/metrics.schema.json``).
+
+Two design constraints shape the API:
+
+* **Near-zero overhead when disabled.**  Instrumented call sites fetch
+  :func:`repro.obs.active` once and branch on ``None`` — no instrument
+  lookups, no clock reads, no allocation on the disabled path.  The
+  :class:`NullRegistry` exists for callers that prefer unconditional
+  code; its instruments are shared no-op singletons.
+* **Mergeability.**  Pool workers each run their own registry and ship
+  plain snapshots back to the parent, which folds them in with
+  :meth:`MetricsRegistry.merge_snapshot` — counters and histograms are
+  monoids (sum / pointwise combine), gauges are last-write-wins.
+
+Metric names are dotted lowercase paths (``engine.chunks_completed``,
+``kernels.matrix_seconds``); the stable name schema is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterator, Mapping, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+#: Version tag of the snapshot payload shape (bumped on breaking change).
+SNAPSHOT_VERSION = 1
+
+
+class Counter:
+    """A monotonically increasing number."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (thread-safe)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Count / total / min / max summary of observed values.
+
+    The summary is a commutative monoid, so per-worker histograms merge
+    into the parent without loss (no quantile sketches: the audit engine
+    needs totals and extremes, and those merge exactly).
+    """
+
+    __slots__ = ("name", "_count", "_total", "_min", "_max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (thread-safe)."""
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def combine(self, count: int, total: float, minimum, maximum) -> None:
+        """Fold another histogram's summary into this one."""
+        if count <= 0:
+            return
+        with self._lock:
+            self._count += count
+            self._total += total
+            if minimum is not None and (self._min is None or minimum < self._min):
+                self._min = minimum
+            if maximum is not None and (self._max is None or maximum > self._max):
+                self._max = maximum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def summary(self) -> dict:
+        """The snapshot record: ``{"count", "total", "min", "max", "mean"}``."""
+        with self._lock:
+            count, total = self._count, self._total
+            minimum, maximum = self._min, self._max
+        return {
+            "count": count,
+            "total": total,
+            "min": 0.0 if minimum is None else minimum,
+            "max": 0.0 if maximum is None else maximum,
+            "mean": total / count if count else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, {self.summary()!r})"
+
+
+class Timer:
+    """Context manager observing a wall-clock duration into a histogram.
+
+    >>> registry = MetricsRegistry()
+    >>> with registry.timer("kernels.matrix_seconds"):
+    ...     pass
+    >>> registry.histogram("kernels.matrix_seconds").count
+    1
+    """
+
+    __slots__ = ("_histogram", "_start", "elapsed")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start = 0.0
+        #: Duration of the last completed timing, in seconds.
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._histogram.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """A named family of counters, gauges, and histograms.
+
+    Instruments are created on first use and live for the registry's
+    lifetime; :meth:`snapshot` is safe to call concurrently with updates
+    (it sees each instrument atomically, the set of instruments
+    best-effort).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram(name))
+
+    def timer(self, name: str) -> Timer:
+        """A context manager timing into ``histogram(name)``."""
+        return Timer(self.histogram(name))
+
+    # -- snapshot / merge ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The registry as plain JSON-serializable dicts."""
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, histograms combine their summaries, gauges take the
+        incoming value.  This is how pool workers' registries reach the
+        parent process.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).combine(
+                summary.get("count", 0),
+                summary.get("total", 0.0),
+                summary.get("min"),
+                summary.get("max"),
+            )
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._histograms
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    value = 0
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    value = 0.0
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def combine(self, count, total, minimum, maximum) -> None:
+        pass
+
+    count = 0
+    total = 0.0
+
+    def summary(self) -> dict:
+        return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+class _NullTimer:
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class NullRegistry:
+    """A no-op registry: every instrument is a shared inert singleton.
+
+    Returned by :func:`repro.obs.get_registry` when observability is
+    disabled, for callers that prefer unconditional instrumentation code
+    over an explicit ``if`` branch.
+    """
+
+    _counter = _NullCounter()
+    _gauge = _NullGauge()
+    _histogram = _NullHistogram()
+    _timer = _NullTimer()
+
+    def counter(self, name: str) -> _NullCounter:
+        return self._counter
+
+    def gauge(self, name: str) -> _NullGauge:
+        return self._gauge
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return self._histogram
+
+    def timer(self, name: str) -> _NullTimer:
+        return self._timer
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullRegistry()"
+
+
+#: The shared no-op registry instance.
+NULL_REGISTRY = NullRegistry()

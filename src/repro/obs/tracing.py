@@ -1,0 +1,171 @@
+"""Lightweight tracing spans with monotonic-clock durations.
+
+A *span* is one timed region of work with a name, free-form attributes,
+and a parent — :func:`span` is a context manager that nests naturally::
+
+    with span("engine.run_audit", jobs=4):
+        with span("engine.chunk", unit=0):
+            ...
+
+Nesting is tracked per execution context (``contextvars``), so spans are
+correct across threads and asyncio tasks without any locking on the hot
+path.  Finished spans land in a bounded ring buffer
+(:class:`SpanRecorder`) owned by the active registry's recorder; the
+oldest spans fall off first, so a long-running process never grows
+without bound.  :meth:`SpanRecorder.export` renders plain dicts and
+:meth:`SpanRecorder.dump_json` writes them to a file — the same records
+``repro audit --metrics-out`` embeds under the ``"spans"`` key.
+
+Durations use :func:`time.perf_counter` (monotonic); ``start`` values are
+offsets on that clock, meaningful for ordering and deltas within one
+process, not wall-clock timestamps.
+
+When observability is disabled, :func:`span` costs one global read and
+one branch — it yields ``None`` and touches no clock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["SpanRecord", "SpanRecorder", "span", "current_span_id"]
+
+#: Default ring-buffer capacity (finished spans retained per recorder).
+DEFAULT_SPAN_CAPACITY = 2048
+
+_ids = itertools.count(1)
+_id_lock = threading.Lock()
+
+#: The stack of open span ids for the current execution context.
+_stack: ContextVar[tuple[int, ...]] = ContextVar("repro_obs_span_stack", default=())
+
+
+def _next_id() -> int:
+    with _id_lock:
+        return next(_ids)
+
+
+def current_span_id() -> Optional[int]:
+    """Id of the innermost open span in this context, or ``None``."""
+    stack = _stack.get()
+    return stack[-1] if stack else None
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    duration: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-dict rendering used by the JSON exporter."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class SpanRecorder:
+    """A bounded ring buffer of finished :class:`SpanRecord` entries."""
+
+    def __init__(self, capacity: int = DEFAULT_SPAN_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"span capacity must be positive, got {capacity}")
+        self._ring: deque[SpanRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    @property
+    def dropped(self) -> int:
+        """How many spans fell off the ring since the last :meth:`clear`."""
+        return self._dropped
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._ring) == self._ring.maxlen:
+                self._dropped += 1
+            self._ring.append(record)
+
+    def records(self) -> list[SpanRecord]:
+        """The retained spans, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def export(self) -> list[dict]:
+        """The retained spans as plain dicts, oldest first."""
+        return [record.to_dict() for record in self.records()]
+
+    def dump_json(self, path: str) -> None:
+        """Write ``export()`` to ``path`` as a JSON array."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.export(), handle, indent=2)
+            handle.write("\n")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return f"SpanRecorder({len(self)}/{self.capacity} spans)"
+
+
+@contextmanager
+def span(name: str, **attrs) -> Iterator[Optional[SpanRecord]]:
+    """Trace a region of work under the active observability session.
+
+    Yields ``None`` when observability is disabled (the region runs
+    untouched); otherwise yields nothing useful until exit, when the
+    finished :class:`SpanRecord` is appended to the active recorder with
+    its parent set to the enclosing open span.
+    """
+    from repro import obs
+
+    recorder = obs.active_recorder()
+    if recorder is None:
+        yield None
+        return
+    span_id = _next_id()
+    stack = _stack.get()
+    parent_id = stack[-1] if stack else None
+    token = _stack.set(stack + (span_id,))
+    start = time.perf_counter()
+    try:
+        yield None
+    finally:
+        duration = time.perf_counter() - start
+        _stack.reset(token)
+        recorder.record(
+            SpanRecord(
+                span_id=span_id,
+                parent_id=parent_id,
+                name=name,
+                start=start,
+                duration=duration,
+                attrs=attrs,
+            )
+        )

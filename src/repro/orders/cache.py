@@ -8,12 +8,26 @@ every assignment one shared implementation: an LRU-bounded mapping with
 ``functools.lru_cache``-style statistics, surfaced through
 ``cache_info()`` on the assignments, the operators built from them, and
 the E9 bench harness.
+
+Caches are thread-safe: lookups, insertions, and evictions run under a
+per-cache lock, while builders run *outside* it (two threads missing the
+same key may both build — builders are pure, so last-write-wins is
+harmless — but the LRU bound and the counters stay exact).
+
+A cache constructed with a ``name`` additionally surfaces its traffic
+through the observability registry when one is active
+(:mod:`repro.obs`): counters ``cache.<name>.hits`` / ``.misses`` /
+``.evictions``.  ``cache_info()`` is unchanged and always available —
+the registry is a second, aggregatable view, not a replacement.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, NamedTuple, Optional, TypeVar
+
+from repro import obs
 
 __all__ = ["AssignmentCache", "CacheInfo", "DEFAULT_CACHE_SIZE"]
 
@@ -21,6 +35,7 @@ __all__ = ["AssignmentCache", "CacheInfo", "DEFAULT_CACHE_SIZE"]
 #: lazy, so an entry costs only its computed keys; 256 knowledge bases is
 #: generous for interactive sessions while keeping worst-case memory flat.
 DEFAULT_CACHE_SIZE = 256
+
 
 V = TypeVar("V")
 
@@ -51,9 +66,21 @@ class AssignmentCache:
     CacheInfo(hits=1, misses=1, evictions=0, maxsize=2, currsize=1)
     """
 
-    __slots__ = ("_data", "_maxsize", "_hits", "_misses", "_evictions")
+    __slots__ = (
+        "_data",
+        "_maxsize",
+        "_hits",
+        "_misses",
+        "_evictions",
+        "_lock",
+        "name",
+    )
 
-    def __init__(self, maxsize: Optional[int] = DEFAULT_CACHE_SIZE):
+    def __init__(
+        self,
+        maxsize: Optional[int] = DEFAULT_CACHE_SIZE,
+        name: Optional[str] = None,
+    ):
         if maxsize is not None and maxsize <= 0:
             raise ValueError(f"cache maxsize must be positive or None, got {maxsize}")
         self._data: OrderedDict[Hashable, object] = OrderedDict()
@@ -61,41 +88,72 @@ class AssignmentCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
+        #: Observability name; ``cache.<name>.*`` counters when set.
+        self.name = name
+
+    def _publish(self, registry, hits: int = 0, misses: int = 0, evictions: int = 0):
+        prefix = f"cache.{self.name}"
+        if hits:
+            registry.counter(f"{prefix}.hits").inc(hits)
+        if misses:
+            registry.counter(f"{prefix}.misses").inc(misses)
+        if evictions:
+            registry.counter(f"{prefix}.evictions").inc(evictions)
 
     def get_or_build(self, key: Hashable, builder: Callable[..., V]) -> V:
         """Return the cached value for ``key``, building (and caching) it
-        via ``builder(key)`` on a miss.  Hits refresh LRU recency."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self._misses += 1
-            value = builder(key)
+        via ``builder(key)`` on a miss.  Hits refresh LRU recency.
+
+        The builder runs outside the cache lock, so concurrent misses on
+        the same key may build twice; builders are pure, so either result
+        is correct and the bound/counters stay exact.
+        """
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+            else:
+                self._hits += 1
+                self._data.move_to_end(key)
+                registry = obs.active()
+                if registry is not None and self.name is not None:
+                    self._publish(registry, hits=1)
+                return value  # type: ignore[return-value]
+        value = builder(key)
+        evicted = 0
+        with self._lock:
             self._data[key] = value
+            self._data.move_to_end(key)
             if self._maxsize is not None:
                 while len(self._data) > self._maxsize:
                     self._data.popitem(last=False)
                     self._evictions += 1
-            return value  # type: ignore[return-value]
-        self._hits += 1
-        self._data.move_to_end(key)
+                    evicted += 1
+        registry = obs.active()
+        if registry is not None and self.name is not None:
+            self._publish(registry, misses=1, evictions=evicted)
         return value  # type: ignore[return-value]
 
     def cache_info(self) -> CacheInfo:
         """Current hit/miss/eviction counters and occupancy."""
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            maxsize=self._maxsize,
-            currsize=len(self._data),
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                maxsize=self._maxsize,
+                currsize=len(self._data),
+            )
 
     def clear(self) -> None:
         """Drop all entries and reset the statistics."""
-        self._data.clear()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)

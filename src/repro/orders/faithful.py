@@ -52,7 +52,7 @@ class FaithfulAssignment:
     ):
         self._builder = builder
         self._cache_size = cache_size
-        self._cache = AssignmentCache(maxsize=cache_size)
+        self._cache = AssignmentCache(maxsize=cache_size, name=f"assignment.{name}")
         self.name = name
 
     @property

@@ -8,7 +8,7 @@ in EXPERIMENTS.md without re-running the search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.logic.enumeration import form_formula
@@ -59,6 +59,13 @@ class CheckResult:
     ``holds`` is ``True`` when no counterexample was found across
     ``scenarios_checked`` scenarios; for sampled (non-exhaustive) searches
     that is evidence, not proof, and ``exhaustive`` says which it was.
+
+    ``metrics`` makes non-exhaustive verdicts auditable: the harness
+    records at least ``scenarios_checked``, ``truncated`` (an enumerable
+    space cut at ``max_scenarios``), and — on the serial path —
+    ``elapsed_seconds``.  It is excluded from equality/hashing so that
+    result-identity contracts (serial vs parallel, repeated runs) compare
+    verdict content, not wall time.
     """
 
     axiom: str
@@ -67,6 +74,7 @@ class CheckResult:
     scenarios_checked: int
     exhaustive: bool
     counterexample: Optional[Counterexample] = None
+    metrics: Optional[Mapping] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         status = "holds" if self.holds else "FAILS"

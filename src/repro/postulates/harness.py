@@ -17,9 +17,11 @@ R4/U4/A4 is checked separately at formula level).
 from __future__ import annotations
 
 import random
+import time
 from itertools import islice, product
 from typing import Iterable, Iterator, Optional, Sequence
 
+from repro import obs
 from repro.engine.chunks import DEFAULT_EXHAUSTIVE_LIMIT
 from repro.logic.interpretation import Vocabulary, iter_set_bits
 from repro.logic.semantics import ModelSet
@@ -134,16 +136,19 @@ def check_axiom(
         )
     roles = len(axiom.roles)
     space = (1 << vocabulary.interpretation_count) ** roles
+    truncated = False
     if space <= EXHAUSTIVE_LIMIT:
         scenarios: Iterable[tuple[ModelSet, ...]] = islice(
             exhaustive_scenarios(vocabulary, roles), max_scenarios
         )
         exhaustive = space <= max_scenarios
+        truncated = not exhaustive
     else:
         scenarios = sampled_scenarios(vocabulary, roles, max_scenarios, rng)
         exhaustive = False
     checked = 0
     first: Optional[Counterexample] = None
+    start = time.perf_counter()
     for scenario in scenarios:
         checked += 1
         counterexample = axiom.check_instance(operator, scenario)
@@ -152,6 +157,14 @@ def check_axiom(
                 first = counterexample
             if stop_at_first:
                 break
+    elapsed = time.perf_counter() - start
+    registry = obs.active()
+    if registry is not None:
+        registry.counter("harness.checks").inc()
+        registry.counter("harness.scenarios").inc(checked)
+        registry.histogram("harness.check_seconds").observe(elapsed)
+        if truncated:
+            registry.counter("harness.truncated_checks").inc()
     return CheckResult(
         axiom=axiom.name,
         operator=operator.name,
@@ -159,6 +172,11 @@ def check_axiom(
         scenarios_checked=checked,
         exhaustive=exhaustive,
         counterexample=first,
+        metrics={
+            "scenarios_checked": checked,
+            "truncated": truncated,
+            "elapsed_seconds": elapsed,
+        },
     )
 
 

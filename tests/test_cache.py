@@ -9,6 +9,8 @@ the vocabulary — the cross-vocabulary test pins that down).
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core.fitting import ReveszFitting
@@ -68,6 +70,22 @@ class TestAssignmentCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.cache_info() == CacheInfo(0, 0, 0, 4, 0)
+
+    def test_eviction_follows_exact_lru_order(self):
+        """Victims leave in least-recently-*used* order, where hits count
+        as uses: the access sequence below must evict 1, then 3, then 2."""
+        cache = AssignmentCache(maxsize=3)
+        for key in (1, 2, 3):
+            cache.get_or_build(key, lambda k: k)
+        cache.get_or_build(2, lambda k: k)  # refresh 2: order is now 1, 3, 2
+        evicted = []
+        for key in (4, 5, 6):
+            survivors_before = {k for k in (1, 2, 3, 4, 5) if k in cache}
+            cache.get_or_build(key, lambda k: k)
+            survivors_after = {k for k in (1, 2, 3, 4, 5) if k in cache}
+            evicted.extend(sorted(survivors_before - survivors_after))
+        assert evicted == [1, 3, 2]
+        assert cache.cache_info().evictions == 3
 
 
 class TestBoundedAssignments:
@@ -170,6 +188,42 @@ class TestCrossVocabularyRegression:
         assert order_small is not order_large
         assert order_small.vocabulary == vocab_small
         assert order_large.vocabulary == vocab_large
+
+    def test_threaded_cross_vocabulary_stress(self):
+        """Concurrent lookups over two vocabularies through one shared
+        bounded cache: no wrong-vocabulary key may ever resolve, and the
+        hit/miss counters must account for every call exactly once."""
+        cache = AssignmentCache(maxsize=8)
+        vocabularies = [Vocabulary(["a", "b"]), Vocabulary(["a", "b", "c"])]
+        calls_per_thread = 300
+        errors: list[str] = []
+
+        def build(key: ModelSet):
+            # The value remembers which vocabulary built it, so a key
+            # collision across vocabularies would be visible to callers.
+            return ("order", key.vocabulary)
+
+        def work(seed: int):
+            for index in range(calls_per_thread):
+                vocabulary = vocabularies[(seed + index) % 2]
+                mask = (seed * 31 + index) % vocabulary.interpretation_count
+                key = ModelSet(vocabulary, [mask])
+                tag, built_for = cache.get_or_build(key, build)
+                if tag != "order" or built_for is not vocabulary:
+                    errors.append(
+                        f"key over {vocabulary.atoms} got value built for "
+                        f"{built_for.atoms}"
+                    )
+
+        threads = [threading.Thread(target=work, args=(seed,)) for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:3]
+        info = cache.cache_info()
+        assert info.hits + info.misses == 6 * calls_per_thread
+        assert info.currsize <= 8
 
     def test_cross_vocabulary_operator_results_are_independent(self):
         operator = ReveszFitting()

@@ -11,7 +11,9 @@ import pickle
 import random
 from itertools import islice, product
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given, settings
 
 from repro.bench.experiments import standard_operators
 from repro.core.fitting import ReveszFitting
@@ -26,6 +28,7 @@ from repro.logic.interpretation import Vocabulary
 from repro.operators.revision import DalalRevision
 from repro.postulates.axioms import ALL_AXIOMS, axiom_by_name
 from repro.postulates.harness import check_axiom, sampled_scenarios
+from repro.postulates.matrix import compute_matrix
 
 VOCAB1 = Vocabulary(["a"])
 VOCAB2 = Vocabulary(["a", "b"])
@@ -162,6 +165,80 @@ class TestBatchedCaches:
                 )
             )
             assert batched.apply_bits(psi_bits, mu_bits) == scalar
+
+
+# One shared wrapper per (operator, vocabulary) for the differential fuzz:
+# the point is to fuzz *through* the key/result caches, not to rebuild
+# matrices per example.
+_FUZZ_VOCABULARIES = {1: VOCAB1, 2: VOCAB2, 3: VOCAB3}
+_FUZZ_BATCHED = {
+    (name, size): BatchedOperator(factory(), vocabulary)
+    for name, factory in (("dalal", DalalRevision), ("odist", ReveszFitting))
+    for size, vocabulary in _FUZZ_VOCABULARIES.items()
+}
+_FUZZ_SCALAR = {"dalal": DalalRevision(), "odist": ReveszFitting()}
+
+
+class TestDifferentialFuzz:
+    """Hypothesis-driven differentials: the batched bit-level evaluator
+    vs. the scalar operator, and parallel vs. serial whole-matrix audits
+    over randomized vocabularies."""
+
+    @pytest.mark.parametrize("name", ["dalal", "odist"])
+    @settings(max_examples=200)
+    @given(data=st.data())
+    def test_apply_bits_matches_scalar(self, name, data):
+        """Random (ψ, μ) bit-vectors over vocabularies of 1–3 atoms:
+        ``Mod(ψ ▷ μ)`` from the matrix-batched path must equal the scalar
+        operator's, bit for bit — including unsatisfiable arguments."""
+        size = data.draw(st.integers(min_value=1, max_value=3), label="atoms")
+        vocabulary = _FUZZ_VOCABULARIES[size]
+        space = 1 << vocabulary.interpretation_count
+        psi_bits = data.draw(st.integers(min_value=0, max_value=space - 1), label="psi")
+        mu_bits = data.draw(st.integers(min_value=0, max_value=space - 1), label="mu")
+        batched = _FUZZ_BATCHED[(name, size)]
+        assert batched.batched
+        expected = bits_of_model_set(
+            _FUZZ_SCALAR[name].apply_models(
+                _model_set(vocabulary, psi_bits), _model_set(vocabulary, mu_bits)
+            )
+        )
+        assert batched.apply_bits(psi_bits, mu_bits) == expected
+
+    @pytest.mark.parametrize("seed", [0, 11, 23])
+    def test_matrix_identical_across_jobs_on_random_vocabularies(self, seed):
+        """Whole audit matrices agree cell by cell between jobs=1 and
+        jobs=2, over vocabularies with randomized atom names and seeded
+        sampling streams."""
+        generator = random.Random(seed)
+        letters = list("nopqrstuvwxyz")
+        generator.shuffle(letters)
+        vocabulary = Vocabulary(letters[: generator.choice([2, 3])])
+        operators = [DalalRevision(), ReveszFitting()]
+        axioms = [axiom_by_name(name) for name in ("R1", "R2", "A2", "A8")]
+        serial = compute_matrix(
+            operators,
+            vocabulary,
+            axioms,
+            max_scenarios=300,
+            rng=seed,
+            jobs=1,
+        )
+        parallel = compute_matrix(
+            operators,
+            vocabulary,
+            axioms,
+            max_scenarios=300,
+            rng=seed,
+            jobs=2,
+        )
+        assert serial.operators == parallel.operators
+        assert serial.axioms == parallel.axioms
+        for operator in serial.operators:
+            for axiom in serial.axioms:
+                left = serial.results[operator][axiom]
+                right = parallel.results[operator][axiom]
+                assert left == right, f"{operator}/{axiom} (seed {seed})"
 
 
 class TestChunking:

@@ -41,6 +41,7 @@ class TestExperimentDrivers:
         result = driver()
         assert result.all_match, result.describe()
 
+    @pytest.mark.slow
     def test_e7_matrix_matches_paper_and_finding(self):
         result = run_e7_postulate_matrix()
         assert result.all_match, result.describe()

@@ -72,6 +72,67 @@ class TestCheckAxiom:
         assert "R1" in text and "dalal" in text and "holds" in text
 
 
+class TestCheckMetrics:
+    """Regression: truncated enumerations must report how much of the
+    space was actually covered, via ``CheckResult.metrics``."""
+
+    def test_truncated_enumeration_reports_metrics(self):
+        # Three roles over two atoms: 4096 enumerable scenarios, cut at 100.
+        result = check_axiom(
+            DalalRevision(), axiom_by_name("R5"), VOCAB2, max_scenarios=100
+        )
+        assert not result.exhaustive
+        assert result.metrics is not None
+        assert result.metrics["scenarios_checked"] == 100
+        assert result.metrics["truncated"] is True
+        assert result.metrics["elapsed_seconds"] >= 0.0
+
+    def test_exhaustive_run_is_not_truncated(self):
+        result = check_axiom(DalalRevision(), axiom_by_name("R2"), VOCAB2)
+        assert result.exhaustive
+        assert result.metrics["scenarios_checked"] == 256
+        assert result.metrics["truncated"] is False
+
+    def test_sampled_run_is_not_flagged_truncated(self):
+        # Sampling is bounded by design; "truncated" means an *enumerable*
+        # space was cut, so it stays False here.
+        vocabulary = Vocabulary(["a", "b", "c"])
+        result = check_axiom(
+            DalalRevision(),
+            axiom_by_name("R5"),
+            vocabulary,
+            max_scenarios=150,
+            rng=3,
+        )
+        assert not result.exhaustive
+        assert result.metrics["scenarios_checked"] == 150
+        assert result.metrics["truncated"] is False
+
+    def test_parallel_path_reports_metrics_too(self):
+        result = check_axiom(
+            DalalRevision(),
+            axiom_by_name("R5"),
+            VOCAB2,
+            max_scenarios=100,
+            jobs=2,
+        )
+        assert result.metrics is not None
+        assert result.metrics["scenarios_checked"] == 100
+        assert result.metrics["truncated"] is True
+
+    def test_metrics_do_not_break_result_equality(self):
+        serial = check_axiom(
+            DalalRevision(), axiom_by_name("R5"), VOCAB2, max_scenarios=100
+        )
+        parallel = check_axiom(
+            DalalRevision(), axiom_by_name("R5"), VOCAB2, max_scenarios=100, jobs=2
+        )
+        # Wall-clock metrics differ between the two paths (only the
+        # serial loop times itself); equality must not care.
+        assert serial == parallel
+        assert serial.metrics != parallel.metrics
+
+
 class TestMatrix:
     @pytest.fixture(scope="class")
     def matrix(self):

@@ -1,0 +1,330 @@
+"""Tests for the observability layer: registry, spans, session switch,
+and the end-to-end wiring through kernels, caches, and the audit engine.
+
+Everything here runs against scoped sessions (``obs.use()``); nothing may
+leak an enabled registry into the rest of the suite — the autouse fixture
+at the bottom pins that down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.bench.experiments import standard_operators
+from repro.distances import kernels
+from repro.distances.base import HammingDistance
+from repro.engine.pool import run_audit
+from repro.logic.interpretation import Vocabulary
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import SpanRecorder, span
+from repro.operators.revision import DalalRevision
+from repro.postulates.axioms import ALL_AXIOMS, axiom_by_name
+
+VOCAB2 = Vocabulary(["a", "b"])
+
+
+@pytest.fixture(autouse=True)
+def _obs_stays_disabled():
+    """Every test must leave observability globally off."""
+    assert not obs.enabled()
+    yield
+    assert not obs.enabled(), "a test leaked an enabled obs session"
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("x.hits").inc()
+        registry.counter("x.hits").inc(4)
+        registry.gauge("x.rate").set(2.5)
+        registry.histogram("x.seconds").observe(1.0)
+        registry.histogram("x.seconds").observe(3.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"x.hits": 5}
+        assert snapshot["gauges"] == {"x.rate": 2.5}
+        assert snapshot["histograms"]["x.seconds"] == {
+            "count": 2,
+            "total": 4.0,
+            "min": 1.0,
+            "max": 3.0,
+            "mean": 2.0,
+        }
+
+    def test_instruments_are_singletons_per_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_timer_observes_elapsed(self):
+        registry = MetricsRegistry()
+        with registry.timer("t.seconds") as timer:
+            pass
+        assert timer.elapsed >= 0.0
+        summary = registry.histogram("t.seconds").summary()
+        assert summary["count"] == 1
+        assert summary["total"] == timer.elapsed
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.25)
+        json.dumps(registry.snapshot())  # must not raise
+
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        rounds = 2_000
+
+        def work():
+            counter = registry.counter("threads.hits")
+            histogram = registry.histogram("threads.seconds")
+            for _ in range(rounds):
+                counter.inc()
+                histogram.observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("threads.hits").value == 4 * rounds
+        assert registry.histogram("threads.seconds").count == 4 * rounds
+
+    def test_merge_snapshot_is_exact(self):
+        worker = MetricsRegistry()
+        worker.counter("c").inc(7)
+        worker.gauge("g").set(9.0)
+        worker.histogram("h").observe(1.0)
+        worker.histogram("h").observe(5.0)
+        parent = MetricsRegistry()
+        parent.counter("c").inc(3)
+        parent.histogram("h").observe(2.0)
+        parent.merge_snapshot(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["c"] == 10
+        assert snapshot["gauges"]["g"] == 9.0
+        assert snapshot["histograms"]["h"]["count"] == 3
+        assert snapshot["histograms"]["h"]["total"] == 8.0
+        assert snapshot["histograms"]["h"]["min"] == 1.0
+        assert snapshot["histograms"]["h"]["max"] == 5.0
+
+    def test_merge_empty_histogram_is_noop(self):
+        parent = MetricsRegistry()
+        parent.histogram("h").observe(2.0)
+        parent.merge_snapshot(
+            {"histograms": {"h": {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0}}}
+        )
+        assert parent.histogram("h").summary()["min"] == 2.0
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("anything").inc(100)
+        NULL_REGISTRY.gauge("anything").set(1.0)
+        with NULL_REGISTRY.timer("anything"):
+            pass
+        assert NULL_REGISTRY.counter("anything").value == 0
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestSession:
+    def test_disabled_by_default(self):
+        assert obs.active() is None
+        assert obs.get_registry() is NULL_REGISTRY
+
+    def test_use_scopes_and_restores(self):
+        with obs.use() as registry:
+            assert obs.enabled()
+            assert obs.active() is registry
+        assert not obs.enabled()
+
+    def test_use_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.use():
+                raise RuntimeError("boom")
+        assert not obs.enabled()
+
+    def test_nested_use_restores_outer_session(self):
+        with obs.use() as outer:
+            with obs.use() as inner:
+                assert obs.active() is inner
+            assert obs.active() is outer
+
+    def test_enable_disable(self):
+        registry = obs.enable()
+        try:
+            assert obs.active() is registry
+            assert obs.enable() is registry  # idempotent
+        finally:
+            obs.disable()
+        assert not obs.enabled()
+
+
+class TestSpans:
+    def test_span_disabled_yields_none_and_records_nothing(self):
+        with span("anything") as record:
+            assert record is None
+
+    def test_span_nesting_sets_parent(self):
+        with obs.use():
+            with span("outer"):
+                with span("inner", depth=1):
+                    pass
+            records = obs.active_recorder().records()
+        assert [record.name for record in records] == ["inner", "outer"]
+        inner, outer = records
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.attrs == {"depth": 1}
+        assert inner.duration >= 0.0
+
+    def test_ring_buffer_caps_and_counts_drops(self):
+        recorder = SpanRecorder(capacity=4)
+        with obs.use(span_capacity=4):
+            recorder = obs.active_recorder()
+            for index in range(10):
+                with span("s", index=index):
+                    pass
+            assert len(recorder) == 4
+            assert recorder.dropped == 6
+            # Oldest fell off: the retained spans are the last four.
+            kept = [record.attrs["index"] for record in recorder.records()]
+            assert kept == [6, 7, 8, 9]
+
+    def test_dump_json(self, tmp_path):
+        recorder = SpanRecorder(capacity=8)
+        with obs.use():
+            with span("only"):
+                pass
+            obs.active_recorder().dump_json(str(tmp_path / "spans.json"))
+        payload = json.loads((tmp_path / "spans.json").read_text())
+        assert payload[0]["name"] == "only"
+
+
+class TestExport:
+    def test_payload_shape_when_disabled(self):
+        payload = obs.metrics_payload()
+        assert payload == {
+            "version": 1,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "spans": [],
+        }
+
+    def test_render_metrics_mentions_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("a.hits").inc(3)
+        registry.gauge("a.rate").set(1.0)
+        registry.histogram("a.seconds").observe(0.5)
+        text = obs.render_metrics(obs.metrics_payload(registry, SpanRecorder()))
+        for name in ("a.hits", "a.rate", "a.seconds"):
+            assert name in text
+
+    def test_write_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("w").inc()
+        path = tmp_path / "metrics.json"
+        payload = obs.write_metrics(str(path), registry, SpanRecorder())
+        assert json.loads(path.read_text()) == payload
+
+
+class TestInstrumentationWiring:
+    def test_kernel_metrics(self):
+        masks = tuple(range(4))
+        with obs.use() as registry:
+            kernels.distance_matrix(masks, masks, VOCAB2, HammingDistance())
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["kernels.matrix_builds"] == 1
+        assert snapshot["counters"]["kernels.dispatch.numpy"] == 1
+        assert snapshot["histograms"]["kernels.matrix_seconds"]["count"] == 1
+        assert snapshot["gauges"]["kernels.last_matrix_cells"] == 16.0
+
+    def test_kernels_untouched_when_disabled(self):
+        masks = tuple(range(4))
+        matrix = kernels.distance_matrix(masks, masks, VOCAB2, HammingDistance())
+        assert matrix is not None
+        assert not obs.enabled()
+
+    def test_cache_metrics_published_under_operator_name(self):
+        with obs.use() as registry:
+            operator = DalalRevision()
+            psi = next(iter(_model_sets()))
+            mu = _model_sets()[1]
+            operator.apply_models(psi, mu)
+            operator.apply_models(psi, mu)
+            snapshot = registry.snapshot()
+        assert snapshot["counters"]["cache.assignment.dalal.hits"] == 1
+        assert snapshot["counters"]["cache.assignment.dalal.misses"] == 1
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_audit_metrics_end_to_end(self, jobs):
+        """A full audit must surface harness/engine counters, and with
+        jobs=2 the worker registries' kernel + cache metrics must merge
+        into the parent."""
+        axioms = [axiom_by_name("R2"), axiom_by_name("A2")]
+        with obs.use() as registry:
+            run_audit(
+                [DalalRevision()], axioms, VOCAB2, max_scenarios=600, jobs=jobs
+            )
+            payload = obs.metrics_payload(registry)
+        counters = payload["counters"]
+        histograms = payload["histograms"]
+        assert counters["engine.audits"] == 1
+        assert histograms["engine.audit_seconds"]["count"] == 1
+        assert payload["gauges"]["engine.scenarios_per_second"] > 0
+        if jobs == 1:
+            assert counters["harness.checks"] == len(axioms)
+        else:
+            assert counters["engine.chunks_completed"] > 0
+            assert counters["engine.scenarios"] > 0
+            assert histograms["engine.chunk_seconds"]["count"] > 0
+            # Worker-side instruments merged back into the parent.
+            assert counters["kernels.matrix_builds"] > 0
+            assert any(name.startswith("cache.engine.") for name in counters)
+            span_names = [record["name"] for record in payload["spans"]]
+            assert "engine.run_audit" in span_names
+
+    def test_worker_merge_counts_once(self):
+        """Two identical jobs=2 audits must produce identical counter
+        totals — the freshest-snapshot-per-worker merge neither drops nor
+        double-counts."""
+        axioms = [axiom_by_name("R2")]
+
+        def totals():
+            with obs.use() as registry:
+                run_audit(
+                    standard_operators()[:2],
+                    axioms,
+                    VOCAB2,
+                    max_scenarios=400,
+                    jobs=2,
+                )
+                return registry.snapshot()["counters"]
+
+        first, second = totals(), totals()
+        assert first["engine.scenarios"] == second["engine.scenarios"]
+        assert first["engine.chunks_completed"] == second["engine.chunks_completed"]
+
+    def test_serial_and_parallel_audits_agree_on_scenarios(self):
+        axioms = list(ALL_AXIOMS[:3])
+        with obs.use() as registry:
+            run_audit([DalalRevision()], axioms, VOCAB2, max_scenarios=600, jobs=1)
+            serial = registry.snapshot()["counters"]
+        with obs.use() as registry:
+            run_audit([DalalRevision()], axioms, VOCAB2, max_scenarios=600, jobs=2)
+            parallel = registry.snapshot()["counters"]
+        assert serial["harness.scenarios"] == parallel["engine.scenarios"]
+
+
+def _model_sets():
+    from repro.logic.semantics import ModelSet
+
+    return [ModelSet(VOCAB2, [0b01]), ModelSet(VOCAB2, [0b10, 0b11])]

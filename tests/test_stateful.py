@@ -7,6 +7,7 @@ a live database session.
 """
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.kb.knowledge_base import KnowledgeBase
@@ -90,7 +91,7 @@ class TheoryChangeSession(RuleBasedStateMachine):
         assert models(formula, VOCAB) == self.kb.model_set
 
 
-TestTheoryChangeSession = TheoryChangeSession.TestCase
+TestTheoryChangeSession = pytest.mark.slow(TheoryChangeSession.TestCase)
 
 
 class ConstrainedSession(RuleBasedStateMachine):
@@ -121,4 +122,4 @@ class ConstrainedSession(RuleBasedStateMachine):
         assert self.kb.entails(self.CONSTRAINT)
 
 
-TestConstrainedSession = ConstrainedSession.TestCase
+TestConstrainedSession = pytest.mark.slow(ConstrainedSession.TestCase)
