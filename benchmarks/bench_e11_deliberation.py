@@ -11,7 +11,6 @@ benchmark measures, over seeded random inputs:
 
 from collections import Counter
 
-import pytest
 
 from repro.core.iterated import (
     fold_arbitration,

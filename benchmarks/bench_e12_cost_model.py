@@ -5,7 +5,6 @@ distance-based operator across a parameter sweep (the analytic complement
 to E9's wall-clock comparison), and benchmarks one instrumented run.
 """
 
-import pytest
 
 from repro.bench.complexity import (
     cost_report,

@@ -8,7 +8,6 @@ truth-table engine's 22-atom ceiling maps to small domains — exactly the
 trade-off the open problem is about.
 """
 
-import pytest
 
 from repro.relational import (
     Fact,

@@ -21,6 +21,12 @@ from repro.bench.complexity import (
     measure_distance_evaluations,
     predicted_distance_evaluations,
 )
+from repro.bench.weighted_speedup import (
+    make_weighted_workload,
+    measure_fitting_speedup,
+    measure_merge_speedup,
+    write_weighted_snapshot,
+)
 from repro.bench.scaling import (
     ScalingWorkload,
     make_formula_workload,
@@ -59,4 +65,8 @@ __all__ = [
     "cost_report",
     "measure_distance_evaluations",
     "predicted_distance_evaluations",
+    "make_weighted_workload",
+    "measure_fitting_speedup",
+    "measure_merge_speedup",
+    "write_weighted_snapshot",
 ]

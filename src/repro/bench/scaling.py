@@ -19,7 +19,7 @@ from repro.core.arbitration import ArbitrationOperator
 from repro.core.fitting import PriorityFitting, ReveszFitting
 from repro.distances import kernels
 from repro.logic.bdd import BddEngine
-from repro.logic.enumeration import DpllEngine, TruthTableEngine, models
+from repro.logic.enumeration import DpllEngine, TruthTableEngine
 from repro.logic.interpretation import Vocabulary
 from repro.logic.random_formulas import (
     random_kcnf,

@@ -62,6 +62,10 @@ from repro.operators.revision import (
 )
 from repro.operators.update import ForbusUpdate, WinslettUpdate
 from repro.postulates.matrix import compute_matrix, render_matrix
+from repro.postulates.weighted_axioms import (
+    audit_weighted_operator,
+    render_weighted_audit,
+)
 
 __all__ = ["main"]
 
@@ -184,10 +188,24 @@ def _cmd_merge(args, out) -> int:
     return 0
 
 
+def _weighted_audit_operators(wanted: Optional[Sequence[str]]):
+    from repro.core.weighted import WeightedArbitration, WeightedModelFitting
+
+    operators = [WeightedModelFitting(), WeightedArbitration()]
+    if wanted:
+        names = set(wanted)
+        operators = [op for op in operators if op.name in names]
+        if not operators:
+            raise ReproError(f"no such weighted operators: {sorted(names)}")
+    return operators
+
+
 def _cmd_audit(args, out) -> int:
     vocabulary = Vocabulary(
         [chr(ord("a") + index) for index in range(args.atoms_count)]
     )
+    if args.weighted:
+        return _cmd_audit_weighted(args, vocabulary, out)
     operators = standard_operators()
     if args.operator:
         wanted = set(args.operator)
@@ -211,6 +229,40 @@ def _cmd_audit(args, out) -> int:
         print(file=out)
         print(obs.render_metrics(payload), file=out)
     if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+def _cmd_audit_weighted(args, vocabulary, out) -> int:
+    """F1–F8 audit of the weighted operators through the audit engine."""
+    operators = _weighted_audit_operators(args.operator)
+    observe = args.stats or args.metrics_out
+    payload = None
+    if observe:
+        with obs.use() as registry:
+            results = {
+                operator.name: audit_weighted_operator(
+                    operator, vocabulary, scenarios=args.scenarios, jobs=args.jobs
+                )
+                for operator in operators
+            }
+            payload = obs.metrics_payload(registry)
+    else:
+        results = {
+            operator.name: audit_weighted_operator(
+                operator, vocabulary, scenarios=args.scenarios, jobs=args.jobs
+            )
+            for operator in operators
+        }
+    print(render_weighted_audit(results), file=out)
+    if args.stats and payload is not None:
+        print(file=out)
+        print(obs.render_metrics(payload), file=out)
+    if args.metrics_out and payload is not None:
         import json
 
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
@@ -332,6 +384,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the metrics snapshot as JSON to FILE",
+    )
+    audit_parser.add_argument(
+        "--weighted",
+        action="store_true",
+        help="audit the weighted operators against F1–F8 (Section 4)",
     )
     audit_parser.set_defaults(handler=_cmd_audit)
 

@@ -18,17 +18,42 @@ count twice).  This is precisely why the weighted ``wdist`` assignment is
 genuinely loyal (sums are additive under ⊔) even though the unweighted
 ``sumdist`` assignment is not; the test suite demonstrates both halves.
 
-Weights are stored exactly as :class:`fractions.Fraction`; ints, floats,
-and fractions are accepted on input.
+Two storage backends share one value semantics:
+
+* the **exact** backend stores weights sparsely as
+  :class:`fractions.Fraction` (the canonical identity — hashing, equality,
+  and every accessor read it);
+* the **dense** backend mirrors the Boolean engine's mask-indexed layout: a
+  read-only float64 vector over all ``2^|𝒯|`` masks (:meth:`dense`), making
+  ⊔/⊓/→ pointwise array ops and ``wdist`` a matrix–vector product.
+
+Every connective takes ``impl="auto" | "numpy" | "python"``, mirroring the
+kernel dispatch in :mod:`repro.distances.kernels`: ``python`` is the exact
+Fraction reference, ``numpy`` forces the dense float path, and ``auto``
+uses the dense path only when it is *provably exact* — all weights are
+integers whose total stays below 2^53, where IEEE double arithmetic on
+integers is lossless (the audit samplers and the paper's examples only
+ever produce small integer weights, so audits ride the fast path without
+giving up bit-exactness).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Iterable, Mapping, Optional, Union
+from typing import Callable, ClassVar, Iterable, Mapping, Optional, Sequence, Union
+
+try:  # pragma: no cover - numpy is baked into the container
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
 
 from repro.distances import kernels
-from repro.distances.base import HammingDistance, InterpretationDistance
+from repro.distances.base import (
+    DrasticDistance,
+    HammingDistance,
+    InterpretationDistance,
+)
 from repro.errors import VocabularyError, WeightError
 from repro.logic.enumeration import models
 from repro.logic.interpretation import Interpretation, Vocabulary
@@ -38,8 +63,10 @@ from repro.orders.cache import AssignmentCache, CacheInfo, DEFAULT_CACHE_SIZE
 from repro.orders.preorder import TotalPreorder
 
 __all__ = [
+    "DENSE_EXACT_LIMIT",
     "WeightedKnowledgeBase",
     "WeightedLoyalAssignment",
+    "WdistOrderBuilder",
     "wdist_assignment",
     "WeightedModelFitting",
     "WeightedArbitration",
@@ -48,6 +75,11 @@ __all__ = [
 ]
 
 Weight = Union[int, float, Fraction]
+
+#: Integer totals below this bound survive float64 round trips exactly
+#: (doubles represent every integer up to 2^53), so the dense backend is
+#: bit-equivalent to the Fraction reference under ``impl="auto"``.
+DENSE_EXACT_LIMIT = 2**53
 
 
 def _to_fraction(value: Weight) -> Fraction:
@@ -64,11 +96,26 @@ def _to_fraction(value: Weight) -> Fraction:
     return result
 
 
-class WeightedKnowledgeBase:
-    """A total function from interpretations to non-negative weights,
-    stored sparsely (absent interpretations weigh 0).
+def _resolve_impl(impl: str) -> str:
+    if impl not in ("auto", "numpy", "python"):
+        raise ValueError(f"unknown weighted impl {impl!r}")
+    if impl == "numpy" and np is None:
+        raise RuntimeError("numpy backend requested but numpy is not installed")
+    return impl
 
-    Immutable and hashable; supports the paper's ⊔ (``|``) and ⊓ (``&``).
+
+def _integer_metric(metric: InterpretationDistance) -> bool:
+    return isinstance(metric, (HammingDistance, DrasticDistance))
+
+
+class WeightedKnowledgeBase:
+    """A total function from interpretations to non-negative weights.
+
+    Canonically stored sparsely (absent interpretations weigh 0) as exact
+    :class:`~fractions.Fraction` values; a dense float64 mask-indexed
+    vector (:meth:`dense`) is derived lazily and cached for the vectorized
+    paths.  Immutable and hashable; supports the paper's ⊔ (``|``) and ⊓
+    (``&``).
 
     >>> v = Vocabulary(["s", "d", "q"])
     >>> kb = WeightedKnowledgeBase.from_weights(v, {
@@ -81,11 +128,12 @@ class WeightedKnowledgeBase:
     Fraction(0, 1)
     """
 
-    __slots__ = ("_vocabulary", "_weights", "_hash")
+    __slots__ = ("_vocabulary", "_weights", "_hash", "_int_total", "_dense")
 
     def __init__(self, vocabulary: Vocabulary, mask_weights: Mapping[int, Weight]):
         cleaned: dict[int, Fraction] = {}
         limit = vocabulary.interpretation_count
+        int_total: Optional[int] = 0
         for mask, raw in mask_weights.items():
             if mask < 0 or mask >= limit:
                 raise VocabularyError(
@@ -94,9 +142,16 @@ class WeightedKnowledgeBase:
             weight = _to_fraction(raw)
             if weight > 0:
                 cleaned[mask] = weight
+                if int_total is not None:
+                    if weight.denominator == 1:
+                        int_total += weight.numerator
+                    else:
+                        int_total = None
         self._vocabulary = vocabulary
         self._weights = cleaned
         self._hash = hash((vocabulary, frozenset(cleaned.items())))
+        self._int_total = int_total
+        self._dense = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -154,6 +209,34 @@ class WeightedKnowledgeBase:
         """The unsatisfiable weighted knowledge base (all weights 0)."""
         return cls(vocabulary, {})
 
+    @classmethod
+    def from_dense(
+        cls, vocabulary: Vocabulary, vector: Sequence[float]
+    ) -> "WeightedKnowledgeBase":
+        """Build from a mask-indexed weight vector of length ``2^|𝒯|``.
+
+        Float entries convert to *exact* binary fractions (no denominator
+        limiting): a round trip ``kb.dense() -> from_dense`` is the
+        identity whenever the weights are float-representable, which is
+        what the dense connective paths rely on.
+        """
+        values = vector.tolist() if np is not None and isinstance(
+            vector, np.ndarray
+        ) else list(vector)
+        if len(values) != vocabulary.interpretation_count:
+            raise VocabularyError(
+                f"dense vector of length {len(values)} does not cover the "
+                f"{vocabulary.interpretation_count} interpretations of a "
+                f"vocabulary of size {vocabulary.size}"
+            )
+        mask_weights: dict[int, Fraction] = {}
+        for mask, value in enumerate(values):
+            if value < 0:
+                raise WeightError(f"weights must be non-negative, got {value}")
+            if value > 0:
+                mask_weights[mask] = Fraction(value)
+        return cls(vocabulary, mask_weights)
+
     # -- accessors ---------------------------------------------------------------
 
     @property
@@ -197,6 +280,47 @@ class WeightedKnowledgeBase:
         """True iff some interpretation has positive weight."""
         return bool(self._weights)
 
+    # -- dense backend -----------------------------------------------------------
+
+    def dense(self):
+        """The mask-indexed float64 weight vector (read-only, cached).
+
+        Index ``m`` holds ``float(ψ̃(I_m))`` for the interpretation with
+        bitmask ``m``; zero-weight masks are zero entries.  This is the
+        same layout the Boolean engine uses for its shared distance
+        matrices, so ``wdist`` over every interpretation is one
+        matrix–vector product.  Requires numpy.
+        """
+        if np is None:
+            raise RuntimeError("dense weight vectors require numpy")
+        if self._dense is None:
+            array = np.zeros(self._vocabulary.interpretation_count, dtype=np.float64)
+            for mask, weight in self._weights.items():
+                array[mask] = float(weight)
+            array.flags.writeable = False
+            self._dense = array
+        return self._dense
+
+    @property
+    def dense_exact(self) -> bool:
+        """True iff the dense float64 backend is provably lossless for
+        this knowledge base: every weight is an integer and the total
+        stays below :data:`DENSE_EXACT_LIMIT` (so no pointwise sum of two
+        such bases can round)."""
+        return (
+            np is not None
+            and self._int_total is not None
+            and self._int_total < DENSE_EXACT_LIMIT
+        )
+
+    def _use_dense(self, impl: str, *others: "WeightedKnowledgeBase") -> bool:
+        resolved = _resolve_impl(impl)
+        if resolved == "numpy":
+            return True
+        if resolved == "python":
+            return False
+        return self.dense_exact and all(other.dense_exact for other in others)
+
     # -- the paper's weighted connectives ----------------------------------------
 
     def _check(self, other: "WeightedKnowledgeBase") -> None:
@@ -205,17 +329,39 @@ class WeightedKnowledgeBase:
                 "weighted knowledge bases are over different vocabularies"
             )
 
-    def join(self, other: "WeightedKnowledgeBase") -> "WeightedKnowledgeBase":
+    def join(
+        self, other: "WeightedKnowledgeBase", impl: str = "auto"
+    ) -> "WeightedKnowledgeBase":
         """``⊔``: pointwise sum of weights (the semantics of ∨)."""
         self._check(other)
+        use_dense = self._use_dense(impl, other)
+        if use_dense and _resolve_impl(impl) == "auto":
+            # Pointwise sums are bounded by the summed totals; both totals
+            # are integers here (dense_exact), so this keeps every entry
+            # of the sum inside the float64-exact integer range.
+            use_dense = (
+                self._int_total is not None
+                and other._int_total is not None
+                and self._int_total + other._int_total < DENSE_EXACT_LIMIT
+            )
+        if use_dense:
+            return WeightedKnowledgeBase.from_dense(
+                self._vocabulary, self.dense() + other.dense()
+            )
         combined = dict(self._weights)
         for mask, weight in other._weights.items():
             combined[mask] = combined.get(mask, Fraction(0)) + weight
         return WeightedKnowledgeBase(self._vocabulary, combined)
 
-    def meet(self, other: "WeightedKnowledgeBase") -> "WeightedKnowledgeBase":
+    def meet(
+        self, other: "WeightedKnowledgeBase", impl: str = "auto"
+    ) -> "WeightedKnowledgeBase":
         """``⊓``: pointwise minimum of weights (the semantics of ∧)."""
         self._check(other)
+        if self._use_dense(impl, other):
+            return WeightedKnowledgeBase.from_dense(
+                self._vocabulary, np.minimum(self.dense(), other.dense())
+            )
         combined: dict[int, Fraction] = {}
         for mask, weight in self._weights.items():
             other_weight = other._weights.get(mask)
@@ -226,17 +372,30 @@ class WeightedKnowledgeBase:
     __or__ = join
     __and__ = meet
 
-    def scaled(self, factor: Weight) -> "WeightedKnowledgeBase":
+    def scaled(self, factor: Weight, impl: str = "auto") -> "WeightedKnowledgeBase":
         """Every weight multiplied by a non-negative factor."""
         multiplier = _to_fraction(factor)
+        if self._use_dense(impl) and (
+            _resolve_impl(impl) == "numpy"
+            or (
+                multiplier.denominator == 1
+                and self._int_total is not None
+                and self._int_total * multiplier.numerator < DENSE_EXACT_LIMIT
+            )
+        ):
+            return WeightedKnowledgeBase.from_dense(
+                self._vocabulary, self.dense() * float(multiplier)
+            )
         return WeightedKnowledgeBase(
             self._vocabulary,
             {mask: weight * multiplier for mask, weight in self._weights.items()},
         )
 
-    def implies(self, other: "WeightedKnowledgeBase") -> bool:
+    def implies(self, other: "WeightedKnowledgeBase", impl: str = "auto") -> bool:
         """The paper's ``ψ̃ → φ̃``: pointwise ``ψ̃(I) ≤ φ̃(I)``."""
         self._check(other)
+        if self._use_dense(impl, other):
+            return bool(np.all(self.dense() <= other.dense()))
         return all(
             weight <= other._weights.get(mask, Fraction(0))
             for mask, weight in self._weights.items()
@@ -253,13 +412,31 @@ class WeightedKnowledgeBase:
         self,
         interpretation: Interpretation,
         distance: Optional[InterpretationDistance] = None,
+        impl: str = "auto",
     ) -> Fraction:
-        """The paper's ``wdist(ψ̃, I) = Σ_J dist(I, J) · ψ̃(J)``."""
+        """The paper's ``wdist(ψ̃, I) = Σ_J dist(I, J) · ψ̃(J)``.
+
+        The dense path computes one distance-row · weight-vector dot
+        product; ``auto`` takes it only when it is exact (integer weights
+        under an integer metric, within :data:`DENSE_EXACT_LIMIT`), so the
+        returned :class:`~fractions.Fraction` matches the reference sum
+        bit for bit.
+        """
         if interpretation.vocabulary != self._vocabulary:
             raise VocabularyError(
                 "interpretation vocabulary differs from the knowledge base's"
             )
         metric = distance if distance is not None else HammingDistance()
+        resolved = _resolve_impl(impl)
+        use_dense = resolved == "numpy" or (
+            resolved == "auto"
+            and self.dense_exact
+            and _integer_metric(metric)
+            and self._int_total is not None
+            and self._int_total * max(1, self._vocabulary.size) < DENSE_EXACT_LIMIT
+        )
+        if use_dense:
+            return Fraction(float(self.wdist_dense(metric)[interpretation.mask]))
         total = Fraction(0)
         for mask, weight in self._weights.items():
             total += (
@@ -268,10 +445,31 @@ class WeightedKnowledgeBase:
             )
         return total
 
+    def wdist_dense(
+        self, distance: Optional[InterpretationDistance] = None
+    ):
+        """``wdist(ψ̃, I)`` for *every* mask at once, as a float64 vector:
+        the full pairwise distance matrix times :meth:`dense`.
+
+        This is the matvec the audit engine batches over; it is exact
+        whenever :attr:`dense_exact` holds and the metric is
+        integer-valued.  Requires numpy.
+        """
+        if np is None:
+            raise RuntimeError("dense wdist requires numpy")
+        metric = distance if distance is not None else HammingDistance()
+        all_masks = range(self._vocabulary.interpretation_count)
+        matrix = np.asarray(
+            kernels.distance_matrix(all_masks, all_masks, self._vocabulary, metric),
+            dtype=np.float64,
+        )
+        return matrix @ self.dense()
+
     def degree_of_belief(
         self,
         formula: Formula,
         engine=None,
+        impl: str = "auto",
     ) -> Fraction:
         """Normalized weight of the formula's models: the fraction of the
         knowledge base's total weight lying inside ``Mod(φ)``.
@@ -291,6 +489,12 @@ class WeightedKnowledgeBase:
                 "weighted knowledge base"
             )
         formula_models = models(formula, self._vocabulary, engine)
+        if self._use_dense(impl):
+            vector = self.dense()
+            inside_value = float(
+                np.add.reduce(vector[list(formula_models.masks)])
+            ) if formula_models.masks else 0.0
+            return Fraction(inside_value) / Fraction(float(np.add.reduce(vector)))
         inside = sum(
             (
                 weight
@@ -314,6 +518,15 @@ class WeightedKnowledgeBase:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self):
+        # The dense cache stays home — workers rebuild it on demand, and
+        # shipping read-only arrays through pickles buys nothing.
+        return (self._vocabulary, self._weights)
+
+    def __setstate__(self, state):
+        vocabulary, weights = state
+        self.__init__(vocabulary, weights)
+
     def __repr__(self) -> str:
         entries = ", ".join(
             f"{interpretation!r}: {weight}" for interpretation, weight in self.items()
@@ -326,6 +539,10 @@ class WeightedLoyalAssignment:
 
     Keyed by the weight function itself, so weighted loyalty condition 1
     (equivalent weighted KBs get the same order) holds by construction.
+
+    Assignments built from :class:`WdistOrderBuilder` pickle cleanly (the
+    memo cache is dropped, not shipped), which is what lets the weighted
+    audit engine send operators to process-pool workers.
     """
 
     def __init__(
@@ -335,8 +552,27 @@ class WeightedLoyalAssignment:
         cache_size: Optional[int] = DEFAULT_CACHE_SIZE,
     ):
         self._builder = builder
+        self._cache_size = cache_size
         self._cache = AssignmentCache(maxsize=cache_size, name=f"assignment.{name}")
         self.name = name
+
+    @property
+    def builder(self) -> Callable[[WeightedKnowledgeBase], TotalPreorder]:
+        """The underlying ψ̃ ↦ ≤ψ̃ builder (the audit engine inspects its
+        batching metadata: ``kind``, ``metric``)."""
+        return self._builder
+
+    def __getstate__(self):
+        # Built pre-orders stay home: a worker rebuilds what it needs, and
+        # lazy pre-orders can hold large memoized key tables.
+        return {
+            "builder": self._builder,
+            "cache_size": self._cache_size,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(state["builder"], state["name"], state["cache_size"])
 
     def order_for(self, knowledge_base: WeightedKnowledgeBase) -> TotalPreorder:
         """The pre-order ``≤ψ̃``."""
@@ -357,6 +593,65 @@ class WeightedLoyalAssignment:
         return f"WeightedLoyalAssignment({self.name!r})"
 
 
+@dataclass(frozen=True)
+class _WdistBatchKeys:
+    """Batch key function: exact ``wdist`` keys for the requested masks
+    against one knowledge base's support (see
+    :func:`repro.distances.kernels.wdist_keys`)."""
+
+    support_masks: tuple[int, ...]
+    weights: tuple[Fraction, ...]
+    vocabulary: Vocabulary
+    metric: InterpretationDistance
+
+    def __call__(self, masks: Sequence[int]) -> list:
+        return kernels.wdist_keys(
+            masks, self.support_masks, self.weights, self.vocabulary, self.metric
+        )
+
+
+@dataclass(frozen=True)
+class WdistOrderBuilder:
+    """A picklable ψ̃ ↦ ≤ψ̃ builder ordering interpretations by ``wdist``.
+
+    ``kind`` doubles as the weighted audit engine's batching contract: a
+    builder of kind ``"wdist"`` ranks mask ``I`` by the dot product of
+    ``I``'s distance row (under ``metric``) with the weight vector, so the
+    engine may substitute one shared-matrix matvec for the per-KB lazy
+    pre-order whenever that product is exact.
+    """
+
+    metric: InterpretationDistance
+    vectorized: bool = True
+
+    kind: ClassVar[str] = "wdist"
+
+    def __call__(self, knowledge_base: WeightedKnowledgeBase) -> TotalPreorder:
+        vocabulary = knowledge_base.vocabulary
+        if not self.vectorized:
+            metric = self.metric
+
+            def key(mask: int) -> Fraction:
+                return knowledge_base.wdist(
+                    Interpretation(vocabulary, mask), metric, impl="python"
+                )
+
+            return TotalPreorder.from_key(vocabulary, key)
+        support = sorted(knowledge_base._weights.items())
+        return TotalPreorder.lazy(
+            vocabulary,
+            _WdistBatchKeys(
+                tuple(mask for mask, _ in support),
+                tuple(weight for _, weight in support),
+                vocabulary,
+                self.metric,
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return f"WdistOrderBuilder(metric={self.metric!r}, vectorized={self.vectorized})"
+
+
 def wdist_assignment(
     distance: Optional[InterpretationDistance] = None,
     vectorized: bool = True,
@@ -372,28 +667,13 @@ def wdist_assignment(
 
     Keys stay exact :class:`~fractions.Fraction` values on both paths; the
     vectorized path clears denominators into one integer dot product per
-    interpretation (see :func:`repro.distances.kernels.wdist_keys`).
+    interpretation (see :func:`repro.distances.kernels.wdist_keys`), and
+    ``vectorized=False`` selects the scalar reference sum.
     """
     metric = distance if distance is not None else HammingDistance()
-
-    def build(knowledge_base: WeightedKnowledgeBase) -> TotalPreorder:
-        vocabulary = knowledge_base.vocabulary
-        if not vectorized:
-
-            def key(mask: int) -> Fraction:
-                return knowledge_base.wdist(Interpretation(vocabulary, mask), metric)
-
-            return TotalPreorder.from_key(vocabulary, key)
-        support = sorted(knowledge_base._weights.items())
-        support_masks = [mask for mask, _ in support]
-        weights = [weight for _, weight in support]
-
-        def batch(masks):
-            return kernels.wdist_keys(masks, support_masks, weights, vocabulary, metric)
-
-        return TotalPreorder.lazy(vocabulary, batch)
-
-    return WeightedLoyalAssignment(build, name="wdist", cache_size=cache_size)
+    return WeightedLoyalAssignment(
+        WdistOrderBuilder(metric, vectorized), name="wdist", cache_size=cache_size
+    )
 
 
 class WeightedModelFitting:

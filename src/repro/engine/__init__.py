@@ -12,11 +12,16 @@ audit checks; this package makes the checking fast:
   (index ranges for enumeration, captured RNG states for sampling);
 * :mod:`repro.engine.pool` — process-pool fan-out with a deterministic
   merge, early cancellation under ``stop_at_first``, and a serial
-  fallback bit-identical to the legacy loop.
+  fallback bit-identical to the legacy loop;
+* :mod:`repro.engine.weighted` — the same strategy for the weighted stack
+  (Section 4): F1–F8 audits over dense mask-indexed weight vectors with
+  one shared distance matrix per operator and per-ψ̃ key caching.
 
 Entry points: :func:`run_audit` for full operator × axiom sweeps (used by
 ``repro.postulates.matrix.compute_matrix(jobs=...)`` and the CLI's
-``repro audit --jobs``), :func:`check_axiom_parallel` for one pair.
+``repro audit --jobs``), :func:`check_axiom_parallel` for one pair;
+:func:`run_weighted_audit` / :func:`check_weighted_axiom_parallel` for
+their weighted counterparts.
 """
 
 from repro.engine.batched import (
@@ -31,9 +36,13 @@ from repro.engine.chunks import (
     DEFAULT_EXHAUSTIVE_LIMIT,
     ChunkSpec,
     ScenarioPlan,
+    WeightedScenarioPlan,
     decode_chunk,
+    decode_weighted_chunk,
     plan_scenarios,
+    plan_weighted_scenarios,
     sample_scenario_bits,
+    sample_weight_maps,
 )
 from repro.engine.pool import (
     AuditOutcome,
@@ -42,6 +51,15 @@ from repro.engine.pool import (
     EngineStats,
     check_axiom_parallel,
     run_audit,
+)
+from repro.engine.weighted import (
+    MAX_DENSE_ATOMS,
+    DenseWeightedOperator,
+    WeightedAuditOutcome,
+    WeightedChunkOutcome,
+    WeightedChunkTask,
+    check_weighted_axiom_parallel,
+    run_weighted_audit,
 )
 
 __all__ = [
@@ -59,10 +77,21 @@ __all__ = [
     "decode_chunk",
     "plan_scenarios",
     "sample_scenario_bits",
+    "WeightedScenarioPlan",
+    "decode_weighted_chunk",
+    "plan_weighted_scenarios",
+    "sample_weight_maps",
     "AuditOutcome",
     "ChunkOutcome",
     "ChunkTask",
     "EngineStats",
     "check_axiom_parallel",
     "run_audit",
+    "MAX_DENSE_ATOMS",
+    "DenseWeightedOperator",
+    "WeightedAuditOutcome",
+    "WeightedChunkOutcome",
+    "WeightedChunkTask",
+    "check_weighted_axiom_parallel",
+    "run_weighted_audit",
 ]

@@ -32,9 +32,13 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "ChunkSpec",
     "ScenarioPlan",
+    "WeightedScenarioPlan",
     "plan_scenarios",
+    "plan_weighted_scenarios",
     "sample_scenario_bits",
+    "sample_weight_maps",
     "decode_chunk",
+    "decode_weighted_chunk",
 ]
 
 #: Scenario-space size above which enumeration switches to sampling.  The
@@ -189,3 +193,124 @@ def decode_chunk(plan: ScenarioPlan, chunk: ChunkSpec) -> list[tuple[int, ...]]:
     return sample_scenario_bits(
         replay, plan.roles, chunk.count, plan.interpretation_count
     )
+
+
+# -- weighted scenario spaces -------------------------------------------------------
+#
+# The weighted-KB space is infinite (weights are unbounded rationals), so
+# weighted audits are always sampled; chunking therefore always rides the
+# captured-RNG-state mechanism.  The stream below is draw-for-draw
+# identical to ``repro.postulates.weighted_axioms.random_weighted_kbs``
+# (which delegates here), so the concatenation of all chunks reproduces
+# the legacy serial pool exactly.
+
+
+@dataclass(frozen=True)
+class WeightedScenarioPlan:
+    """A chunked description of one weighted (axiom-arity) scenario space."""
+
+    roles: int
+    interpretation_count: int
+    total: int
+    max_weight: int
+    density: float
+    include_unsatisfiable: bool
+    chunks: tuple[ChunkSpec, ...]
+
+
+def sample_weight_maps(
+    generator: random.Random,
+    count: int,
+    interpretation_count: int,
+    max_weight: int = 5,
+    density: float = 0.5,
+    include_unsatisfiable: bool = True,
+) -> list[dict[int, int]]:
+    """``count`` sampled weight functions as ``mask -> weight`` dicts.
+
+    Each interpretation independently receives a positive integer weight
+    in ``1..max_weight`` with probability ``density``; an all-zero map is
+    redrawn when excluded.  Draws exactly the same stream values, in the
+    same order, as the legacy ``random_weighted_kbs`` sampler, so
+    planning-time fast-forwarding and worker-side regeneration stay
+    aligned with the serial loop.
+    """
+    out: list[dict[int, int]] = []
+    while len(out) < count:
+        weights: dict[int, int] = {}
+        for mask in range(interpretation_count):
+            if generator.random() < density:
+                weights[mask] = generator.randint(1, max_weight)
+        if not weights and not include_unsatisfiable:
+            continue
+        out.append(weights)
+    return out
+
+
+def plan_weighted_scenarios(
+    vocabulary: Vocabulary,
+    roles: int,
+    scenarios: int,
+    rng: int | random.Random = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    max_weight: int = 5,
+    density: float = 0.5,
+    include_unsatisfiable: bool = True,
+) -> WeightedScenarioPlan:
+    """Chunk a weighted scenario space for one axiom arity.
+
+    The legacy harness draws one flat pool of ``scenarios * roles``
+    weighted KBs and slices consecutive ``roles``-tuples out of it; the
+    plan fast-forwards that single stream chunk by chunk (in whole
+    scenarios, i.e. ``count * roles`` maps at a time), capturing
+    ``Random.getstate()`` at each boundary.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    generator = rng if isinstance(rng, random.Random) else random.Random(rng)
+    interpretation_count = vocabulary.interpretation_count
+    chunks: list[ChunkSpec] = []
+    start = 0
+    while start < scenarios:
+        count = min(chunk_size, scenarios - start)
+        state = generator.getstate()
+        sample_weight_maps(
+            generator,
+            count * roles,
+            interpretation_count,
+            max_weight,
+            density,
+            include_unsatisfiable,
+        )
+        chunks.append(ChunkSpec(len(chunks), start, count, state))
+        start += count
+    return WeightedScenarioPlan(
+        roles=roles,
+        interpretation_count=interpretation_count,
+        total=scenarios,
+        max_weight=max_weight,
+        density=density,
+        include_unsatisfiable=include_unsatisfiable,
+        chunks=tuple(chunks),
+    )
+
+
+def decode_weighted_chunk(
+    plan: WeightedScenarioPlan, chunk: ChunkSpec
+) -> list[tuple[dict[int, int], ...]]:
+    """Materialize a weighted chunk's scenarios as ``roles``-tuples of
+    weight maps by replaying the captured RNG state."""
+    replay = random.Random()
+    replay.setstate(chunk.rng_state)
+    maps = sample_weight_maps(
+        replay,
+        chunk.count * plan.roles,
+        plan.interpretation_count,
+        plan.max_weight,
+        plan.density,
+        plan.include_unsatisfiable,
+    )
+    return [
+        tuple(maps[index * plan.roles + offset] for offset in range(plan.roles))
+        for index in range(chunk.count)
+    ]

@@ -1,0 +1,714 @@
+"""Batched, parallel audit engine for the weighted stack (Section 4).
+
+The Boolean engine (:mod:`repro.engine.batched` / :mod:`repro.engine.pool`)
+evaluates A1–A8 audits over one shared distance matrix per operator; this
+module gives F1–F8 audits of weighted operators the same architecture:
+
+* :class:`DenseWeightedOperator` wraps a weighted operator whose
+  assignment builder publishes the ``kind="wdist"`` batching contract
+  (see :class:`repro.core.weighted.WdistOrderBuilder`) and evaluates
+  ``ψ̃ ▷ μ̃`` directly on dense float64 weight vectors: one shared
+  ``2^|𝒯| × 2^|𝒯|`` distance matrix per (operator, vocabulary), per-ψ̃ key
+  vectors memoized in a bounded :class:`~repro.orders.cache.AssignmentCache`
+  (one matvec per distinct ψ̃), and a bounded (ψ̃, μ̃) result cache.
+* :data:`WEIGHTED_DENSE_EVALUATORS` re-express each F-axiom as pointwise
+  float64 array algebra (⊔ = ``+``, ⊓ = ``minimum``, → = ``all(≤)``) —
+  exact on the integer-weighted scenarios the samplers produce, because
+  IEEE doubles are lossless on integers below 2^53.
+* chunked fan-out over a ``ProcessPoolExecutor`` mirrors the Boolean
+  pool: deterministic captured-RNG chunks
+  (:func:`repro.engine.chunks.plan_weighted_scenarios`), min-global-index
+  counterexample merge, early cancellation under ``stop_at_first``, and
+  worker metrics shipped as ``(pid, seq)``-stamped snapshots.
+
+Every flagged scenario is re-checked with the scalar Fraction checker
+before being reported — the counterexample objects are exactly the legacy
+ones, and a dense/scalar disagreement raises instead of mis-reporting.
+``jobs=1`` never touches the pool or the dense evaluator: it routes
+through the legacy scalar loop and is identical to it by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+try:  # pragma: no cover - numpy is baked into the container
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro import obs
+from repro.core.weighted import WeightedKnowledgeBase
+from repro.distances import kernels
+from repro.engine.chunks import (
+    DEFAULT_CHUNK_SIZE,
+    ChunkSpec,
+    WeightedScenarioPlan,
+    decode_weighted_chunk,
+    plan_weighted_scenarios,
+)
+from repro.engine.pool import EngineStats
+from repro.errors import PostulateError
+from repro.logic.interpretation import Vocabulary
+from repro.orders.cache import AssignmentCache, CacheInfo
+from repro.postulates.weighted_axioms import (
+    WEIGHTED_AXIOMS,
+    WeightedAxiom,
+    WeightedCounterexample,
+    WeightedOperator,
+)
+
+__all__ = [
+    "MAX_DENSE_ATOMS",
+    "WEIGHTED_KEY_CACHE_SIZE",
+    "WEIGHTED_RESULT_CACHE_SIZE",
+    "WEIGHTED_DENSE_EVALUATORS",
+    "DenseWeightedOperator",
+    "WeightedChunkTask",
+    "WeightedChunkOutcome",
+    "WeightedAuditOutcome",
+    "evaluate_weighted_chunk",
+    "run_weighted_audit",
+    "check_weighted_axiom_parallel",
+]
+
+#: Vocabulary-size ceiling for the shared dense distance matrix: a float64
+#: ``2^n × 2^n`` matrix costs ``2^(2n+3)`` bytes (32 MiB at n=11), and each
+#: pool worker holds its own copy.  Larger vocabularies fall back to the
+#: delegation path (scalar operator behind the result cache).
+MAX_DENSE_ATOMS = 11
+
+#: Distinct ψ̃ key vectors kept per operator (one matvec each).
+WEIGHTED_KEY_CACHE_SIZE = 1024
+
+#: Distinct (ψ̃, μ̃) result vectors kept per operator.
+WEIGHTED_RESULT_CACHE_SIZE = 2048
+
+
+class DenseWeightedOperator:
+    """A weighted operator evaluated on dense mask-indexed weight vectors.
+
+    When the wrapped operator's assignment builder publishes the
+    ``kind="wdist"`` contract with an integer-valued metric, ``apply``
+    becomes: one shared distance matrix ``D``, keys ``D @ ψ̃`` (memoized
+    per ψ̃), and ``Min(Mod(μ̃), ≤ψ̃)`` as a masked argmin over μ̃'s support —
+    no Fraction arithmetic, no per-scenario matrix builds.  Other
+    operators (or oversized vocabularies) delegate to the wrapped
+    operator's scalar ``apply`` behind the (ψ̃, μ̃) result cache, so the
+    chunked parallel sweep still applies.
+
+    Exactness domain: float64 arithmetic on integer weights and integer
+    distances is lossless below 2^53; the audit samplers only emit small
+    integer weights, so dense verdicts match the Fraction reference
+    bit for bit (and every reported failure is re-checked by the scalar
+    checker regardless).
+    """
+
+    def __init__(
+        self,
+        operator: WeightedOperator,
+        vocabulary: Vocabulary,
+        key_cache_size: Optional[int] = WEIGHTED_KEY_CACHE_SIZE,
+        result_cache_size: Optional[int] = WEIGHTED_RESULT_CACHE_SIZE,
+    ):
+        self._operator = operator
+        self._vocabulary = vocabulary
+        self.name = operator.name
+        self._keys = AssignmentCache(
+            maxsize=key_cache_size, name="engine.weighted_keys"
+        )
+        self._results = AssignmentCache(
+            maxsize=result_cache_size, name="engine.weighted_results"
+        )
+        self._matrix = None
+        if np is not None and vocabulary.size <= MAX_DENSE_ATOMS:
+            assignment = getattr(operator, "assignment", None)
+            builder = getattr(assignment, "builder", None)
+            if getattr(builder, "kind", None) == "wdist":
+                masks = range(vocabulary.interpretation_count)
+                matrix = np.asarray(
+                    kernels.distance_matrix(
+                        masks, masks, vocabulary, builder.metric
+                    )
+                )
+                if matrix.dtype.kind in "iu":
+                    self._matrix = matrix.astype(np.float64)
+
+    @property
+    def dense(self) -> bool:
+        """True iff ψ̃ ▷ μ̃ runs on the shared-matrix fast path."""
+        return self._matrix is not None
+
+    @property
+    def inner(self) -> WeightedOperator:
+        """The wrapped scalar operator (the exactness reference)."""
+        return self._operator
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        """The interpretation space the engine is specialized to."""
+        return self._vocabulary
+
+    def cache_info(self) -> dict[str, CacheInfo]:
+        """Hit/miss statistics of the per-ψ̃ key and (ψ̃, μ̃) result caches."""
+        return {
+            "keys": self._keys.cache_info(),
+            "results": self._results.cache_info(),
+        }
+
+    def _keys_for(self, psi_bytes: bytes):
+        psi = np.frombuffer(psi_bytes, dtype=np.float64)
+        return self._matrix @ psi
+
+    def _delegate(self, psi_vec, mu_vec):
+        psi = WeightedKnowledgeBase.from_dense(self._vocabulary, psi_vec)
+        mu = WeightedKnowledgeBase.from_dense(self._vocabulary, mu_vec)
+        return self._operator.apply(psi, mu).dense()
+
+    def apply_dense(self, psi_vec, mu_vec):
+        """``ψ̃ ▷ μ̃`` on mask-indexed float64 vectors, as a float64 vector."""
+        if self._matrix is None:
+            key = (psi_vec.tobytes(), mu_vec.tobytes())
+            return self._results.get_or_build(
+                key, lambda _key: self._delegate(psi_vec, mu_vec)
+            )
+        if not psi_vec.any():
+            return np.zeros_like(mu_vec)
+        keys = self._keys.get_or_build(psi_vec.tobytes(), self._keys_for)
+        support = mu_vec > 0.0
+        if not support.any():
+            return np.zeros_like(mu_vec)
+        best = keys[support].min()
+        return np.where(support & (keys == best), mu_vec, 0.0)
+
+    def apply(
+        self, psi: WeightedKnowledgeBase, mu: WeightedKnowledgeBase
+    ) -> WeightedKnowledgeBase:
+        """Object-level convenience wrapper over :meth:`apply_dense`."""
+        return WeightedKnowledgeBase.from_dense(
+            self._vocabulary, self.apply_dense(psi.dense(), mu.dense())
+        )
+
+    def __repr__(self) -> str:
+        mode = "dense" if self.dense else "delegate"
+        return f"<DenseWeightedOperator {self.name!r} ({mode})>"
+
+
+# -- dense axiom evaluators ---------------------------------------------------------
+#
+# Each evaluator returns True iff the scenario VIOLATES the axiom, using
+# the paper's weighted connectives as array algebra.  ``apply`` is
+# ``DenseWeightedOperator.apply_dense``.
+
+
+def _implies(left, right) -> bool:
+    return bool(np.all(left <= right))
+
+
+def _dense_f1(apply: Callable, scenario) -> bool:
+    psi, mu = scenario
+    return not _implies(apply(psi, mu), mu)
+
+
+def _dense_f2(apply: Callable, scenario) -> bool:
+    psi, mu = scenario
+    if psi.any():
+        return False
+    return bool(apply(psi, mu).any())
+
+
+def _dense_f3(apply: Callable, scenario) -> bool:
+    psi, mu = scenario
+    if not (psi.any() and mu.any()):
+        return False
+    return not apply(psi, mu).any()
+
+
+def _dense_f4(apply: Callable, scenario) -> bool:
+    psi, mu = scenario
+    return not np.array_equal(apply(psi, mu), apply(psi, mu))
+
+
+def _dense_f5(apply: Callable, scenario) -> bool:
+    psi, mu, phi = scenario
+    left = np.minimum(apply(psi, mu), phi)
+    right = apply(psi, np.minimum(mu, phi))
+    return not _implies(left, right)
+
+
+def _dense_f6(apply: Callable, scenario) -> bool:
+    psi, mu, phi = scenario
+    left = np.minimum(apply(psi, mu), phi)
+    if not left.any():
+        return False
+    right = apply(psi, np.minimum(mu, phi))
+    return not _implies(right, left)
+
+
+def _dense_f7(apply: Callable, scenario) -> bool:
+    psi1, psi2, mu = scenario
+    left = np.minimum(apply(psi1, mu), apply(psi2, mu))
+    right = apply(psi1 + psi2, mu)
+    return not _implies(left, right)
+
+
+def _dense_f8(apply: Callable, scenario) -> bool:
+    psi1, psi2, mu = scenario
+    left = np.minimum(apply(psi1, mu), apply(psi2, mu))
+    if not left.any():
+        return False
+    right = apply(psi1 + psi2, mu)
+    return not _implies(right, left)
+
+
+#: Axiom name → dense violation test.  Covers all of F1–F8; axioms outside
+#: the table (custom extensions) fall back to the scalar checker per
+#: scenario, still inside the chunked parallel sweep.
+WEIGHTED_DENSE_EVALUATORS: dict[str, Callable] = {
+    "F1": _dense_f1,
+    "F2": _dense_f2,
+    "F3": _dense_f3,
+    "F4": _dense_f4,
+    "F5": _dense_f5,
+    "F6": _dense_f6,
+    "F7": _dense_f7,
+    "F8": _dense_f8,
+}
+
+
+# -- chunk-level work units ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WeightedChunkTask:
+    """One unit of worker work: a chunk of one weighted-axiom audit."""
+
+    unit: int
+    axiom: WeightedAxiom
+    roles: int
+    interpretation_count: int
+    max_weight: int
+    density: float
+    include_unsatisfiable: bool
+    chunk: ChunkSpec
+
+
+@dataclass(frozen=True)
+class WeightedChunkOutcome:
+    """A worker's verdict on one weighted chunk (see
+    :class:`repro.engine.pool.ChunkOutcome` for the field semantics —
+    cache counters are deltas, ``(pid, seq)`` orders cumulative worker
+    metric snapshots)."""
+
+    unit: int
+    ordinal: int
+    start: int
+    first_offset: Optional[int]
+    counterexample: Optional[WeightedCounterexample]
+    key_hits: int = 0
+    key_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    seconds: float = 0.0
+    pid: int = 0
+    seq: int = 0
+    metrics: Optional[dict] = None
+
+
+@dataclass
+class WeightedAuditOutcome:
+    """Results keyed by axiom name (``None`` = held on every sampled
+    scenario), plus the engine's aggregate counters."""
+
+    results: dict[str, Optional[WeightedCounterexample]] = field(default_factory=dict)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+
+# -- worker side --------------------------------------------------------------------
+
+_WORKER_STATE: Optional[dict] = None
+_WORKER_SEQ = 0
+
+
+def _build_worker_state(
+    vocabulary: Vocabulary, operator: WeightedOperator
+) -> dict:
+    return {
+        "vocabulary": vocabulary,
+        "operator": DenseWeightedOperator(operator, vocabulary),
+    }
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_STATE, _WORKER_SEQ
+    vocabulary, operator, obs_enabled = pickle.loads(payload)
+    _WORKER_SEQ = 0
+    # Fresh registry before worker state, so the shared-matrix build is
+    # attributed to this worker (and forked parent history is not
+    # double-counted).
+    if obs_enabled:
+        obs.enable(obs.MetricsRegistry())
+    else:
+        obs.disable()
+    _WORKER_STATE = _build_worker_state(vocabulary, operator)
+
+
+def _cache_snapshot(operator: DenseWeightedOperator) -> tuple[int, int, int, int]:
+    info = operator.cache_info()
+    return (
+        info["keys"].hits,
+        info["keys"].misses,
+        info["results"].hits,
+        info["results"].misses,
+    )
+
+
+def _vector_of_map(weights: dict[int, int], interpretation_count: int):
+    vector = np.zeros(interpretation_count, dtype=np.float64)
+    for mask, weight in weights.items():
+        vector[mask] = float(weight)
+    return vector
+
+
+def _scenario_kbs(
+    vocabulary: Vocabulary, maps: Sequence[dict[int, int]]
+) -> tuple[WeightedKnowledgeBase, ...]:
+    return tuple(WeightedKnowledgeBase(vocabulary, weights) for weights in maps)
+
+
+def evaluate_weighted_chunk(
+    state: dict, task: WeightedChunkTask
+) -> WeightedChunkOutcome:
+    """Evaluate one weighted chunk against the worker state.
+
+    Module-level (and state-explicit) so tests can drive the exact worker
+    code path in-process.
+    """
+    vocabulary: Vocabulary = state["vocabulary"]
+    operator: DenseWeightedOperator = state["operator"]
+    chunk_start = time.perf_counter()
+    before = _cache_snapshot(operator)
+    plan = WeightedScenarioPlan(
+        roles=task.roles,
+        interpretation_count=task.interpretation_count,
+        total=task.chunk.start + task.chunk.count,
+        max_weight=task.max_weight,
+        density=task.density,
+        include_unsatisfiable=task.include_unsatisfiable,
+        chunks=(task.chunk,),
+    )
+    scenarios = decode_weighted_chunk(plan, task.chunk)
+    first_offset: Optional[int] = None
+    counterexample: Optional[WeightedCounterexample] = None
+    evaluator = WEIGHTED_DENSE_EVALUATORS.get(task.axiom.name)
+    if evaluator is not None and operator.dense:
+        for offset, maps in enumerate(scenarios):
+            vectors = tuple(
+                _vector_of_map(weights, task.interpretation_count)
+                for weights in maps
+            )
+            if evaluator(operator.apply_dense, vectors):
+                first_offset = offset
+                break
+    else:
+        for offset, maps in enumerate(scenarios):
+            counterexample = task.axiom.check_instance(
+                operator.inner, _scenario_kbs(vocabulary, maps)
+            )
+            if counterexample is not None:
+                first_offset = offset
+                break
+    if first_offset is not None and counterexample is None:
+        # Reconstruct the flagged scenario as exact weighted KBs and
+        # re-run the scalar checker: the reported counterexample is the
+        # legacy object, and the dense evaluator is held to the Fraction
+        # reference.
+        counterexample = task.axiom.check_instance(
+            operator.inner, _scenario_kbs(vocabulary, scenarios[first_offset])
+        )
+        if counterexample is None:  # pragma: no cover - exactness violation
+            raise PostulateError(
+                f"dense evaluator for {task.axiom.name} flagged a scenario "
+                f"the scalar checker accepts (operator {operator.name})"
+            )
+    after = _cache_snapshot(operator)
+    elapsed = time.perf_counter() - chunk_start
+    registry = obs.active()
+    if registry is not None:
+        registry.counter("engine.weighted_chunks_completed").inc()
+        registry.counter("engine.weighted_scenarios").inc(task.chunk.count)
+        registry.histogram("engine.weighted_chunk_seconds").observe(elapsed)
+    return WeightedChunkOutcome(
+        unit=task.unit,
+        ordinal=task.chunk.ordinal,
+        start=task.chunk.start,
+        first_offset=first_offset,
+        counterexample=counterexample,
+        key_hits=after[0] - before[0],
+        key_misses=after[1] - before[1],
+        result_hits=after[2] - before[2],
+        result_misses=after[3] - before[3],
+        seconds=elapsed,
+    )
+
+
+def _run_chunk(task: WeightedChunkTask) -> WeightedChunkOutcome:
+    global _WORKER_SEQ
+    assert _WORKER_STATE is not None, "pool worker used before initialization"
+    outcome = evaluate_weighted_chunk(_WORKER_STATE, task)
+    registry = obs.active()
+    if registry is None:
+        return outcome
+    _WORKER_SEQ += 1
+    return replace(
+        outcome, pid=os.getpid(), seq=_WORKER_SEQ, metrics=registry.snapshot()
+    )
+
+
+# -- parent side --------------------------------------------------------------------
+
+
+@dataclass
+class _WeightedUnit:
+    """Parent-side bookkeeping for one weighted-axiom audit."""
+
+    axiom: WeightedAxiom
+    plan: WeightedScenarioPlan
+    best_index: Optional[int] = None
+    counterexample: Optional[WeightedCounterexample] = None
+
+    def absorb(self, outcome: WeightedChunkOutcome) -> bool:
+        """Merge a chunk outcome; True iff the best failure improved."""
+        if outcome.first_offset is None:
+            return False
+        index = outcome.start + outcome.first_offset
+        if self.best_index is None or index < self.best_index:
+            self.best_index = index
+            self.counterexample = outcome.counterexample
+            return True
+        return False
+
+
+def _plan_weighted_units(
+    axioms: Sequence[WeightedAxiom],
+    vocabulary: Vocabulary,
+    scenarios: int,
+    rng: int | random.Random,
+    chunk_size: int,
+    max_weight: int,
+    density: float,
+) -> list[_WeightedUnit]:
+    """Plan every axiom audit in the legacy iteration order.
+
+    An integer seed builds a fresh stream per axiom — matching the serial
+    ``audit_weighted_operator`` loop, where each ``check_weighted_axiom``
+    call seeds its own generator — and a shared ``Random`` instance is
+    consumed sequentially in this same order.
+    """
+    units: list[_WeightedUnit] = []
+    for axiom in axioms:
+        generator = random.Random(rng) if isinstance(rng, int) else rng
+        plan = plan_weighted_scenarios(
+            vocabulary,
+            len(axiom.roles),
+            scenarios,
+            generator,
+            chunk_size,
+            max_weight,
+            density,
+        )
+        units.append(_WeightedUnit(axiom, plan))
+    return units
+
+
+def _serial_weighted_audit(
+    operator: WeightedOperator,
+    axioms: Sequence[WeightedAxiom],
+    vocabulary: Vocabulary,
+    scenarios: int,
+    rng: int | random.Random,
+    max_weight: int,
+    density: float,
+) -> WeightedAuditOutcome:
+    """The pure-serial fallback: the legacy scalar loop, axiom by axiom."""
+    from repro.postulates.weighted_axioms import check_weighted_axiom
+
+    outcome = WeightedAuditOutcome(stats=EngineStats(serial_fallback=True))
+    shared = rng if isinstance(rng, random.Random) else None
+    start = time.perf_counter()
+    for axiom in axioms:
+        generator = random.Random(rng) if shared is None else shared
+        outcome.results[axiom.name] = check_weighted_axiom(
+            operator,
+            axiom,
+            vocabulary,
+            scenarios=scenarios,
+            rng=generator,
+            max_weight=max_weight,
+            density=density,
+        )
+        outcome.stats.scenarios += scenarios
+    outcome.stats.elapsed_seconds = time.perf_counter() - start
+    registry = obs.active()
+    if registry is not None:
+        registry.counter("engine.weighted_audits").inc()
+        registry.histogram("engine.weighted_audit_seconds").observe(
+            outcome.stats.elapsed_seconds
+        )
+    return outcome
+
+
+def run_weighted_audit(
+    operator: WeightedOperator,
+    axioms: Sequence[WeightedAxiom] = WEIGHTED_AXIOMS,
+    vocabulary: Optional[Vocabulary] = None,
+    scenarios: int = 500,
+    rng: int | random.Random = 0,
+    stop_at_first: bool = True,
+    jobs: int = 1,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    max_weight: int = 5,
+    density: float = 0.5,
+) -> WeightedAuditOutcome:
+    """Audit one weighted operator against every axiom, fanned out over
+    ``jobs`` pool workers (``jobs=1``: the legacy serial loop, identical
+    to calling ``check_weighted_axiom`` per axiom)."""
+    if vocabulary is None:
+        raise ValueError("run_weighted_audit requires a vocabulary")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return _serial_weighted_audit(
+            operator, axioms, vocabulary, scenarios, rng, max_weight, density
+        )
+    units = _plan_weighted_units(
+        axioms, vocabulary, scenarios, rng, chunk_size, max_weight, density
+    )
+    try:
+        payload = pickle.dumps((vocabulary, operator, obs.enabled()))
+    except Exception as error:  # pickling contract violated by a custom operator
+        warnings.warn(
+            f"weighted audit engine: operator does not pickle ({error}); "
+            "falling back to the serial loop",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial_weighted_audit(
+            operator, axioms, vocabulary, scenarios, rng, max_weight, density
+        )
+
+    outcome = WeightedAuditOutcome()
+    stats = outcome.stats
+    run_start = time.perf_counter()
+    worker_metrics: dict[int, tuple[int, dict]] = {}
+    context = None
+    try:
+        import multiprocessing
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+    except ImportError:  # pragma: no cover
+        pass
+    with obs.span(
+        "engine.run_weighted_audit", jobs=jobs, units=len(units)
+    ), ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=(payload,), mp_context=context
+    ) as executor:
+        pending = {}
+        for unit_id, unit in enumerate(units):
+            for chunk in unit.plan.chunks:
+                task = WeightedChunkTask(
+                    unit=unit_id,
+                    axiom=unit.axiom,
+                    roles=unit.plan.roles,
+                    interpretation_count=unit.plan.interpretation_count,
+                    max_weight=unit.plan.max_weight,
+                    density=unit.plan.density,
+                    include_unsatisfiable=unit.plan.include_unsatisfiable,
+                    chunk=chunk,
+                )
+                pending[executor.submit(_run_chunk, task)] = task
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                task = pending.pop(future)
+                if future.cancelled():
+                    continue
+                chunk_outcome = future.result()
+                unit = units[chunk_outcome.unit]
+                stats.chunks += 1
+                stats.scenarios += task.chunk.count
+                stats.key_hits += chunk_outcome.key_hits
+                stats.key_misses += chunk_outcome.key_misses
+                stats.result_hits += chunk_outcome.result_hits
+                stats.result_misses += chunk_outcome.result_misses
+                stats.chunk_seconds += chunk_outcome.seconds
+                if chunk_outcome.metrics is not None:
+                    stored = worker_metrics.get(chunk_outcome.pid)
+                    if stored is None or chunk_outcome.seq > stored[0]:
+                        worker_metrics[chunk_outcome.pid] = (
+                            chunk_outcome.seq,
+                            chunk_outcome.metrics,
+                        )
+                if unit.absorb(chunk_outcome) and stop_at_first:
+                    # Only chunks starting after the best failure can be
+                    # skipped: an earlier chunk may still hold the
+                    # globally first counterexample.
+                    for other, other_task in list(pending.items()):
+                        if (
+                            other_task.unit == chunk_outcome.unit
+                            and other_task.chunk.start > unit.best_index
+                            and other.cancel()
+                        ):
+                            pending.pop(other)
+    stats.elapsed_seconds = time.perf_counter() - run_start
+    registry = obs.active()
+    if registry is not None:
+        for _, snapshot in worker_metrics.values():
+            registry.merge_snapshot(snapshot)
+        registry.counter("engine.weighted_audits").inc()
+        registry.histogram("engine.weighted_audit_seconds").observe(
+            stats.elapsed_seconds
+        )
+        if stats.elapsed_seconds > 0:
+            registry.gauge("engine.weighted_scenarios_per_second").set(
+                stats.scenarios / stats.elapsed_seconds
+            )
+    for unit in units:
+        outcome.results[unit.axiom.name] = unit.counterexample
+    return outcome
+
+
+def check_weighted_axiom_parallel(
+    operator: WeightedOperator,
+    axiom: WeightedAxiom,
+    vocabulary: Vocabulary,
+    scenarios: int = 500,
+    rng: int | random.Random = 0,
+    jobs: int = 2,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    max_weight: int = 5,
+    density: float = 0.5,
+) -> Optional[WeightedCounterexample]:
+    """Parallel counterpart of
+    :func:`repro.postulates.weighted_axioms.check_weighted_axiom` for a
+    single axiom."""
+    outcome = run_weighted_audit(
+        operator,
+        [axiom],
+        vocabulary,
+        scenarios=scenarios,
+        rng=rng,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        max_weight=max_weight,
+        density=density,
+    )
+    return outcome.results[axiom.name]

@@ -20,9 +20,11 @@ with seeds keeps runs reproducible.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Protocol, Sequence
 
+from repro import obs
 from repro.core.weighted import WeightedKnowledgeBase
 from repro.logic.interpretation import Vocabulary
 
@@ -34,6 +36,7 @@ __all__ = [
     "random_weighted_kbs",
     "check_weighted_axiom",
     "audit_weighted_operator",
+    "render_weighted_audit",
 ]
 
 
@@ -211,18 +214,24 @@ def random_weighted_kbs(
     Each interpretation independently receives a positive weight in
     ``1..max_weight`` with probability ``density``.  Occasionally emits the
     all-zero KB (needed to exercise F2) unless excluded.
+
+    The weight maps come from :func:`repro.engine.chunks.sample_weight_maps`
+    — the single definition of the sampling stream, shared with the
+    parallel engine's chunk planner so chunked sweeps replay exactly this
+    sequence.
     """
+    from repro.engine.chunks import sample_weight_maps
+
     generator = rng if isinstance(rng, random.Random) else random.Random(rng)
-    total = vocabulary.interpretation_count
-    emitted = 0
-    while emitted < count:
-        weights: dict[int, int] = {}
-        for mask in range(total):
-            if generator.random() < density:
-                weights[mask] = generator.randint(1, max_weight)
-        if not weights and not include_unsatisfiable:
-            continue
-        emitted += 1
+    maps = sample_weight_maps(
+        generator,
+        count,
+        vocabulary.interpretation_count,
+        max_weight,
+        density,
+        include_unsatisfiable,
+    )
+    for weights in maps:
         yield WeightedKnowledgeBase(vocabulary, weights)
 
 
@@ -232,19 +241,57 @@ def check_weighted_axiom(
     vocabulary: Vocabulary,
     scenarios: int = 500,
     rng: int | random.Random = 0,
+    jobs: int = 1,
+    max_weight: int = 5,
+    density: float = 0.5,
 ) -> Optional[WeightedCounterexample]:
-    """Sampled check of one weighted axiom; first counterexample or None."""
+    """Sampled check of one weighted axiom; first counterexample or None.
+
+    ``jobs > 1`` routes through the weighted audit engine
+    (:func:`repro.engine.weighted.check_weighted_axiom_parallel`), whose
+    min-global-index merge reports the same first counterexample as this
+    serial loop over the identical sampled stream.
+    """
+    if jobs > 1:
+        from repro.engine.weighted import check_weighted_axiom_parallel
+
+        return check_weighted_axiom_parallel(
+            operator,
+            axiom,
+            vocabulary,
+            scenarios=scenarios,
+            rng=rng,
+            jobs=jobs,
+            max_weight=max_weight,
+            density=density,
+        )
     generator = rng if isinstance(rng, random.Random) else random.Random(rng)
     roles = len(axiom.roles)
     pool = list(
-        random_weighted_kbs(vocabulary, scenarios * roles, generator)
+        random_weighted_kbs(
+            vocabulary,
+            scenarios * roles,
+            generator,
+            max_weight=max_weight,
+            density=density,
+        )
     )
+    first: Optional[WeightedCounterexample] = None
+    checked = 0
+    start = time.perf_counter()
     for index in range(scenarios):
         scenario = tuple(pool[index * roles + offset] for offset in range(roles))
-        counterexample = axiom.check_instance(operator, scenario)
-        if counterexample is not None:
-            return counterexample
-    return None
+        checked += 1
+        first = axiom.check_instance(operator, scenario)
+        if first is not None:
+            break
+    elapsed = time.perf_counter() - start
+    registry = obs.active()
+    if registry is not None:
+        registry.counter("harness.weighted_checks").inc()
+        registry.counter("harness.weighted_scenarios").inc(checked)
+        registry.histogram("harness.weighted_check_seconds").observe(elapsed)
+    return first
 
 
 def audit_weighted_operator(
@@ -252,9 +299,60 @@ def audit_weighted_operator(
     vocabulary: Vocabulary,
     scenarios: int = 500,
     rng: int | random.Random = 0,
+    jobs: int = 1,
+    max_weight: int = 5,
+    density: float = 0.5,
 ) -> dict[str, Optional[WeightedCounterexample]]:
-    """Check all of F1–F8; results keyed by axiom name (None = held)."""
+    """Check all of F1–F8; results keyed by axiom name (None = held).
+
+    With ``jobs > 1`` the whole F1–F8 sweep runs through one process pool
+    (:func:`repro.engine.weighted.run_weighted_audit`); the verdict matrix
+    is cell-identical to the serial loop at any job count.
+    """
+    if jobs > 1:
+        from repro.engine.weighted import run_weighted_audit
+
+        outcome = run_weighted_audit(
+            operator,
+            WEIGHTED_AXIOMS,
+            vocabulary,
+            scenarios=scenarios,
+            rng=rng,
+            jobs=jobs,
+            max_weight=max_weight,
+            density=density,
+        )
+        return outcome.results
     return {
-        axiom.name: check_weighted_axiom(operator, axiom, vocabulary, scenarios, rng)
+        axiom.name: check_weighted_axiom(
+            operator,
+            axiom,
+            vocabulary,
+            scenarios,
+            rng,
+            max_weight=max_weight,
+            density=density,
+        )
         for axiom in WEIGHTED_AXIOMS
     }
+
+
+def render_weighted_audit(
+    results: dict[str, dict[str, Optional[WeightedCounterexample]]],
+) -> str:
+    """Plain-text F1–F8 table: one row per weighted operator.
+
+    ``✓?``/``✗?`` for held/failed — always marked sampled, because the
+    weighted scenario space is infinite and never exhaustible.
+    """
+    axioms = [axiom.name for axiom in WEIGHTED_AXIOMS]
+    width = max(len(name) for name in results) + 2
+    header = "operator".ljust(width) + " ".join(axiom.rjust(3) for axiom in axioms)
+    lines = [header, "-" * len(header)]
+    for operator, verdicts in results.items():
+        cells = [
+            ("✓?" if verdicts.get(axiom) is None else "✗?").rjust(3)
+            for axiom in axioms
+        ]
+        lines.append(operator.ljust(width) + " ".join(cells))
+    return "\n".join(lines)

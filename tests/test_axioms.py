@@ -188,8 +188,7 @@ class TestSyntaxIrrelevance:
         )
 
     def test_syntax_sensitive_operator_fails(self):
-        from repro.logic.enumeration import models
-        from repro.logic.syntax import Formula, Not
+        from repro.logic.syntax import Not
 
         class SyntaxSensitive(TheoryChangeOperator):
             name = "syntax-sensitive"

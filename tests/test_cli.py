@@ -102,6 +102,54 @@ class TestAuditCommand:
         code, _ = run_cli("audit", "--operator", "nonesuch")
         assert code == 2
 
+    def test_weighted_audit_rendered(self):
+        code, text = run_cli(
+            "audit", "--weighted", "--atoms-count", "2", "--scenarios", "80",
+        )
+        assert code == 0
+        assert "weighted-fitting[wdist]" in text
+        assert "F1" in text and "F8" in text
+        # Theorem 4.1: the paper's fitting holds all of F1-F8 (sampled).
+        fitting_row = next(
+            line for line in text.splitlines()
+            if line.startswith("weighted-fitting[wdist]")
+        )
+        assert "\u2717" not in fitting_row  # no X marks
+
+    def test_weighted_audit_with_jobs_and_stats(self):
+        code, text = run_cli(
+            "audit", "--weighted", "--atoms-count", "2", "--scenarios", "60",
+            "--jobs", "2", "--stats",
+        )
+        assert code == 0
+        assert "engine.weighted_audits" in text
+        assert "engine.weighted_chunks_completed" in text
+
+    def test_weighted_audit_operator_filter(self):
+        code, text = run_cli(
+            "audit", "--weighted", "--atoms-count", "2", "--scenarios", "40",
+            "--operator", "weighted-fitting[wdist]",
+        )
+        assert code == 0
+        assert "weighted-fitting[wdist]" in text
+        assert "weighted-arbitration" not in text
+
+    def test_weighted_audit_unknown_operator_rejected(self):
+        code, _ = run_cli("audit", "--weighted", "--operator", "nonesuch")
+        assert code == 2
+
+    def test_weighted_audit_metrics_out(self, tmp_path):
+        target = tmp_path / "weighted-metrics.json"
+        code, _ = run_cli(
+            "audit", "--weighted", "--atoms-count", "2", "--scenarios", "40",
+            "--metrics-out", str(target),
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(target.read_text())
+        assert "counters" in payload
+
 
 class TestExperimentsCommand:
     def test_single_experiment(self):

@@ -1,6 +1,5 @@
 """Unit tests for the dilation-based operator implementations."""
 
-import pytest
 from hypothesis import given
 
 from repro.core.fitting import ReveszFitting

@@ -1,6 +1,5 @@
 """Unit tests for faithful assignments (KM revision substrate)."""
 
-import pytest
 
 from repro.distances.base import DrasticDistance
 from repro.logic.interpretation import Vocabulary

@@ -147,7 +147,6 @@ class TestWdistKeys:
     @given(mask_instances(min_masks=1), st.data())
     def test_exact_fractions_match_scalar_wdist(self, instance, data):
         vocabulary, candidates, support = instance
-        weights = data.draw(weight_fractions(vocabulary.size))
         # Reuse the masks as weighted support; weights per support model.
         support_weights = [
             Fraction(data.draw(st.integers(1, 9)), data.draw(st.integers(1, 7)))

@@ -8,7 +8,6 @@ whenever a max-tie hides a strict sub-preference — while the library's
 priority-lex assignment satisfies all conditions exhaustively.
 """
 
-import pytest
 
 from repro.logic.interpretation import Vocabulary
 from repro.logic.semantics import ModelSet

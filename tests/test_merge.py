@@ -88,7 +88,6 @@ class TestWeightedMerge:
         ]
 
     def test_weights_flip_outcomes(self):
-        base = [("x", "a & !b"), ("y", "!a & b")]
         light = MergeSession(["a", "b"])
         heavy = MergeSession(["a", "b"])
         light.add("x", "a & !b", weight=1)

@@ -186,7 +186,6 @@ class TestSpans:
         assert inner.duration >= 0.0
 
     def test_ring_buffer_caps_and_counts_drops(self):
-        recorder = SpanRecorder(capacity=4)
         with obs.use(span_capacity=4):
             recorder = obs.active_recorder()
             for index in range(10):
@@ -199,7 +198,6 @@ class TestSpans:
             assert kept == [6, 7, 8, 9]
 
     def test_dump_json(self, tmp_path):
-        recorder = SpanRecorder(capacity=8)
         with obs.use():
             with span("only"):
                 pass

@@ -1,6 +1,5 @@
 """Unit tests for Liberatore–Schaerf pairwise arbitration."""
 
-import pytest
 from hypothesis import given
 
 from repro.core.arbitration import ArbitrationOperator

@@ -1,6 +1,5 @@
 """Unit tests for the degenerate baselines (full meet, drastic fitting)."""
 
-import pytest
 
 from repro.logic.interpretation import Vocabulary
 from repro.logic.semantics import ModelSet

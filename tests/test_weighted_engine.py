@@ -1,0 +1,320 @@
+"""Tests for the weighted audit engine (Section 4 through the pool).
+
+The weighted engine's contract mirrors the Boolean one: the same F1–F8
+verdicts, the same first counterexample, and the same sampled scenario
+stream, whether the sweep runs serially or across a process pool; the
+dense float64 evaluator must agree with the scalar Fraction reference on
+every integer-weighted scenario the samplers can produce.
+"""
+
+import pickle
+import random
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.weighted import (
+    WeightedArbitration,
+    WeightedKnowledgeBase,
+    WeightedModelFitting,
+)
+from repro.engine.chunks import (
+    decode_weighted_chunk,
+    plan_weighted_scenarios,
+    sample_weight_maps,
+)
+from repro.engine.weighted import (
+    WEIGHTED_DENSE_EVALUATORS,
+    DenseWeightedOperator,
+    WeightedChunkTask,
+    evaluate_weighted_chunk,
+    run_weighted_audit,
+)
+from repro.logic.interpretation import Vocabulary
+from repro.postulates.weighted_axioms import (
+    WEIGHTED_AXIOMS,
+    audit_weighted_operator,
+    check_weighted_axiom,
+    random_weighted_kbs,
+)
+
+VOCAB2 = Vocabulary(["a", "b"])
+VOCAB3 = Vocabulary(["a", "b", "c"])
+
+
+def _axiom(name):
+    return next(axiom for axiom in WEIGHTED_AXIOMS if axiom.name == name)
+
+
+class WeightedIdentity:
+    """Returns μ̃ unchanged: violates F2 (unsat ψ̃ must give unsat result)."""
+
+    name = "weighted-identity"
+
+    def apply(self, psi, mu):
+        return mu
+
+
+class WeightedDoubler:
+    """Returns μ̃ ⊔ μ̃: violates F1 whenever μ̃ is satisfiable."""
+
+    name = "weighted-doubler"
+
+    def apply(self, psi, mu):
+        return mu.join(mu)
+
+
+def _same_counterexample(left, right):
+    if left is None or right is None:
+        return left is None and right is None
+    return (
+        left.axiom == right.axiom
+        and left.operator == right.operator
+        and left.roles == right.roles
+        and left.explanation == right.explanation
+    )
+
+
+class TestParallelDeterminism:
+    def test_fitting_matrix_identical_across_job_counts(self):
+        """The paper's fitting satisfies F1–F8 (Theorem 4.1); every job
+        count must report the identical all-held matrix."""
+        operator = WeightedModelFitting()
+        serial = audit_weighted_operator(operator, VOCAB2, scenarios=80, rng=3)
+        for jobs in (2, 4):
+            parallel = audit_weighted_operator(
+                operator, VOCAB2, scenarios=80, rng=3, jobs=jobs
+            )
+            assert set(parallel) == set(serial)
+            for name in serial:
+                assert _same_counterexample(serial[name], parallel[name]), name
+        assert all(verdict is None for verdict in serial.values())
+
+    def test_violating_matrix_identical_across_job_counts(self):
+        """An operator failing several axioms mid-stream: the pool's
+        min-index merge must reproduce the serial first counterexample in
+        every failing cell."""
+        operator = WeightedDoubler()
+        serial = audit_weighted_operator(operator, VOCAB2, scenarios=200, rng=5)
+        parallel = audit_weighted_operator(
+            operator, VOCAB2, scenarios=200, rng=5, jobs=3
+        )
+        assert any(verdict is not None for verdict in serial.values())
+        for name in serial:
+            assert _same_counterexample(serial[name], parallel[name]), name
+
+    def test_first_counterexample_agreement_under_stop_at_first(self):
+        """check_weighted_axiom at jobs=2 must report the same first
+        counterexample (same roles, same explanation) as the serial scan
+        of the identical sampled stream."""
+        operator = WeightedIdentity()
+        axiom = _axiom("F2")
+        serial = check_weighted_axiom(operator, axiom, VOCAB2, scenarios=300, rng=11)
+        parallel = check_weighted_axiom(
+            operator, axiom, VOCAB2, scenarios=300, rng=11, jobs=2
+        )
+        assert serial is not None
+        assert _same_counterexample(serial, parallel)
+
+    def test_serial_path_marks_fallback(self):
+        outcome = run_weighted_audit(
+            WeightedModelFitting(), WEIGHTED_AXIOMS, VOCAB2, scenarios=20, rng=0
+        )
+        assert outcome.stats.serial_fallback
+        parallel = run_weighted_audit(
+            WeightedModelFitting(),
+            WEIGHTED_AXIOMS,
+            VOCAB2,
+            scenarios=20,
+            rng=0,
+            jobs=2,
+        )
+        assert not parallel.stats.serial_fallback
+        assert parallel.stats.chunks > 0
+        assert parallel.stats.scenarios > 0
+
+    def test_unpicklable_operator_falls_back_to_serial(self):
+        operator = WeightedIdentity()
+        operator.trap = lambda: None  # closures do not pickle
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            outcome = run_weighted_audit(
+                operator, WEIGHTED_AXIOMS, VOCAB2, scenarios=30, rng=1, jobs=2
+            )
+        assert outcome.stats.serial_fallback
+        assert any("does not pickle" in str(w.message) for w in caught)
+        serial = audit_weighted_operator(WeightedIdentity(), VOCAB2, scenarios=30, rng=1)
+        for name in serial:
+            assert _same_counterexample(serial[name], outcome.results[name]), name
+
+
+class TestDenseOperator:
+    def test_fitting_runs_dense(self):
+        operator = DenseWeightedOperator(WeightedModelFitting(), VOCAB3)
+        assert operator.dense
+
+    def test_arbitration_delegates(self):
+        """No ``kind="wdist"`` builder on the arbitration wrapper, so it
+        takes the delegation path — still usable, just not matrix-backed."""
+        operator = DenseWeightedOperator(WeightedArbitration(), VOCAB3)
+        assert not operator.dense
+
+    def test_dense_apply_matches_scalar_reference(self):
+        """ψ̃ ▷ μ̃ on float64 vectors must equal the exact Fraction apply,
+        weight for weight, across the samplers' whole domain."""
+        inner = WeightedModelFitting()
+        operator = DenseWeightedOperator(inner, VOCAB3)
+        generator = random.Random(7)
+        maps = sample_weight_maps(generator, 120, VOCAB3.interpretation_count)
+        for index in range(0, len(maps), 2):
+            psi = WeightedKnowledgeBase(VOCAB3, maps[index])
+            mu = WeightedKnowledgeBase(VOCAB3, maps[index + 1])
+            expected = inner.apply(psi, mu).dense()
+            observed = operator.apply_dense(psi.dense(), mu.dense())
+            assert np.array_equal(expected, observed)
+
+    def test_delegate_apply_matches_scalar_reference(self):
+        inner = WeightedArbitration()
+        operator = DenseWeightedOperator(inner, VOCAB2)
+        generator = random.Random(9)
+        maps = sample_weight_maps(generator, 40, VOCAB2.interpretation_count)
+        for index in range(0, len(maps), 2):
+            psi = WeightedKnowledgeBase(VOCAB2, maps[index])
+            mu = WeightedKnowledgeBase(VOCAB2, maps[index + 1])
+            expected = inner.apply(psi, mu).dense()
+            observed = operator.apply_dense(psi.dense(), mu.dense())
+            assert np.array_equal(expected, observed)
+
+    def test_key_cache_hits_on_repeated_psi(self):
+        """One distinct ψ̃ must cost exactly one matvec: a single key-cache
+        miss, then hits for every further application."""
+        operator = DenseWeightedOperator(WeightedModelFitting(), VOCAB2)
+        psi = WeightedKnowledgeBase(VOCAB2, {0: 2, 3: 1})
+        mus = [
+            WeightedKnowledgeBase(VOCAB2, {mask: 1})
+            for mask in range(VOCAB2.interpretation_count)
+        ]
+        for mu in mus:
+            operator.apply_dense(psi.dense(), mu.dense())
+        info = operator.cache_info()
+        assert info["keys"].misses == 1
+        assert info["keys"].hits == len(mus) - 1
+
+    def test_result_cache_hits_on_repeated_scenario(self):
+        operator = DenseWeightedOperator(WeightedArbitration(), VOCAB2)
+        psi = WeightedKnowledgeBase(VOCAB2, {0: 1})
+        mu = WeightedKnowledgeBase(VOCAB2, {1: 2, 2: 1})
+        for _ in range(5):
+            operator.apply_dense(psi.dense(), mu.dense())
+        info = operator.cache_info()
+        assert info["results"].misses == 1
+        assert info["results"].hits == 4
+
+    def test_dense_evaluators_cover_all_axioms(self):
+        assert set(WEIGHTED_DENSE_EVALUATORS) == {
+            axiom.name for axiom in WEIGHTED_AXIOMS
+        }
+
+    def test_chunk_evaluator_cross_checks_scalar(self):
+        """A chunk flagged by the dense evaluator must come back with the
+        scalar checker's counterexample attached."""
+        state = {
+            "vocabulary": VOCAB2,
+            "operator": DenseWeightedOperator(WeightedModelFitting(), VOCAB2),
+        }
+        plan = plan_weighted_scenarios(VOCAB2, 2, 50, rng=3)
+        task = WeightedChunkTask(
+            unit=0,
+            axiom=_axiom("F1"),
+            roles=2,
+            interpretation_count=VOCAB2.interpretation_count,
+            max_weight=5,
+            density=0.5,
+            include_unsatisfiable=True,
+            chunk=plan.chunks[0],
+        )
+        outcome = evaluate_weighted_chunk(state, task)
+        assert outcome.first_offset is None  # fitting satisfies F1
+        assert outcome.counterexample is None
+        assert outcome.key_misses > 0
+
+
+class TestPickling:
+    def test_fitting_round_trips(self):
+        operator = WeightedModelFitting()
+        clone = pickle.loads(pickle.dumps(operator))
+        psi = WeightedKnowledgeBase(VOCAB2, {0: 1, 3: 2})
+        mu = WeightedKnowledgeBase(VOCAB2, {1: 1, 2: 1, 3: 1})
+        assert clone.apply(psi, mu).equivalent(operator.apply(psi, mu))
+
+    def test_weighted_kb_round_trips_without_dense_cache(self):
+        kb = WeightedKnowledgeBase(VOCAB2, {0: 3, 2: 1})
+        kb.dense()  # populate the cache that must not ship
+        clone = pickle.loads(pickle.dumps(kb))
+        assert clone.equivalent(kb)
+        assert np.array_equal(clone.dense(), kb.dense())
+
+    def test_axioms_round_trip(self):
+        for axiom in WEIGHTED_AXIOMS:
+            clone = pickle.loads(pickle.dumps(axiom))
+            assert clone.name == axiom.name
+
+
+class TestChunking:
+    def test_chunk_concatenation_matches_serial_stream(self):
+        """Replaying every chunk in order must reproduce exactly the weight
+        maps the legacy sampler draws from one seeded stream."""
+        roles = 2
+        scenarios = 37
+        plan = plan_weighted_scenarios(VOCAB2, roles, scenarios, rng=13, chunk_size=8)
+        replayed = []
+        for chunk in plan.chunks:
+            for scenario in decode_weighted_chunk(plan, chunk):
+                replayed.extend(scenario)
+        legacy = [
+            {
+                mask: int(kb.weight_of_mask(mask))
+                for mask in range(VOCAB2.interpretation_count)
+                if kb.weight_of_mask(mask)
+            }
+            for kb in random_weighted_kbs(VOCAB2, scenarios * roles, 13)
+        ]
+        assert replayed == legacy
+
+    def test_plan_covers_exactly_the_requested_scenarios(self):
+        plan = plan_weighted_scenarios(VOCAB3, 3, 100, rng=0, chunk_size=32)
+        assert sum(chunk.count for chunk in plan.chunks) == 100
+        assert [chunk.start for chunk in plan.chunks] == [0, 32, 64, 96]
+
+    def test_shared_generator_advances_like_serial(self):
+        """Planning from a shared Random instance must leave it exactly
+        where the serial sampler would."""
+        shared = random.Random(21)
+        plan_weighted_scenarios(VOCAB2, 2, 50, rng=shared, chunk_size=16)
+        serial = random.Random(21)
+        sample_weight_maps(serial, 100, VOCAB2.interpretation_count)
+        assert shared.getstate() == serial.getstate()
+
+
+class TestRouting:
+    def test_run_weighted_audit_requires_vocabulary(self):
+        with pytest.raises(ValueError):
+            run_weighted_audit(WeightedModelFitting(), WEIGHTED_AXIOMS, None)
+
+    def test_run_weighted_audit_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            run_weighted_audit(
+                WeightedModelFitting(), WEIGHTED_AXIOMS, VOCAB2, jobs=0
+            )
+
+    def test_audit_default_equals_legacy_loop(self):
+        """jobs=1 must be the legacy loop itself: same dict, same objects
+        as calling check_weighted_axiom per axiom."""
+        operator = WeightedIdentity()
+        audited = audit_weighted_operator(operator, VOCAB2, scenarios=60, rng=2)
+        for axiom in WEIGHTED_AXIOMS:
+            direct = check_weighted_axiom(
+                operator, axiom, VOCAB2, scenarios=60, rng=2
+            )
+            assert _same_counterexample(audited[axiom.name], direct), axiom.name
