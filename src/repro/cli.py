@@ -52,6 +52,7 @@ from repro.kb.merge import MergeSession
 from repro.logic.bdd import BddEngine
 from repro.logic.enumeration import DpllEngine, TruthTableEngine, models
 from repro.logic.implicants import minimal_formula
+from repro.engine.resilience import DEFAULT_MAX_RETRIES
 from repro.logic.interpretation import Vocabulary
 from repro.logic.parser import parse
 from repro.operators.revision import (
@@ -215,13 +216,23 @@ def _cmd_audit(args, out) -> int:
     observe = args.stats or args.metrics_out
     if not observe:
         matrix = compute_matrix(
-            operators, vocabulary, max_scenarios=args.scenarios, jobs=args.jobs
+            operators,
+            vocabulary,
+            max_scenarios=args.scenarios,
+            jobs=args.jobs,
+            chunk_timeout=args.chunk_timeout,
+            max_retries=args.max_retries,
         )
         print(render_matrix(matrix), file=out)
         return 0
     with obs.use() as registry:
         matrix = compute_matrix(
-            operators, vocabulary, max_scenarios=args.scenarios, jobs=args.jobs
+            operators,
+            vocabulary,
+            max_scenarios=args.scenarios,
+            jobs=args.jobs,
+            chunk_timeout=args.chunk_timeout,
+            max_retries=args.max_retries,
         )
         payload = obs.metrics_payload(registry)
     print(render_matrix(matrix), file=out)
@@ -246,7 +257,12 @@ def _cmd_audit_weighted(args, vocabulary, out) -> int:
         with obs.use() as registry:
             results = {
                 operator.name: audit_weighted_operator(
-                    operator, vocabulary, scenarios=args.scenarios, jobs=args.jobs
+                    operator,
+                    vocabulary,
+                    scenarios=args.scenarios,
+                    jobs=args.jobs,
+                    chunk_timeout=args.chunk_timeout,
+                    max_retries=args.max_retries,
                 )
                 for operator in operators
             }
@@ -254,7 +270,12 @@ def _cmd_audit_weighted(args, vocabulary, out) -> int:
     else:
         results = {
             operator.name: audit_weighted_operator(
-                operator, vocabulary, scenarios=args.scenarios, jobs=args.jobs
+                operator,
+                vocabulary,
+                scenarios=args.scenarios,
+                jobs=args.jobs,
+                chunk_timeout=args.chunk_timeout,
+                max_retries=args.max_retries,
             )
             for operator in operators
         }
@@ -373,6 +394,21 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="audit worker processes (1 = serial legacy path)",
+    )
+    audit_parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk wall-clock budget before the pool is recycled "
+        "and the chunk retried (default: no timeout)",
+    )
+    audit_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=DEFAULT_MAX_RETRIES,
+        help="worker retries per chunk before the parent re-evaluates it "
+        "serially (default: %(default)s)",
     )
     audit_parser.add_argument(
         "--stats",

@@ -13,6 +13,13 @@ audit checks; this package makes the checking fast:
 * :mod:`repro.engine.pool` — process-pool fan-out with a deterministic
   merge, early cancellation under ``stop_at_first``, and a serial
   fallback bit-identical to the legacy loop;
+* :mod:`repro.engine.resilience` — the fault-tolerance ladder under the
+  fan-out: per-chunk timeouts, bounded retry with backoff, broken-pool
+  respawn, and parent-side serial degradation, reported per audit as a
+  :class:`FailureReport`;
+* :mod:`repro.engine.faults` — deterministic fault injection
+  (:class:`FaultPlan` / ``REPRO_FAULTS``) so the resilience ladder is
+  testable chunk by chunk;
 * :mod:`repro.engine.weighted` — the same strategy for the weighted stack
   (Section 4): F1–F8 audits over dense mask-indexed weight vectors with
   one shared distance matrix per operator and per-ψ̃ key caching.
@@ -44,6 +51,7 @@ from repro.engine.chunks import (
     sample_scenario_bits,
     sample_weight_maps,
 )
+from repro.engine.faults import FaultPlan, FaultSpec, InjectedFault
 from repro.engine.pool import (
     AuditOutcome,
     ChunkOutcome,
@@ -51,6 +59,12 @@ from repro.engine.pool import (
     EngineStats,
     check_axiom_parallel,
     run_audit,
+)
+from repro.engine.resilience import (
+    DEFAULT_MAX_RETRIES,
+    FailureRecord,
+    FailureReport,
+    ResilienceConfig,
 )
 from repro.engine.weighted import (
     MAX_DENSE_ATOMS,
@@ -87,6 +101,13 @@ __all__ = [
     "EngineStats",
     "check_axiom_parallel",
     "run_audit",
+    "DEFAULT_MAX_RETRIES",
+    "FailureRecord",
+    "FailureReport",
+    "ResilienceConfig",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "MAX_DENSE_ATOMS",
     "DenseWeightedOperator",
     "WeightedAuditOutcome",

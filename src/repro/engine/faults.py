@@ -1,0 +1,179 @@
+"""Deterministic fault injection for the audit engine.
+
+The resilience layer (:mod:`repro.engine.resilience`) promises that an
+audit survives chunk exceptions, hung chunks, and killed workers.  That
+promise is only testable if those failures can be produced *on demand and
+deterministically* — a chosen chunk, on a chosen attempt, failing in a
+chosen way.  A :class:`FaultPlan` is exactly that: a list of
+:class:`FaultSpec` directives matched against ``(unit, ordinal, attempt)``
+just before a worker evaluates a chunk.
+
+Three fault kinds cover the failure ladder:
+
+* ``raise`` — the chunk raises :class:`InjectedFault` (a transient
+  worker-side exception; the parent retries it);
+* ``hang``  — the chunk sleeps past any reasonable per-chunk timeout (the
+  parent reaps the worker and recycles the pool);
+* ``kill``  — the worker process exits abruptly via ``os._exit`` (the
+  pool breaks; the parent respawns it and resubmits incomplete chunks).
+
+Plans are injectable programmatically (``run_audit(faults=...)``) or via
+the ``REPRO_FAULTS`` environment variable, whose value is a
+comma-separated list of directives::
+
+    REPRO_FAULTS="raise:0.1x2,hang:1.0,kill:2"
+
+Each directive is ``kind[:unit[.ordinal]][xN]``: ``unit`` and ``ordinal``
+select one chunk of one (operator, axiom) audit (``*`` or omitted = any),
+and ``xN`` faults the first ``N`` attempts of that chunk (default 1, so a
+single retry already clears it; ``x0`` means *every* attempt, which
+forces retry exhaustion and the parent-side serial degradation path).
+
+Faults are tripped only in the pool worker entry point — never in the
+parent's serial re-evaluation — so the degradation ladder always
+terminates.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+__all__ = [
+    "FAULT_KINDS",
+    "InjectedFault",
+    "FaultSpec",
+    "FaultPlan",
+    "trip",
+]
+
+#: Recognized fault kinds, in degradation-ladder order.
+FAULT_KINDS = ("raise", "hang", "kill")
+
+#: Default sleep for ``hang`` faults: long enough that any configured
+#: chunk timeout fires first, short enough that a misconfigured test
+#: cannot wedge a machine forever.
+DEFAULT_HANG_SECONDS = 3600.0
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``raise``-kind injected faults."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault directive: which chunk, which attempts, which failure.
+
+    ``unit`` / ``ordinal`` of ``None`` match any audit unit / any chunk;
+    ``times`` faults attempts ``0 .. times-1`` (``<= 0`` means every
+    attempt).
+    """
+
+    kind: str
+    unit: Optional[int] = None
+    ordinal: Optional[int] = None
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {list(FAULT_KINDS)}"
+            )
+
+    def matches(self, unit: int, ordinal: int, attempt: int) -> bool:
+        """Whether this directive fires for the given chunk attempt."""
+        if self.unit is not None and unit != self.unit:
+            return False
+        if self.ordinal is not None and ordinal != self.ordinal:
+            return False
+        return self.times <= 0 or attempt < self.times
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault directives (first match wins)."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    hang_seconds: float = DEFAULT_HANG_SECONDS
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def fault_for(self, unit: int, ordinal: int, attempt: int) -> Optional[str]:
+        """The fault kind to inject for this chunk attempt, or ``None``."""
+        for spec in self.specs:
+            if spec.matches(unit, ordinal, attempt):
+                return spec.kind
+        return None
+
+    @classmethod
+    def parse(
+        cls, text: str, hang_seconds: float = DEFAULT_HANG_SECONDS
+    ) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` directive syntax (see module doc)."""
+        specs: list[FaultSpec] = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, where = part.partition(":")
+            kind = kind.strip().lower()
+            times = 1
+            if "x" in where:
+                where, _, times_text = where.rpartition("x")
+                try:
+                    times = int(times_text)
+                except ValueError as error:
+                    raise ValueError(
+                        f"bad fault repeat count in {part!r}"
+                    ) from error
+            unit_text, _, ordinal_text = where.strip().partition(".")
+            unit = None if unit_text in ("", "*") else int(unit_text)
+            ordinal = None if ordinal_text in ("", "*") else int(ordinal_text)
+            specs.append(FaultSpec(kind, unit, ordinal, times))
+        return cls(tuple(specs), hang_seconds)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["FaultPlan"]:
+        """The plan described by ``REPRO_FAULTS``, or ``None`` when unset.
+
+        ``REPRO_FAULTS_HANG_SECONDS`` overrides the ``hang`` sleep so test
+        lanes can keep injected hangs short.
+        """
+        environ = os.environ if environ is None else environ
+        text = environ.get("REPRO_FAULTS", "").strip()
+        if not text:
+            return None
+        hang = float(
+            environ.get("REPRO_FAULTS_HANG_SECONDS", str(DEFAULT_HANG_SECONDS))
+        )
+        return cls.parse(text, hang_seconds=hang)
+
+
+def trip(
+    plan: Optional[FaultPlan], unit: int, ordinal: int, attempt: int
+) -> None:
+    """Execute whatever fault ``plan`` holds for this chunk attempt.
+
+    ``raise`` raises :class:`InjectedFault`; ``hang`` sleeps for the
+    plan's ``hang_seconds`` (the parent's chunk timeout reaps the worker
+    first); ``kill`` exits the worker process abruptly, breaking the pool.
+    No-op when ``plan`` is ``None`` or nothing matches.
+    """
+    if plan is None:
+        return
+    kind = plan.fault_for(unit, ordinal, attempt)
+    if kind is None:
+        return
+    if kind == "raise":
+        raise InjectedFault(
+            f"injected fault: unit {unit} chunk {ordinal} attempt {attempt}"
+        )
+    if kind == "hang":
+        time.sleep(plan.hang_seconds)
+    elif kind == "kill":
+        os._exit(86)

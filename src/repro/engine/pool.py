@@ -20,8 +20,19 @@ Determinism is the design constraint, parallelism the payoff:
 
 ``jobs=1`` never touches the pool or the batched evaluator: it routes
 through the legacy scalar harness loop and is bit-identical to it by
-construction.  Operators that fail to pickle degrade to the same serial
-path with a warning rather than an error.
+construction — including when ``rng`` is a shared ``random.Random``,
+which the serial path consumes exactly as a sequence of direct
+``check_axiom`` calls would (no planning fast-forward).  Operators that
+fail to pickle degrade to the same serial path with a warning rather than
+an error.
+
+Fault tolerance is delegated to :mod:`repro.engine.resilience`: chunks
+that raise are retried with backoff, hung chunks are reaped via
+``chunk_timeout``, a broken pool is respawned with only incomplete chunks
+resubmitted, and retry-exhausted chunks are re-evaluated serially in the
+parent — so ``run_audit`` returns a complete, deterministic
+:class:`AuditOutcome` plus a :class:`~repro.engine.resilience.FailureReport`
+even under injected worker failures (:mod:`repro.engine.faults`).
 """
 
 from __future__ import annotations
@@ -31,7 +42,7 @@ import pickle
 import random
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
@@ -49,6 +60,13 @@ from repro.engine.chunks import (
     ScenarioPlan,
     decode_chunk,
     plan_scenarios,
+)
+from repro.engine.faults import FaultPlan, trip
+from repro.engine.resilience import (
+    DEFAULT_MAX_RETRIES,
+    FailureReport,
+    ResilienceConfig,
+    run_resilient,
 )
 from repro.errors import PostulateError
 from repro.logic.interpretation import Vocabulary
@@ -68,7 +86,12 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ChunkTask:
-    """One unit of worker work: a chunk of one (operator, axiom) audit."""
+    """One unit of worker work: a chunk of one (operator, axiom) audit.
+
+    ``attempt`` counts retries (0 on first submission); it exists so the
+    deterministic fault hook can target specific attempts and plays no
+    part in evaluation itself.
+    """
 
     unit: int
     op_index: int
@@ -78,6 +101,7 @@ class ChunkTask:
     kb_universe: int
     interpretation_count: int
     chunk: ChunkSpec
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -117,7 +141,9 @@ class EngineStats:
 
     ``chunk_seconds`` sums worker-side chunk wall time (CPU-seconds of
     useful work, comparable across job counts); ``elapsed_seconds`` is
-    the parent's end-to-end wall time for the run.
+    the parent's end-to-end wall time for the run.  The resilience
+    counters (``retries`` … ``chunks_degraded``) mirror the attached
+    :class:`~repro.engine.resilience.FailureReport`.
     """
 
     chunks: int = 0
@@ -129,15 +155,21 @@ class EngineStats:
     chunk_seconds: float = 0.0
     elapsed_seconds: float = 0.0
     serial_fallback: bool = False
+    retries: int = 0
+    worker_crashes: int = 0
+    pool_restarts: int = 0
+    chunks_degraded: int = 0
 
 
 @dataclass
 class AuditOutcome:
     """Results keyed ``operator name → axiom name → CheckResult``, plus
-    the engine's aggregate counters."""
+    the engine's aggregate counters and the failure report of anything
+    the resilience layer had to absorb along the way."""
 
     results: dict[str, dict[str, CheckResult]] = field(default_factory=dict)
     stats: EngineStats = field(default_factory=EngineStats)
+    failures: FailureReport = field(default_factory=FailureReport)
 
 
 # -- worker side ----------------------------------------------------------------
@@ -160,10 +192,14 @@ def _build_worker_state(vocabulary: Vocabulary, operators: Sequence[TheoryChange
 #: order a worker's registry snapshots without trusting delivery order.
 _WORKER_SEQ = 0
 
+#: The fault-injection plan shipped by the parent (tests/chaos lanes
+#: only; ``None`` in production runs).
+_WORKER_FAULTS: Optional[FaultPlan] = None
+
 
 def _init_worker(payload: bytes) -> None:
-    global _WORKER_STATE, _WORKER_SEQ
-    vocabulary, operators, obs_enabled = pickle.loads(payload)
+    global _WORKER_STATE, _WORKER_SEQ, _WORKER_FAULTS
+    vocabulary, operators, obs_enabled, _WORKER_FAULTS = pickle.loads(payload)
     _WORKER_SEQ = 0
     # Start every worker from a fresh registry — before building worker
     # state, so the shared-matrix kernel builds are attributed to this
@@ -267,6 +303,9 @@ def evaluate_chunk(state: dict, task: ChunkTask) -> ChunkOutcome:
 def _run_chunk(task: ChunkTask) -> ChunkOutcome:
     global _WORKER_SEQ
     assert _WORKER_STATE is not None, "pool worker used before initialization"
+    # Injected faults fire only here — the worker entry point — never in
+    # the parent's serial re-evaluation, so degradation always terminates.
+    trip(_WORKER_FAULTS, task.unit, task.chunk.ordinal, task.attempt)
     outcome = evaluate_chunk(_WORKER_STATE, task)
     registry = obs.active()
     if registry is None:
@@ -285,9 +324,15 @@ def _run_chunk(task: ChunkTask) -> ChunkOutcome:
 
 @dataclass
 class _Unit:
-    """Parent-side bookkeeping for one (operator, axiom) audit."""
+    """Parent-side bookkeeping for one (operator, axiom) audit.
+
+    ``op_index`` is the operator's *enumeration* position in the audited
+    roster — never recovered via ``operators.index(...)``, which resolves
+    equal-comparing operators to the wrong element.
+    """
 
     operator: TheoryChangeOperator
+    op_index: int
     axiom: Axiom
     plan: ScenarioPlan
     best_index: Optional[int] = None
@@ -339,41 +384,59 @@ def _plan_units(
     order, again matching a serial sweep.
     """
     units: list[_Unit] = []
-    for operator in operators:
+    for op_index, operator in enumerate(operators):
         for axiom in axioms:
             generator = random.Random(rng) if isinstance(rng, int) else rng
             plan = plan_scenarios(
                 vocabulary, len(axiom.roles), max_scenarios, generator, chunk_size
             )
-            units.append(_Unit(operator, axiom, plan))
+            units.append(_Unit(operator, op_index, axiom, plan))
     return units
 
 
+def _ensure_unique(names: Sequence[str], what: str) -> None:
+    """Results are keyed by name; duplicates would silently clobber."""
+    seen: set[str] = set()
+    duplicates = sorted({name for name in names if name in seen or seen.add(name)})
+    if duplicates:
+        raise ValueError(
+            f"duplicate {what} name(s) in audit roster: {duplicates}; "
+            f"results are keyed by name, so every {what} needs a distinct one"
+        )
+
+
 def _serial_audit(
-    units: list[_Unit],
+    operators: Sequence[TheoryChangeOperator],
+    axioms: Sequence[Axiom],
     vocabulary: Vocabulary,
     max_scenarios: int,
     rng: int | random.Random,
     stop_at_first: bool,
 ) -> AuditOutcome:
-    """The pure-serial fallback: the legacy scalar loop, unit by unit."""
+    """The pure-serial fallback: the legacy scalar loop, pair by pair.
+
+    Takes the roster directly — *not* pre-planned units — because
+    planning fast-forwards a shared ``Random``; consuming the stream here
+    a second time would diverge from direct ``check_axiom`` calls.
+    """
     from repro.postulates.harness import check_axiom
 
     outcome = AuditOutcome(stats=EngineStats(serial_fallback=True))
     shared = rng if isinstance(rng, random.Random) else None
     start = time.perf_counter()
-    for unit in units:
-        generator = random.Random(rng) if shared is None else shared
-        result = check_axiom(
-            unit.operator,
-            unit.axiom,
-            vocabulary,
-            max_scenarios=max_scenarios,
-            rng=generator,
-            stop_at_first=stop_at_first,
-        )
-        outcome.results.setdefault(unit.operator.name, {})[unit.axiom.name] = result
-        outcome.stats.scenarios += result.scenarios_checked
+    for operator in operators:
+        for axiom in axioms:
+            generator = random.Random(rng) if shared is None else shared
+            result = check_axiom(
+                operator,
+                axiom,
+                vocabulary,
+                max_scenarios=max_scenarios,
+                rng=generator,
+                stop_at_first=stop_at_first,
+            )
+            outcome.results.setdefault(operator.name, {})[axiom.name] = result
+            outcome.stats.scenarios += result.scenarios_checked
     outcome.stats.elapsed_seconds = time.perf_counter() - start
     registry = obs.active()
     if registry is not None:
@@ -397,17 +460,34 @@ def run_audit(
     stop_at_first: bool = True,
     jobs: int = 1,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    faults: Optional[FaultPlan] = None,
 ) -> AuditOutcome:
     """Audit every operator against every axiom, fanned out over ``jobs``
     pool workers (``jobs=1``: the legacy serial loop, bit-identical to
-    calling :func:`repro.postulates.harness.check_axiom` per pair)."""
+    calling :func:`repro.postulates.harness.check_axiom` per pair).
+
+    ``chunk_timeout`` (seconds, ``None`` = off) reaps hung chunks;
+    ``max_retries`` bounds worker-side attempts per chunk before the
+    parent re-evaluates it serially; ``faults`` injects deterministic
+    failures for testing (defaults to the ``REPRO_FAULTS`` environment
+    plan, if any).
+    """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    units = _plan_units(operators, axioms, vocabulary, max_scenarios, rng, chunk_size)
+    _ensure_unique([operator.name for operator in operators], "operator")
+    _ensure_unique([axiom.name for axiom in axioms], "axiom")
+    # The serial path must see the caller's RNG untouched: planning
+    # fast-forwards a shared stream, so it happens only on pool paths.
     if jobs == 1:
-        return _serial_audit(units, vocabulary, max_scenarios, rng, stop_at_first)
+        return _serial_audit(
+            operators, axioms, vocabulary, max_scenarios, rng, stop_at_first
+        )
+    if faults is None:
+        faults = FaultPlan.from_env()
     try:
-        payload = pickle.dumps((vocabulary, list(operators), obs.enabled()))
+        payload = pickle.dumps((vocabulary, list(operators), obs.enabled(), faults))
     except Exception as error:  # pickling contract violated by a custom operator
         warnings.warn(
             f"audit engine: operator roster does not pickle ({error}); "
@@ -415,7 +495,10 @@ def run_audit(
             RuntimeWarning,
             stacklevel=2,
         )
-        return _serial_audit(units, vocabulary, max_scenarios, rng, stop_at_first)
+        return _serial_audit(
+            operators, axioms, vocabulary, max_scenarios, rng, stop_at_first
+        )
+    units = _plan_units(operators, axioms, vocabulary, max_scenarios, rng, chunk_size)
 
     outcome = AuditOutcome()
     stats = outcome.stats
@@ -430,59 +513,83 @@ def run_audit(
             context = multiprocessing.get_context("fork")
     except ImportError:  # pragma: no cover
         pass
-    with obs.span(
-        "engine.run_audit", jobs=jobs, units=len(units)
-    ), ProcessPoolExecutor(
-        max_workers=jobs, initializer=_init_worker, initargs=(payload,), mp_context=context
-    ) as executor:
-        pending = {}
-        for unit_id, unit in enumerate(units):
-            op_index = operators.index(unit.operator)
-            for chunk in unit.plan.chunks:
-                task = ChunkTask(
-                    unit=unit_id,
-                    op_index=op_index,
-                    axiom=unit.axiom,
-                    plan_mode=unit.plan.mode,
-                    roles=unit.plan.roles,
-                    kb_universe=unit.plan.kb_universe,
-                    interpretation_count=unit.plan.interpretation_count,
-                    chunk=chunk,
+
+    def make_executor() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(payload,),
+            mp_context=context,
+        )
+
+    def handle_outcome(task: ChunkTask, chunk_outcome: ChunkOutcome) -> bool:
+        unit = units[chunk_outcome.unit]
+        stats.chunks += 1
+        stats.scenarios += task.chunk.count
+        stats.key_hits += chunk_outcome.key_hits
+        stats.key_misses += chunk_outcome.key_misses
+        stats.result_hits += chunk_outcome.result_hits
+        stats.result_misses += chunk_outcome.result_misses
+        stats.chunk_seconds += chunk_outcome.seconds
+        if chunk_outcome.metrics is not None:
+            stored = worker_metrics.get(chunk_outcome.pid)
+            if stored is None or chunk_outcome.seq > stored[0]:
+                worker_metrics[chunk_outcome.pid] = (
+                    chunk_outcome.seq,
+                    chunk_outcome.metrics,
                 )
-                pending[executor.submit(_run_chunk, task)] = task
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                task = pending.pop(future)
-                if future.cancelled():
-                    continue
-                chunk_outcome = future.result()
-                unit = units[chunk_outcome.unit]
-                stats.chunks += 1
-                stats.scenarios += task.chunk.count
-                stats.key_hits += chunk_outcome.key_hits
-                stats.key_misses += chunk_outcome.key_misses
-                stats.result_hits += chunk_outcome.result_hits
-                stats.result_misses += chunk_outcome.result_misses
-                stats.chunk_seconds += chunk_outcome.seconds
-                if chunk_outcome.metrics is not None:
-                    stored = worker_metrics.get(chunk_outcome.pid)
-                    if stored is None or chunk_outcome.seq > stored[0]:
-                        worker_metrics[chunk_outcome.pid] = (
-                            chunk_outcome.seq,
-                            chunk_outcome.metrics,
-                        )
-                if unit.absorb(chunk_outcome) and stop_at_first:
-                    # Only chunks that start *after* the best failure can
-                    # be skipped: an earlier chunk may still hold the
-                    # globally first counterexample.
-                    for other, other_task in list(pending.items()):
-                        if (
-                            other_task.unit == chunk_outcome.unit
-                            and other_task.chunk.start > unit.best_index
-                            and other.cancel()
-                        ):
-                            pending.pop(other)
+        return unit.absorb(chunk_outcome)
+
+    def may_skip(task: ChunkTask) -> bool:
+        # Only chunks that start *after* the unit's best failure can be
+        # skipped: an earlier chunk may still hold the globally first
+        # counterexample.
+        unit = units[task.unit]
+        return (
+            stop_at_first
+            and unit.best_index is not None
+            and task.chunk.start > unit.best_index
+        )
+
+    parent_state: dict = {}
+
+    def serial_eval(task: ChunkTask) -> ChunkOutcome:
+        # Last-resort degradation: the parent evaluates the chunk with
+        # the exact worker code path (fault injection never fires here).
+        if not parent_state:
+            parent_state.update(_build_worker_state(vocabulary, list(operators)))
+        return evaluate_chunk(parent_state, task)
+
+    tasks = [
+        ChunkTask(
+            unit=unit_id,
+            op_index=unit.op_index,
+            axiom=unit.axiom,
+            plan_mode=unit.plan.mode,
+            roles=unit.plan.roles,
+            kb_universe=unit.plan.kb_universe,
+            interpretation_count=unit.plan.interpretation_count,
+            chunk=chunk,
+        )
+        for unit_id, unit in enumerate(units)
+        for chunk in unit.plan.chunks
+    ]
+    config = ResilienceConfig(chunk_timeout=chunk_timeout, max_retries=max_retries)
+    with obs.span("engine.run_audit", jobs=jobs, units=len(units)):
+        outcome.failures = run_resilient(
+            tasks,
+            _run_chunk,
+            make_executor,
+            handle_outcome,
+            may_skip,
+            serial_eval,
+            config,
+            metric_prefix="engine.",
+        )
+    stats.retries = outcome.failures.retries
+    stats.worker_crashes = outcome.failures.worker_crashes
+    stats.pool_restarts = outcome.failures.pool_restarts
+    stats.chunks_degraded = outcome.failures.chunks_degraded
     stats.elapsed_seconds = time.perf_counter() - run_start
     registry = obs.active()
     if registry is not None:
@@ -512,6 +619,9 @@ def check_axiom_parallel(
     stop_at_first: bool = True,
     jobs: int = 2,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    faults: Optional[FaultPlan] = None,
 ) -> CheckResult:
     """Parallel counterpart of :func:`repro.postulates.harness.check_axiom`
     for a single (operator, axiom) pair."""
@@ -524,5 +634,8 @@ def check_axiom_parallel(
         stop_at_first=stop_at_first,
         jobs=jobs,
         chunk_size=chunk_size,
+        chunk_timeout=chunk_timeout,
+        max_retries=max_retries,
+        faults=faults,
     )
     return outcome.results[operator.name][axiom.name]

@@ -35,7 +35,7 @@ import pickle
 import random
 import time
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
@@ -54,7 +54,14 @@ from repro.engine.chunks import (
     decode_weighted_chunk,
     plan_weighted_scenarios,
 )
-from repro.engine.pool import EngineStats
+from repro.engine.faults import FaultPlan, trip
+from repro.engine.pool import EngineStats, _ensure_unique
+from repro.engine.resilience import (
+    DEFAULT_MAX_RETRIES,
+    FailureReport,
+    ResilienceConfig,
+    run_resilient,
+)
 from repro.errors import PostulateError
 from repro.logic.interpretation import Vocabulary
 from repro.orders.cache import AssignmentCache, CacheInfo
@@ -288,7 +295,11 @@ WEIGHTED_DENSE_EVALUATORS: dict[str, Callable] = {
 
 @dataclass(frozen=True)
 class WeightedChunkTask:
-    """One unit of worker work: a chunk of one weighted-axiom audit."""
+    """One unit of worker work: a chunk of one weighted-axiom audit.
+
+    ``attempt`` counts retries (0 on first submission) for the
+    deterministic fault hook; it plays no part in evaluation.
+    """
 
     unit: int
     axiom: WeightedAxiom
@@ -298,6 +309,7 @@ class WeightedChunkTask:
     density: float
     include_unsatisfiable: bool
     chunk: ChunkSpec
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -325,16 +337,19 @@ class WeightedChunkOutcome:
 @dataclass
 class WeightedAuditOutcome:
     """Results keyed by axiom name (``None`` = held on every sampled
-    scenario), plus the engine's aggregate counters."""
+    scenario), plus the engine's aggregate counters and the failure
+    report of anything the resilience layer absorbed."""
 
     results: dict[str, Optional[WeightedCounterexample]] = field(default_factory=dict)
     stats: EngineStats = field(default_factory=EngineStats)
+    failures: FailureReport = field(default_factory=FailureReport)
 
 
 # -- worker side --------------------------------------------------------------------
 
 _WORKER_STATE: Optional[dict] = None
 _WORKER_SEQ = 0
+_WORKER_FAULTS: Optional[FaultPlan] = None
 
 
 def _build_worker_state(
@@ -347,8 +362,8 @@ def _build_worker_state(
 
 
 def _init_worker(payload: bytes) -> None:
-    global _WORKER_STATE, _WORKER_SEQ
-    vocabulary, operator, obs_enabled = pickle.loads(payload)
+    global _WORKER_STATE, _WORKER_SEQ, _WORKER_FAULTS
+    vocabulary, operator, obs_enabled, _WORKER_FAULTS = pickle.loads(payload)
     _WORKER_SEQ = 0
     # Fresh registry before worker state, so the shared-matrix build is
     # attributed to this worker (and forked parent history is not
@@ -462,6 +477,9 @@ def evaluate_weighted_chunk(
 def _run_chunk(task: WeightedChunkTask) -> WeightedChunkOutcome:
     global _WORKER_SEQ
     assert _WORKER_STATE is not None, "pool worker used before initialization"
+    # Injected faults fire only here — the worker entry point — never in
+    # the parent's serial re-evaluation, so degradation always terminates.
+    trip(_WORKER_FAULTS, task.unit, task.chunk.ordinal, task.attempt)
     outcome = evaluate_weighted_chunk(_WORKER_STATE, task)
     registry = obs.active()
     if registry is None:
@@ -576,23 +594,32 @@ def run_weighted_audit(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     max_weight: int = 5,
     density: float = 0.5,
+    chunk_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    faults: Optional[FaultPlan] = None,
 ) -> WeightedAuditOutcome:
     """Audit one weighted operator against every axiom, fanned out over
     ``jobs`` pool workers (``jobs=1``: the legacy serial loop, identical
-    to calling ``check_weighted_axiom`` per axiom)."""
+    to calling ``check_weighted_axiom`` per axiom).
+
+    ``chunk_timeout`` / ``max_retries`` / ``faults`` configure the
+    resilience layer exactly as in :func:`repro.engine.pool.run_audit`.
+    """
     if vocabulary is None:
         raise ValueError("run_weighted_audit requires a vocabulary")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _ensure_unique([axiom.name for axiom in axioms], "axiom")
     if jobs == 1:
         return _serial_weighted_audit(
             operator, axioms, vocabulary, scenarios, rng, max_weight, density
         )
-    units = _plan_weighted_units(
-        axioms, vocabulary, scenarios, rng, chunk_size, max_weight, density
-    )
+    if faults is None:
+        faults = FaultPlan.from_env()
+    # Pickle before planning: the serial fallback must see the caller's
+    # RNG untouched (planning fast-forwards a shared stream).
     try:
-        payload = pickle.dumps((vocabulary, operator, obs.enabled()))
+        payload = pickle.dumps((vocabulary, operator, obs.enabled(), faults))
     except Exception as error:  # pickling contract violated by a custom operator
         warnings.warn(
             f"weighted audit engine: operator does not pickle ({error}); "
@@ -603,6 +630,9 @@ def run_weighted_audit(
         return _serial_weighted_audit(
             operator, axioms, vocabulary, scenarios, rng, max_weight, density
         )
+    units = _plan_weighted_units(
+        axioms, vocabulary, scenarios, rng, chunk_size, max_weight, density
+    )
 
     outcome = WeightedAuditOutcome()
     stats = outcome.stats
@@ -616,58 +646,84 @@ def run_weighted_audit(
             context = multiprocessing.get_context("fork")
     except ImportError:  # pragma: no cover
         pass
-    with obs.span(
-        "engine.run_weighted_audit", jobs=jobs, units=len(units)
-    ), ProcessPoolExecutor(
-        max_workers=jobs, initializer=_init_worker, initargs=(payload,), mp_context=context
-    ) as executor:
-        pending = {}
-        for unit_id, unit in enumerate(units):
-            for chunk in unit.plan.chunks:
-                task = WeightedChunkTask(
-                    unit=unit_id,
-                    axiom=unit.axiom,
-                    roles=unit.plan.roles,
-                    interpretation_count=unit.plan.interpretation_count,
-                    max_weight=unit.plan.max_weight,
-                    density=unit.plan.density,
-                    include_unsatisfiable=unit.plan.include_unsatisfiable,
-                    chunk=chunk,
+
+    def make_executor() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(payload,),
+            mp_context=context,
+        )
+
+    def handle_outcome(
+        task: WeightedChunkTask, chunk_outcome: WeightedChunkOutcome
+    ) -> bool:
+        unit = units[chunk_outcome.unit]
+        stats.chunks += 1
+        stats.scenarios += task.chunk.count
+        stats.key_hits += chunk_outcome.key_hits
+        stats.key_misses += chunk_outcome.key_misses
+        stats.result_hits += chunk_outcome.result_hits
+        stats.result_misses += chunk_outcome.result_misses
+        stats.chunk_seconds += chunk_outcome.seconds
+        if chunk_outcome.metrics is not None:
+            stored = worker_metrics.get(chunk_outcome.pid)
+            if stored is None or chunk_outcome.seq > stored[0]:
+                worker_metrics[chunk_outcome.pid] = (
+                    chunk_outcome.seq,
+                    chunk_outcome.metrics,
                 )
-                pending[executor.submit(_run_chunk, task)] = task
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                task = pending.pop(future)
-                if future.cancelled():
-                    continue
-                chunk_outcome = future.result()
-                unit = units[chunk_outcome.unit]
-                stats.chunks += 1
-                stats.scenarios += task.chunk.count
-                stats.key_hits += chunk_outcome.key_hits
-                stats.key_misses += chunk_outcome.key_misses
-                stats.result_hits += chunk_outcome.result_hits
-                stats.result_misses += chunk_outcome.result_misses
-                stats.chunk_seconds += chunk_outcome.seconds
-                if chunk_outcome.metrics is not None:
-                    stored = worker_metrics.get(chunk_outcome.pid)
-                    if stored is None or chunk_outcome.seq > stored[0]:
-                        worker_metrics[chunk_outcome.pid] = (
-                            chunk_outcome.seq,
-                            chunk_outcome.metrics,
-                        )
-                if unit.absorb(chunk_outcome) and stop_at_first:
-                    # Only chunks starting after the best failure can be
-                    # skipped: an earlier chunk may still hold the
-                    # globally first counterexample.
-                    for other, other_task in list(pending.items()):
-                        if (
-                            other_task.unit == chunk_outcome.unit
-                            and other_task.chunk.start > unit.best_index
-                            and other.cancel()
-                        ):
-                            pending.pop(other)
+        return unit.absorb(chunk_outcome)
+
+    def may_skip(task: WeightedChunkTask) -> bool:
+        # Only chunks starting after the best failure can be skipped: an
+        # earlier chunk may still hold the globally first counterexample.
+        unit = units[task.unit]
+        return (
+            stop_at_first
+            and unit.best_index is not None
+            and task.chunk.start > unit.best_index
+        )
+
+    parent_state: dict = {}
+
+    def serial_eval(task: WeightedChunkTask) -> WeightedChunkOutcome:
+        # Last-resort degradation: the parent evaluates the chunk with
+        # the exact worker code path (fault injection never fires here).
+        if not parent_state:
+            parent_state.update(_build_worker_state(vocabulary, operator))
+        return evaluate_weighted_chunk(parent_state, task)
+
+    tasks = [
+        WeightedChunkTask(
+            unit=unit_id,
+            axiom=unit.axiom,
+            roles=unit.plan.roles,
+            interpretation_count=unit.plan.interpretation_count,
+            max_weight=unit.plan.max_weight,
+            density=unit.plan.density,
+            include_unsatisfiable=unit.plan.include_unsatisfiable,
+            chunk=chunk,
+        )
+        for unit_id, unit in enumerate(units)
+        for chunk in unit.plan.chunks
+    ]
+    config = ResilienceConfig(chunk_timeout=chunk_timeout, max_retries=max_retries)
+    with obs.span("engine.run_weighted_audit", jobs=jobs, units=len(units)):
+        outcome.failures = run_resilient(
+            tasks,
+            _run_chunk,
+            make_executor,
+            handle_outcome,
+            may_skip,
+            serial_eval,
+            config,
+            metric_prefix="engine.weighted_",
+        )
+    stats.retries = outcome.failures.retries
+    stats.worker_crashes = outcome.failures.worker_crashes
+    stats.pool_restarts = outcome.failures.pool_restarts
+    stats.chunks_degraded = outcome.failures.chunks_degraded
     stats.elapsed_seconds = time.perf_counter() - run_start
     registry = obs.active()
     if registry is not None:
@@ -696,6 +752,9 @@ def check_weighted_axiom_parallel(
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     max_weight: int = 5,
     density: float = 0.5,
+    chunk_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    faults: Optional[FaultPlan] = None,
 ) -> Optional[WeightedCounterexample]:
     """Parallel counterpart of
     :func:`repro.postulates.weighted_axioms.check_weighted_axiom` for a
@@ -710,5 +769,8 @@ def check_weighted_axiom_parallel(
         chunk_size=chunk_size,
         max_weight=max_weight,
         density=density,
+        chunk_timeout=chunk_timeout,
+        max_retries=max_retries,
+        faults=faults,
     )
     return outcome.results[axiom.name]

@@ -23,6 +23,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from repro import obs
 from repro.engine.chunks import DEFAULT_EXHAUSTIVE_LIMIT
+from repro.engine.resilience import DEFAULT_MAX_RETRIES
 from repro.logic.interpretation import Vocabulary, iter_set_bits
 from repro.logic.semantics import ModelSet
 from repro.operators.base import TheoryChangeOperator
@@ -107,6 +108,8 @@ def check_axiom(
     rng: int | random.Random = 0,
     stop_at_first: bool = True,
     jobs: int = 1,
+    chunk_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> CheckResult:
     """Check one axiom for one operator over the vocabulary.
 
@@ -120,7 +123,9 @@ def check_axiom(
 
     ``jobs > 1`` routes through the parallel audit engine
     (:func:`repro.engine.pool.check_axiom_parallel`), whose merge is
-    deterministic and result-identical to this serial loop.
+    deterministic and result-identical to this serial loop;
+    ``chunk_timeout`` / ``max_retries`` configure its resilience ladder
+    (ignored on the serial path).
     """
     if jobs > 1:
         from repro.engine.pool import check_axiom_parallel
@@ -133,6 +138,8 @@ def check_axiom(
             rng=rng,
             stop_at_first=stop_at_first,
             jobs=jobs,
+            chunk_timeout=chunk_timeout,
+            max_retries=max_retries,
         )
     roles = len(axiom.roles)
     space = (1 << vocabulary.interpretation_count) ** roles
@@ -187,6 +194,8 @@ def audit_operator(
     max_scenarios: int = 50_000,
     rng: int | random.Random = 0,
     jobs: int = 1,
+    chunk_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> dict[str, CheckResult]:
     """Check a whole axiom set for one operator; results keyed by axiom.
 
@@ -197,7 +206,14 @@ def audit_operator(
         from repro.engine.pool import run_audit
 
         outcome = run_audit(
-            [operator], axioms, vocabulary, max_scenarios=max_scenarios, rng=rng, jobs=jobs
+            [operator],
+            axioms,
+            vocabulary,
+            max_scenarios=max_scenarios,
+            rng=rng,
+            jobs=jobs,
+            chunk_timeout=chunk_timeout,
+            max_retries=max_retries,
         )
         return outcome.results[operator.name]
     results: dict[str, CheckResult] = {}

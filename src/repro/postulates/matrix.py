@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.engine.resilience import DEFAULT_MAX_RETRIES
 from repro.logic.interpretation import Vocabulary
 from repro.operators.base import TheoryChangeOperator
 from repro.postulates.axioms import (
@@ -70,6 +71,8 @@ def compute_matrix(
     max_scenarios: int = 20_000,
     rng: int | random.Random = 0,
     jobs: int = 1,
+    chunk_timeout: float | None = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> SatisfactionMatrix:
     """Audit every operator against every axiom.
 
@@ -80,6 +83,8 @@ def compute_matrix(
     ``jobs > 1`` runs the whole sweep through the parallel audit engine —
     one process pool, one operator-roster shipment, batched chunk
     evaluation — with results identical to the serial loop.
+    ``chunk_timeout`` / ``max_retries`` configure the engine's resilience
+    ladder (ignored on the serial path).
     """
     if jobs > 1:
         from repro.engine.pool import run_audit
@@ -91,6 +96,8 @@ def compute_matrix(
             max_scenarios=max_scenarios,
             rng=rng,
             jobs=jobs,
+            chunk_timeout=chunk_timeout,
+            max_retries=max_retries,
         )
         results = outcome.results
     else:

@@ -26,6 +26,7 @@ from typing import Callable, Iterator, Optional, Protocol, Sequence
 
 from repro import obs
 from repro.core.weighted import WeightedKnowledgeBase
+from repro.engine.resilience import DEFAULT_MAX_RETRIES
 from repro.logic.interpretation import Vocabulary
 
 __all__ = [
@@ -244,13 +245,16 @@ def check_weighted_axiom(
     jobs: int = 1,
     max_weight: int = 5,
     density: float = 0.5,
+    chunk_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> Optional[WeightedCounterexample]:
     """Sampled check of one weighted axiom; first counterexample or None.
 
     ``jobs > 1`` routes through the weighted audit engine
     (:func:`repro.engine.weighted.check_weighted_axiom_parallel`), whose
     min-global-index merge reports the same first counterexample as this
-    serial loop over the identical sampled stream.
+    serial loop over the identical sampled stream; ``chunk_timeout`` /
+    ``max_retries`` configure its resilience ladder (ignored serially).
     """
     if jobs > 1:
         from repro.engine.weighted import check_weighted_axiom_parallel
@@ -264,6 +268,8 @@ def check_weighted_axiom(
             jobs=jobs,
             max_weight=max_weight,
             density=density,
+            chunk_timeout=chunk_timeout,
+            max_retries=max_retries,
         )
     generator = rng if isinstance(rng, random.Random) else random.Random(rng)
     roles = len(axiom.roles)
@@ -302,6 +308,8 @@ def audit_weighted_operator(
     jobs: int = 1,
     max_weight: int = 5,
     density: float = 0.5,
+    chunk_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> dict[str, Optional[WeightedCounterexample]]:
     """Check all of F1–F8; results keyed by axiom name (None = held).
 
@@ -321,6 +329,8 @@ def audit_weighted_operator(
             jobs=jobs,
             max_weight=max_weight,
             density=density,
+            chunk_timeout=chunk_timeout,
+            max_retries=max_retries,
         )
         return outcome.results
     return {

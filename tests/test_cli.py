@@ -102,6 +102,27 @@ class TestAuditCommand:
         code, _ = run_cli("audit", "--operator", "nonesuch")
         assert code == 2
 
+    def test_resilience_flags_accepted(self):
+        """--chunk-timeout / --max-retries reach the engine, and the
+        resilience counters show up in --stats even on a clean run."""
+        code, text = run_cli(
+            "audit", "--atoms-count", "2", "--operator", "dalal",
+            "--scenarios", "400", "--jobs", "2",
+            "--chunk-timeout", "30", "--max-retries", "1", "--stats",
+        )
+        assert code == 0
+        assert "engine.retries" in text
+        assert "engine.worker_crashes" in text
+        assert "engine.chunks_degraded" in text
+
+    def test_weighted_resilience_flags_accepted(self):
+        code, text = run_cli(
+            "audit", "--weighted", "--atoms-count", "2", "--scenarios", "60",
+            "--jobs", "2", "--chunk-timeout", "30", "--stats",
+        )
+        assert code == 0
+        assert "engine.weighted_retries" in text
+
     def test_weighted_audit_rendered(self):
         code, text = run_cli(
             "audit", "--weighted", "--atoms-count", "2", "--scenarios", "80",

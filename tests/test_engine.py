@@ -304,3 +304,110 @@ def _model_set(vocabulary, bits):
     from repro.engine.batched import model_set_of_bits
 
     return model_set_of_bits(vocabulary, bits)
+
+
+class _AliasedDalal(DalalRevision):
+    """Dalal under its own roster name, comparing equal across classes.
+
+    Operators with custom ``__eq__`` break ``list.index``-style identity
+    resolution; the engine must track roster *positions*, not equality.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.name = "dalal-aliased"
+
+    def __eq__(self, other):
+        return isinstance(other, (_AliasedDalal, _AliasedFitting))
+
+    def __hash__(self):
+        return 11
+
+
+class _AliasedFitting(ReveszFitting):
+    """Revesz fitting that compares equal to :class:`_AliasedDalal`."""
+
+    def __init__(self):
+        super().__init__()
+        self.name = "fitting-aliased"
+
+    def __eq__(self, other):
+        return isinstance(other, (_AliasedDalal, _AliasedFitting))
+
+    def __hash__(self):
+        return 11
+
+
+class TestRosterResolution:
+    """Operators and axioms are identified by roster position + unique
+    name, never by equality or ``.index`` lookups (which mis-resolve
+    equal-comparing operators and silently clobber duplicate names)."""
+
+    def test_equal_comparing_operators_keep_distinct_verdicts(self):
+        """Two operators that compare equal but behave differently must
+        each get their own verdicts — ``operators.index`` would have sent
+        every chunk of both to the first one."""
+        operators = [_AliasedDalal(), _AliasedFitting()]
+        axioms = [axiom_by_name("A2"), axiom_by_name("A8")]
+        serial = run_audit(operators, axioms, VOCAB2, max_scenarios=600, jobs=1)
+        parallel = run_audit(operators, axioms, VOCAB2, max_scenarios=600, jobs=2)
+        for operator in operators:
+            for axiom in axioms:
+                left = serial.results[operator.name][axiom.name]
+                right = parallel.results[operator.name][axiom.name]
+                assert left == right, f"{operator.name}/{axiom.name}"
+        # The two operators genuinely disagree somewhere, so a chunk
+        # mis-routed to the wrong operator could not have gone unnoticed.
+        assert any(
+            parallel.results["dalal-aliased"][a.name].holds
+            != parallel.results["fitting-aliased"][a.name].holds
+            for a in axioms
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_duplicate_operator_names_rejected(self, jobs):
+        with pytest.raises(ValueError, match="duplicate operator name"):
+            run_audit(
+                [DalalRevision(), DalalRevision()],
+                [axiom_by_name("R1")],
+                VOCAB2,
+                jobs=jobs,
+            )
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_duplicate_axiom_names_rejected(self, jobs):
+        axiom = axiom_by_name("R1")
+        with pytest.raises(ValueError, match="duplicate axiom name"):
+            run_audit([DalalRevision()], [axiom, axiom], VOCAB2, jobs=jobs)
+
+
+class TestSharedRngContract:
+    """``run_audit(jobs=1)`` with a caller-owned ``random.Random`` must
+    consume the stream exactly like calling ``check_axiom`` per cell with
+    that same generator — historically the serial path planned chunks
+    first (fast-forwarding the stream) and then sampled again."""
+
+    def test_jobs1_matches_direct_check_axiom_draw_for_draw(self):
+        vocabulary = Vocabulary(["a", "b", "c", "d"])
+        operators = [DalalRevision(), ReveszFitting()]
+        axioms = [axiom_by_name("R5"), axiom_by_name("R6")]
+
+        engine_rng = random.Random(42)
+        outcome = run_audit(
+            operators, axioms, vocabulary,
+            max_scenarios=50, rng=engine_rng, jobs=1,
+        )
+
+        direct_rng = random.Random(42)
+        for operator in operators:
+            for axiom in axioms:
+                expected = check_axiom(
+                    operator, axiom, vocabulary,
+                    max_scenarios=50, rng=direct_rng,
+                )
+                got = outcome.results[operator.name][axiom.name]
+                assert got == expected, f"{operator.name}/{axiom.name}"
+        # Draw-for-draw: both harnesses leave the generator in the same
+        # state, so interleaving engine audits with other consumers of a
+        # shared Random stays reproducible.
+        assert engine_rng.getstate() == direct_rng.getstate()

@@ -308,6 +308,20 @@ class TestRouting:
                 WeightedModelFitting(), WEIGHTED_AXIOMS, VOCAB2, jobs=0
             )
 
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_duplicate_axiom_names_rejected(self, jobs):
+        """Results are keyed by axiom name, so a roster with duplicate
+        names would silently clobber one audit with another."""
+        axiom = WEIGHTED_AXIOMS[0]
+        with pytest.raises(ValueError, match="duplicate axiom name"):
+            run_weighted_audit(
+                WeightedModelFitting(),
+                [axiom, axiom],
+                VOCAB2,
+                scenarios=30,
+                jobs=jobs,
+            )
+
     def test_audit_default_equals_legacy_loop(self):
         """jobs=1 must be the legacy loop itself: same dict, same objects
         as calling check_weighted_axiom per axiom."""
