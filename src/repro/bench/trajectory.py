@@ -1,0 +1,316 @@
+"""Perf-trajectory gate: compare fresh benchmark runs to committed baselines.
+
+The speedups PRs 1–4 bought (34–90x kernels, 3.85x engine, 450–723x dense
+weighted) live in the ``BENCH_*.json`` snapshots.  Nothing so far failed
+when they rotted.  This module turns the snapshots into a regression
+gate:
+
+* :func:`extract_points` reads the speedup series out of any known
+  snapshot shape (E9 kernel rows, E7 audit rows, E4 weighted rows);
+* :func:`compare_payloads` matches a fresh payload against a baseline
+  point by point, with a *ratio* tolerance band — a fresh speedup must
+  retain at least ``min_ratio`` of the baseline's (ratios, not absolute
+  seconds, so the gate is robust to hardware differences between the
+  committing box and CI).  Checksums, where both sides carry them, must
+  match exactly: the benchmark workloads are seeded, so a checksum drift
+  is a correctness bug, not noise.
+* :func:`regenerate_payload` re-runs the measurement behind a baseline
+  with the same workload parameters, for the CI lane's one-command flow.
+
+Exit semantics (``repro trajectory``): any regression, missing row, or
+checksum mismatch is a non-zero exit — the CI perf lane fails.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_MIN_RATIO",
+    "TrajectoryPoint",
+    "TrajectoryIssue",
+    "TrajectoryReport",
+    "extract_points",
+    "compare_payloads",
+    "compare_files",
+    "regenerate_payload",
+    "render_report",
+]
+
+#: A fresh run must retain at least this fraction of the baseline speedup.
+#: Deliberately loose: CI hardware differs from the box that committed the
+#: baseline, and the gate is for *rot* (a 34x kernel silently going
+#: scalar), not for 10% wobble.
+DEFAULT_MIN_RATIO = 0.2
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One comparable measurement: a keyed speedup plus optional checksum."""
+
+    series: str
+    key: str
+    speedup: float
+    checksum: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.series}[{self.key}]"
+
+
+@dataclass(frozen=True)
+class TrajectoryIssue:
+    """One gate failure: a regression, a missing row, or a checksum drift."""
+
+    kind: str  # "regression" | "missing" | "checksum-mismatch"
+    label: str
+    detail: str
+
+
+@dataclass
+class TrajectoryReport:
+    """Outcome of one baseline/fresh comparison."""
+
+    experiment: str
+    min_ratio: float
+    compared: int = 0
+    issues: list[TrajectoryIssue] = field(default_factory=list)
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+
+def _series_points(
+    payload: dict[str, Any],
+    series: str,
+    key_fields: tuple[str, ...],
+) -> list[TrajectoryPoint]:
+    points = []
+    for row in payload.get(series, []):
+        key = " ".join(f"{name}={row[name]}" for name in key_fields if name in row)
+        points.append(
+            TrajectoryPoint(
+                series=series,
+                key=key,
+                speedup=float(row["speedup"]),
+                checksum=(
+                    str(row["checksum"]) if row.get("checksum") is not None else None
+                ),
+            )
+        )
+    return points
+
+
+def extract_points(payload: dict[str, Any]) -> list[TrajectoryPoint]:
+    """The speedup series of any known snapshot shape.
+
+    Series without speedups (e.g. E9's ``operator_sweep``) are not part
+    of the trajectory and are ignored.
+    """
+    experiment = payload.get("experiment")
+    if experiment == "E9":
+        return _series_points(payload, "kernel_speedup", ("atoms", "operator"))
+    if experiment == "E7-audit":
+        return _series_points(payload, "rows", ("atoms", "jobs"))
+    if experiment == "E4-weighted":
+        return _series_points(
+            payload, "fitting_speedup", ("atoms", "workload")
+        ) + _series_points(payload, "merge_speedup", ("atoms", "workload"))
+    raise ReproError(
+        f"unknown benchmark snapshot: experiment={experiment!r} "
+        "(expected E9, E7-audit, or E4-weighted)"
+    )
+
+
+def compare_payloads(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    min_ratio: float = DEFAULT_MIN_RATIO,
+    allow_missing: bool = False,
+) -> TrajectoryReport:
+    """Gate a fresh snapshot payload against its committed baseline.
+
+    Every baseline point must appear in the fresh payload (unless
+    ``allow_missing``), retain ``min_ratio`` of the baseline speedup, and
+    agree on the workload checksum when both sides carry one.  Extra
+    fresh points (a later PR widened the benchmark) are fine.
+    """
+    if baseline.get("experiment") != fresh.get("experiment"):
+        raise ReproError(
+            f"experiment mismatch: baseline is {baseline.get('experiment')!r}, "
+            f"fresh is {fresh.get('experiment')!r}"
+        )
+    report = TrajectoryReport(
+        experiment=str(baseline.get("experiment")), min_ratio=min_ratio
+    )
+    fresh_points = {
+        (point.series, point.key): point for point in extract_points(fresh)
+    }
+    for base in extract_points(baseline):
+        current = fresh_points.get((base.series, base.key))
+        if current is None:
+            if not allow_missing:
+                report.issues.append(
+                    TrajectoryIssue(
+                        kind="missing",
+                        label=base.label,
+                        detail="present in baseline, absent from fresh run",
+                    )
+                )
+            continue
+        report.compared += 1
+        ratio = (
+            current.speedup / base.speedup if base.speedup > 0 else float("inf")
+        )
+        row = {
+            "label": base.label,
+            "baseline_speedup": base.speedup,
+            "fresh_speedup": current.speedup,
+            "ratio": ratio,
+            "status": "ok",
+        }
+        if ratio < min_ratio:
+            row["status"] = "regressed"
+            report.issues.append(
+                TrajectoryIssue(
+                    kind="regression",
+                    label=base.label,
+                    detail=(
+                        f"speedup {current.speedup:.2f}x is "
+                        f"{ratio:.2f}x of baseline {base.speedup:.2f}x "
+                        f"(floor {min_ratio:.2f})"
+                    ),
+                )
+            )
+        if (
+            base.checksum is not None
+            and current.checksum is not None
+            and base.checksum != current.checksum
+        ):
+            row["status"] = "checksum-mismatch"
+            report.issues.append(
+                TrajectoryIssue(
+                    kind="checksum-mismatch",
+                    label=base.label,
+                    detail=(
+                        f"workload checksum changed: {base.checksum} -> "
+                        f"{current.checksum} (seeded workload; this is a "
+                        "correctness bug, not noise)"
+                    ),
+                )
+            )
+        report.rows.append(row)
+    return report
+
+
+def compare_files(
+    baseline_path: str,
+    fresh_path: str,
+    min_ratio: float = DEFAULT_MIN_RATIO,
+    allow_missing: bool = False,
+) -> TrajectoryReport:
+    """File-path convenience wrapper around :func:`compare_payloads`."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(fresh_path, "r", encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    return compare_payloads(baseline, fresh, min_ratio, allow_missing)
+
+
+def regenerate_payload(
+    baseline: dict[str, Any], path: Optional[str] = None
+) -> dict[str, Any]:
+    """Re-run the measurement behind ``baseline`` with matching parameters.
+
+    Parameters that the snapshot records (atom counts, pair counts, job
+    counts, source counts) are mirrored from the baseline rows; seeds are
+    the writers' defaults, which is what every committed snapshot used.
+    ``path`` optionally persists the fresh snapshot (the writers require a
+    path, so a throwaway temp file is used when omitted).
+    """
+    import os
+    import tempfile
+
+    experiment = baseline.get("experiment")
+    handle_path = path
+    temp_path = None
+    if handle_path is None:
+        fd, temp_path = tempfile.mkstemp(suffix=".json")
+        os.close(fd)
+        handle_path = temp_path
+    try:
+        if experiment == "E9":
+            from repro.bench.scaling import write_scaling_snapshot
+
+            rows = baseline.get("kernel_speedup", [])
+            atom_counts = sorted({int(row["atoms"]) for row in rows}) or [10]
+            pairs = int(rows[0]["pairs"]) if rows else 3
+            return write_scaling_snapshot(
+                handle_path,
+                atom_counts=atom_counts,
+                pairs=pairs,
+                sweep_atom_counts=None,
+            )
+        if experiment == "E7-audit":
+            from repro.bench.audit_speedup import write_audit_snapshot
+
+            rows = baseline.get("rows", [])
+            job_counts = sorted({int(row["jobs"]) for row in rows}) or [4]
+            atoms = int(rows[0]["atoms"]) if rows else 2
+            max_scenarios = int(rows[0]["max_scenarios"]) if rows else 5_000
+            return write_audit_snapshot(
+                handle_path,
+                atoms=atoms,
+                max_scenarios=max_scenarios,
+                job_counts=job_counts,
+            )
+        if experiment == "E4-weighted":
+            from repro.bench.weighted_speedup import write_weighted_snapshot
+
+            rows = baseline.get("fitting_speedup", [])
+            atom_counts = sorted({int(row["atoms"]) for row in rows}) or [10]
+            pairs = int(rows[0]["pairs"]) if rows else 3
+            merge_rows = baseline.get("merge_speedup", [])
+            sources = int(merge_rows[0]["sources"]) if merge_rows else 4
+            return write_weighted_snapshot(
+                handle_path,
+                atom_counts=atom_counts,
+                pairs=pairs,
+                sources=sources,
+            )
+        raise ReproError(
+            f"cannot regenerate unknown experiment {experiment!r}"
+        )
+    finally:
+        if temp_path is not None:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+
+
+def render_report(report: TrajectoryReport) -> str:
+    """Human-readable gate verdict."""
+    lines = [
+        f"perf trajectory — {report.experiment} "
+        f"(floor {report.min_ratio:.2f}x of baseline)"
+    ]
+    for row in report.rows:
+        lines.append(
+            f"  {row['status']:<18} {row['label']}: "
+            f"{row['baseline_speedup']:.2f}x -> {row['fresh_speedup']:.2f}x "
+            f"(ratio {row['ratio']:.2f})"
+        )
+    if report.issues:
+        lines.append(f"FAIL: {len(report.issues)} issue(s)")
+        for issue in report.issues:
+            lines.append(f"  {issue.kind}: {issue.label} — {issue.detail}")
+    else:
+        lines.append(f"OK: {report.compared} point(s) within tolerance")
+    return "\n".join(lines)

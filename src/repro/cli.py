@@ -10,6 +10,8 @@ Commands
 ``merge``        n-ary consensus over named sources
 ``audit``        the operator × axiom satisfaction matrix
 ``stats``        an instrumented smoke audit printing the metrics snapshot
+``soak``         replay a long seeded change stream with online invariants
+``trajectory``   gate fresh benchmark runs against committed BENCH baselines
 ``experiments``  run the paper-reproduction drivers E1–E8
 
 Formulas use the library's surface syntax (``!``, ``&``, ``|``, ``->``,
@@ -315,6 +317,87 @@ def _cmd_stats(args, out) -> int:
     return 0
 
 
+def _cmd_soak(args, out) -> int:
+    """Run (or resume) an iterated-change soak stream; exit 1 on any
+    invariant violation, 0 otherwise (including a clean ``--max-chunks``
+    stop, which prints INCOMPLETE and resumes later)."""
+    from repro.soak import SoakConfig, run_soak
+
+    config = SoakConfig(
+        seed=args.seed,
+        steps=args.steps,
+        atoms=args.atoms_count,
+        chunk_size=args.chunk_size,
+        depth=args.depth,
+        commute_every=args.commute_every,
+        roundtrip_every=args.roundtrip_every,
+    )
+    if args.metrics_out:
+        with obs.use() as registry:
+            report = run_soak(
+                config,
+                journal_dir=args.journal,
+                resume=args.resume,
+                max_chunks=args.max_chunks,
+            )
+            payload = obs.metrics_payload(registry)
+        payload["soak_drift"] = report.drift
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    else:
+        report = run_soak(
+            config,
+            journal_dir=args.journal,
+            resume=args.resume,
+            max_chunks=args.max_chunks,
+        )
+    print(report.describe(), file=out)
+    return 0 if report.ok else 1
+
+
+def _cmd_trajectory(args, out) -> int:
+    """Compare fresh benchmark snapshots against committed baselines;
+    exit 1 on any regression, missing row, or checksum mismatch."""
+    import json
+
+    from repro.bench.trajectory import (
+        compare_payloads,
+        regenerate_payload,
+        render_report,
+    )
+
+    if args.fresh and len(args.fresh) != len(args.baseline):
+        raise ReproError(
+            f"got {len(args.baseline)} --baseline but {len(args.fresh)} "
+            "--fresh; pass one fresh snapshot per baseline or none (--run)"
+        )
+    if not args.fresh and not args.run:
+        raise ReproError("pass --fresh FILE per baseline, or --run to regenerate")
+    all_ok = True
+    for index, baseline_path in enumerate(args.baseline):
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        if args.fresh:
+            with open(args.fresh[index], "r", encoding="utf-8") as handle:
+                fresh = json.load(handle)
+        else:
+            fresh = regenerate_payload(baseline)
+        report = compare_payloads(
+            baseline,
+            fresh,
+            min_ratio=args.min_ratio,
+            allow_missing=args.allow_missing,
+        )
+        print(render_report(report), file=out)
+        print(file=out)
+        all_ok = all_ok and report.ok
+    print("TRAJECTORY OK" if all_ok else "TRAJECTORY REGRESSED", file=out)
+    return 0 if all_ok else 1
+
+
 def _cmd_experiments(args, out) -> int:
     wanted = args.only if args.only else sorted(_EXPERIMENTS)
     all_ok = True
@@ -443,6 +526,100 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit JSON instead of text"
     )
     stats_parser.set_defaults(handler=_cmd_stats)
+
+    soak_parser = subparsers.add_parser(
+        "soak", help="iterated-change soak with online invariant checks"
+    )
+    soak_parser.add_argument(
+        "--steps", type=int, default=10_000, help="stream length in change steps"
+    )
+    soak_parser.add_argument("--seed", type=int, default=0)
+    soak_parser.add_argument("--atoms-count", type=int, default=5)
+    soak_parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=256,
+        metavar="STEPS",
+        help="steps per journaled chunk (the resume granularity)",
+    )
+    soak_parser.add_argument(
+        "--depth", type=int, default=3, help="connective depth of drawn formulas"
+    )
+    soak_parser.add_argument(
+        "--commute-every",
+        type=int,
+        default=16,
+        metavar="STEPS",
+        help="cadence of commutativity / merge-order spot-checks",
+    )
+    soak_parser.add_argument(
+        "--roundtrip-every",
+        type=int,
+        default=64,
+        metavar="STEPS",
+        help="cadence of serialize→deserialize round-trip checks",
+    )
+    soak_parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="journal completed chunks under DIR (enables --resume)",
+    )
+    soak_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the journal's last intact chunk boundary",
+    )
+    soak_parser.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process at most N chunks this invocation, then stop cleanly",
+    )
+    soak_parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the obs metrics snapshot plus per-chunk drift to FILE",
+    )
+    soak_parser.set_defaults(handler=_cmd_soak)
+
+    trajectory_parser = subparsers.add_parser(
+        "trajectory", help="perf gate: fresh benchmarks vs BENCH baselines"
+    )
+    trajectory_parser.add_argument(
+        "--baseline",
+        action="append",
+        required=True,
+        metavar="FILE",
+        help="committed BENCH_*.json baseline (repeatable)",
+    )
+    trajectory_parser.add_argument(
+        "--fresh",
+        action="append",
+        metavar="FILE",
+        help="fresh snapshot to gate, one per --baseline (omit with --run)",
+    )
+    trajectory_parser.add_argument(
+        "--run",
+        action="store_true",
+        help="regenerate each fresh snapshot in-process with the "
+        "baseline's workload parameters",
+    )
+    trajectory_parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.2,
+        help="fresh speedup must retain this fraction of the baseline "
+        "(default: %(default)s)",
+    )
+    trajectory_parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="do not fail on baseline rows absent from the fresh run",
+    )
+    trajectory_parser.set_defaults(handler=_cmd_trajectory)
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="run the paper-reproduction drivers"

@@ -23,8 +23,10 @@ the whole trajectory, not just the limit.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from itertools import permutations
+from math import factorial
 from typing import Optional, Sequence
 
 from repro.core.arbitration import ArbitrationOperator
@@ -34,10 +36,20 @@ from repro.logic.semantics import ModelSet
 
 __all__ = [
     "Trace",
+    "TERMINATION_FIXED_POINT",
+    "TERMINATION_MAX_ROUNDS",
+    "TERMINATION_COMPLETED",
     "iterate_arbitration",
     "fold_arbitration",
     "order_sensitivity",
 ]
+
+
+#: How a trajectory ended: the iteration found a fixed point, was cut off
+#: by ``max_rounds``, or (for folds) simply consumed every source.
+TERMINATION_FIXED_POINT = "fixed-point"
+TERMINATION_MAX_ROUNDS = "max-rounds"
+TERMINATION_COMPLETED = "completed"
 
 
 @dataclass(frozen=True)
@@ -45,11 +57,16 @@ class Trace:
     """A deliberation trajectory.
 
     ``states[0]`` is the initial knowledge base; ``states[-1]`` the final
-    one.  ``converged`` is true when the last two states coincide (a fixed
-    point), false when the iteration was cut off by ``max_rounds``.
+    one.  ``termination`` records *how* the trajectory ended
+    (``"fixed-point"``, ``"max-rounds"``, or ``"completed"`` for folds) —
+    recorded by the producer, not inferred from state equality, so a fold
+    whose last two consensi happen to coincide is not mislabeled as
+    converged, and a ``max_rounds`` cutoff inside a limit cycle is
+    distinguishable from a genuine fixed point.
     """
 
     states: tuple[ModelSet, ...]
+    termination: Optional[str] = None
 
     @property
     def initial(self) -> ModelSet:
@@ -68,7 +85,14 @@ class Trace:
 
     @property
     def converged(self) -> bool:
-        """Whether a fixed point was reached (last step was a no-op)."""
+        """Whether a fixed point was reached (last step was a no-op).
+
+        When the producer recorded a ``termination``, that is
+        authoritative; hand-built traces without one fall back to the
+        legacy inference from the last two states.
+        """
+        if self.termination is not None:
+            return self.termination == TERMINATION_FIXED_POINT
         return len(self.states) >= 2 and self.states[-1] == self.states[-2]
 
     @property
@@ -99,12 +123,14 @@ def iterate_arbitration(
     """
     operator = ArbitrationOperator(fitting)
     states = [psi]
+    termination = TERMINATION_MAX_ROUNDS
     for _ in range(max_rounds):
         next_state = operator.apply_models(states[-1], phi)
         states.append(next_state)
         if next_state == states[-2]:
+            termination = TERMINATION_FIXED_POINT
             break
-    return Trace(tuple(states))
+    return Trace(tuple(states), termination)
 
 
 def fold_arbitration(
@@ -122,40 +148,67 @@ def fold_arbitration(
     states = [sources[0]]
     for source in sources[1:]:
         states.append(operator.apply_models(states[-1], source))
-    return Trace(tuple(states))
+    # A fold is not a fixed-point search: it terminates because the
+    # sources ran out, even if the last two consensi happen to coincide.
+    return Trace(tuple(states), TERMINATION_COMPLETED)
 
 
 def order_sensitivity(
     sources: Sequence[ModelSet],
     fitting: Optional[ModelFittingOperator] = None,
     max_orders: int = 24,
+    rng: int | random.Random = 0,
 ) -> dict[str, object]:
     """How much the pairwise fold depends on source order.
 
     Evaluates the fold under up to ``max_orders`` permutations and the
-    order-independent simultaneous n-ary merge, returning:
+    order-independent simultaneous n-ary merge.  When the full ``k!``
+    order space fits in ``max_orders`` every order is tried; otherwise
+    ``max_orders`` *distinct* orders are drawn with the seeded ``rng`` —
+    a uniform sample rather than the first entries of
+    ``itertools.permutations`` (which all share a long common prefix and
+    so systematically under-count order sensitivity).  Returns:
 
     ``distinct_outcomes``
         number of distinct fold results across the tried orders;
     ``outcomes``
-        the distinct results themselves;
+        the distinct results, as a tuple in canonical (mask-sorted) order
+        so repeated runs report identically;
+    ``orders_tried`` / ``exhaustive_orders``
+        how many orders were evaluated and whether that covered all ``k!``;
     ``simultaneous``
         the n-ary merge result (always order-independent);
     ``simultaneous_reachable``
-        whether some fold order reproduces the simultaneous merge.
+        whether some tried fold order reproduces the simultaneous merge.
     """
     if not sources:
         raise OperatorError("order_sensitivity requires at least one source")
     operator = ArbitrationOperator(fitting)
+    total_orders = factorial(len(sources))
+    orders: list[tuple[ModelSet, ...]]
+    if total_orders <= max_orders:
+        orders = list(permutations(sources))
+    else:
+        generator = rng if isinstance(rng, random.Random) else random.Random(rng)
+        seen_orders: set[tuple[int, ...]] = set()
+        orders = []
+        indices = list(range(len(sources)))
+        while len(orders) < max_orders:
+            generator.shuffle(indices)
+            key = tuple(indices)
+            if key in seen_orders:
+                continue
+            seen_orders.add(key)
+            orders.append(tuple(sources[i] for i in indices))
     outcomes: set[ModelSet] = set()
-    for index, order in enumerate(permutations(sources)):
-        if index >= max_orders:
-            break
+    for order in orders:
         outcomes.add(fold_arbitration(order, fitting).final)
     simultaneous = operator.merge_models(list(sources))
     return {
         "distinct_outcomes": len(outcomes),
-        "outcomes": outcomes,
+        "outcomes": tuple(sorted(outcomes, key=lambda ms: ms.masks)),
+        "orders_tried": len(orders),
+        "exhaustive_orders": total_orders <= max_orders,
         "simultaneous": simultaneous,
         "simultaneous_reachable": simultaneous in outcomes,
     }

@@ -39,6 +39,21 @@ __all__ = [
 _FORMAT_VERSION = 1
 
 
+def _check_version(data: dict[str, Any], what: str) -> None:
+    """Reject payloads written by a different (or absent) format version.
+
+    Every ``*_to_dict``/``*_to_json`` writer stamps ``_FORMAT_VERSION``;
+    loaders must refuse anything else instead of silently misparsing a
+    future format.
+    """
+    found = data.get("version")
+    if found != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported {what} format version: found {found!r}, "
+            f"expected {_FORMAT_VERSION}"
+        )
+
+
 def model_set_to_dict(model_set: ModelSet) -> dict[str, Any]:
     """Plain-JSON representation of a model set."""
     return {
@@ -53,6 +68,7 @@ def model_set_from_dict(data: dict[str, Any]) -> ModelSet:
     """Inverse of :func:`model_set_to_dict`."""
     if data.get("kind") != "model-set":
         raise ReproError(f"not a serialized model set: kind={data.get('kind')!r}")
+    _check_version(data, "model set")
     vocabulary = Vocabulary(data["atoms"])
     return ModelSet(vocabulary, data["masks"])
 
@@ -78,6 +94,7 @@ def weighted_kb_from_dict(data: dict[str, Any]) -> WeightedKnowledgeBase:
         raise ReproError(
             f"not a serialized weighted knowledge base: kind={data.get('kind')!r}"
         )
+    _check_version(data, "weighted knowledge base")
     vocabulary = Vocabulary(data["atoms"])
     weights = {
         int(mask): Fraction(weight_text)
@@ -125,6 +142,7 @@ def knowledge_base_from_json(
         raise ReproError(
             f"not a serialized knowledge base: kind={data.get('kind')!r}"
         )
+    _check_version(data, "knowledge base")
     vocabulary = Vocabulary(data["atoms"])
     model_set = ModelSet(vocabulary, data["masks"])
     from repro.kb.knowledge_base import ChangeRecord

@@ -1,0 +1,116 @@
+"""Deterministic change-stream generation for the soak harness.
+
+A soak stream is fully determined by a :class:`SoakConfig`: every draw —
+step kind, formula shape, merge fan-in — comes from one seeded
+``random.Random`` consumed strictly in step order.  That gives the same
+contract the audit engine's scenario plans rely on: the stream position
+is captured entirely by ``Random.getstate()``, so journaling the state at
+a chunk boundary lets a killed run resume draw-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+from repro.logic.interpretation import Vocabulary
+from repro.logic.random_formulas import random_satisfiable_formula
+from repro.logic.syntax import Formula
+
+__all__ = ["STEP_KINDS", "STEP_WEIGHTS", "SoakConfig", "SoakStep", "draw_step"]
+
+#: The four change verbs a stream mixes, with their relative frequencies.
+#: Revision and arbitration dominate (they are the paper's focus); merges
+#: are rarer but exercise the n-ary consensus path.
+STEP_KINDS: tuple[str, ...] = ("revise", "update", "arbitrate", "merge")
+STEP_WEIGHTS: tuple[int, ...] = (35, 25, 30, 10)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Everything that determines a soak stream and its check schedule.
+
+    Two configs are stream-compatible iff they are equal — the journal
+    refuses to resume under a different config, because any field here
+    changes either the draws or the ledger.
+    """
+
+    seed: int = 0
+    steps: int = 10_000
+    atoms: int = 5
+    chunk_size: int = 256
+    depth: int = 3
+    commute_every: int = 16
+    roundtrip_every: int = 64
+    trace_window: int = 8
+
+    def __post_init__(self) -> None:
+        if self.steps < 0:
+            raise ReproError(f"steps must be non-negative, got {self.steps}")
+        if self.atoms < 1:
+            raise ReproError(f"atoms must be positive, got {self.atoms}")
+        if self.chunk_size < 1:
+            raise ReproError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.commute_every < 1 or self.roundtrip_every < 1:
+            raise ReproError("check cadences must be positive")
+        if self.trace_window < 2:
+            raise ReproError(f"trace_window must be at least 2, got {self.trace_window}")
+
+    def vocabulary(self) -> Vocabulary:
+        """The fixed 𝒯 the whole stream ranges over (``a``, ``b``, …)."""
+        return Vocabulary([chr(ord("a") + index) for index in range(self.atoms)])
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "steps": self.steps,
+            "atoms": self.atoms,
+            "chunk_size": self.chunk_size,
+            "depth": self.depth,
+            "commute_every": self.commute_every,
+            "roundtrip_every": self.roundtrip_every,
+            "trace_window": self.trace_window,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SoakConfig":
+        return cls(**{key: int(value) for key, value in data.items()})
+
+
+@dataclass(frozen=True)
+class SoakStep:
+    """One drawn change step: a verb plus its incoming formula(s).
+
+    ``formulas`` has one entry for the binary verbs and two or three for
+    ``merge`` (the knowledge base itself is always an implicit voice).
+    """
+
+    index: int
+    kind: str
+    formulas: tuple[Formula, ...] = field(compare=False)
+
+
+def draw_step(
+    index: int,
+    generator: random.Random,
+    vocabulary: Vocabulary,
+    depth: int,
+) -> SoakStep:
+    """Draw step ``index`` from the stream.
+
+    All incoming formulas are satisfiable (an unsatisfiable witness tells
+    the jury nothing), so the knowledge base provably stays satisfiable
+    along the whole stream and the A2 consistency check has teeth.
+    """
+    kind = generator.choices(STEP_KINDS, weights=STEP_WEIGHTS, k=1)[0]
+    if kind == "merge":
+        fan_in = generator.randint(2, 3)
+        formulas = tuple(
+            random_satisfiable_formula(vocabulary, depth, generator)
+            for _ in range(fan_in)
+        )
+    else:
+        formulas = (random_satisfiable_formula(vocabulary, depth, generator),)
+    return SoakStep(index=index, kind=kind, formulas=formulas)

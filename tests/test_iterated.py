@@ -5,6 +5,9 @@ from hypothesis import given
 
 from repro.core.fitting import PriorityFitting
 from repro.core.iterated import (
+    TERMINATION_COMPLETED,
+    TERMINATION_FIXED_POINT,
+    TERMINATION_MAX_ROUNDS,
     Trace,
     fold_arbitration,
     iterate_arbitration,
@@ -47,6 +50,36 @@ class TestTrace:
     def test_cycle_length_none_without_repeat(self):
         trace = Trace((_ms(set()), _ms({"a"}), _ms({"b"})))
         assert trace.cycle_length is None
+
+
+class TestTermination:
+    def test_fixed_point_recorded_by_iteration(self):
+        psi = _ms({"a"})
+        trace = iterate_arbitration(psi, psi)
+        assert trace.termination == TERMINATION_FIXED_POINT
+        assert trace.converged
+
+    def test_max_rounds_cutoff_is_not_converged(self):
+        # ∅-distance ties make this pair oscillate; one round cannot
+        # possibly settle, and the cutoff must say so explicitly.
+        psi = _ms({"a", "b", "c"})
+        phi = _ms(set())
+        trace = iterate_arbitration(psi, phi, max_rounds=1)
+        assert trace.termination == TERMINATION_MAX_ROUNDS
+        assert not trace.converged
+
+    def test_fold_termination_is_completed_not_converged(self):
+        """Regression: a fold whose last two consensi coincide used to be
+        reported as 'converged' by the state-equality inference."""
+        psi = _ms({"a"})
+        trace = fold_arbitration([psi, psi, psi])
+        assert trace.states[-1] == trace.states[-2]
+        assert trace.termination == TERMINATION_COMPLETED
+        assert not trace.converged
+
+    def test_hand_built_trace_falls_back_to_inference(self):
+        assert Trace((_ms(set()), _ms({"a"}), _ms({"a"}))).converged
+        assert not Trace((_ms(set()), _ms({"a"}))).converged
 
 
 class TestIterateArbitration:
@@ -140,3 +173,35 @@ class TestOrderSensitivity:
         report = order_sensitivity(sources)
         assert not report["simultaneous"].is_empty
         assert isinstance(report["simultaneous_reachable"], bool)
+
+    def test_small_source_lists_are_exhaustive(self):
+        sources = [_ms({"a"}), _ms({"b"}), _ms({"c"})]
+        report = order_sensitivity(sources, max_orders=24)
+        assert report["exhaustive_orders"]
+        assert report["orders_tried"] == 6
+
+    def test_sampling_draws_distinct_orders(self):
+        """Regression: the sampler used to take the first N entries of
+        itertools.permutations, which share a long common prefix."""
+        sources = [
+            _ms(set()), _ms({"a"}), _ms({"b"}), _ms({"c"}), _ms({"a", "b"})
+        ]  # 5! = 120 orders > max_orders
+        report = order_sensitivity(sources, max_orders=10, rng=7)
+        assert not report["exhaustive_orders"]
+        assert report["orders_tried"] == 10
+
+    def test_sampling_is_seed_deterministic(self):
+        sources = [
+            _ms(set()), _ms({"a"}), _ms({"b"}), _ms({"c"}), _ms({"a", "b"})
+        ]
+        first = order_sensitivity(sources, max_orders=8, rng=3)
+        second = order_sensitivity(sources, max_orders=8, rng=3)
+        assert first["outcomes"] == second["outcomes"]
+        assert first["distinct_outcomes"] == second["distinct_outcomes"]
+
+    def test_outcomes_in_canonical_order(self):
+        sources = [_ms(set()), _ms({"a", "b", "c"}), _ms({"a"})]
+        report = order_sensitivity(sources)
+        masks = [outcome.masks for outcome in report["outcomes"]]
+        assert masks == sorted(masks)
+        assert len(set(masks)) == len(masks)

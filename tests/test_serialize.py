@@ -108,6 +108,62 @@ class TestKnowledgeBaseRoundTrip:
         assert restored.constraints is None
 
 
+class TestMalformedInputs:
+    """Loader hardening: wrong/missing versions and broken payload fields.
+
+    Regression suite for the version-validation fix — loaders previously
+    ignored ``"version"`` entirely and would silently misparse payloads
+    written by a future format.
+    """
+
+    def test_writers_stamp_a_version(self):
+        assert model_set_to_dict(ModelSet(VOCAB, [0]))["version"] == 1
+        kb = WeightedKnowledgeBase(VOCAB, {0: 1})
+        assert weighted_kb_to_dict(kb)["version"] == 1
+        payload = json.loads(knowledge_base_to_json(KnowledgeBase("a")))
+        assert payload["version"] == 1
+
+    def test_model_set_future_version_rejected(self):
+        data = model_set_to_dict(ModelSet(VOCAB, [0, 5]))
+        data["version"] = 2
+        with pytest.raises(ReproError, match="found 2, expected 1"):
+            model_set_from_dict(data)
+
+    def test_model_set_missing_version_rejected(self):
+        data = model_set_to_dict(ModelSet(VOCAB, [0, 5]))
+        del data["version"]
+        with pytest.raises(ReproError, match="found None"):
+            model_set_from_dict(data)
+
+    def test_weighted_kb_version_checked(self):
+        data = weighted_kb_to_dict(WeightedKnowledgeBase(VOCAB, {1: 2}))
+        data["version"] = "1"  # right number, wrong type — still rejected
+        with pytest.raises(ReproError, match="format version"):
+            weighted_kb_from_dict(data)
+
+    def test_knowledge_base_version_checked(self):
+        data = json.loads(knowledge_base_to_json(KnowledgeBase("a & b")))
+        data["version"] = 0
+        with pytest.raises(ReproError, match="format version"):
+            knowledge_base_from_json(json.dumps(data))
+
+    def test_kind_check_fires_before_version_check(self):
+        with pytest.raises(ReproError, match="kind"):
+            model_set_from_dict({"kind": "weighted-kb", "version": 99})
+
+    def test_model_set_mask_outside_vocabulary_rejected(self):
+        data = model_set_to_dict(ModelSet(VOCAB, [0]))
+        data["masks"] = [8]  # 2^3 == 8 is out of range for three atoms
+        with pytest.raises(ReproError):
+            model_set_from_dict(data)
+
+    def test_weighted_kb_malformed_fraction_rejected(self):
+        data = weighted_kb_to_dict(WeightedKnowledgeBase(VOCAB, {1: 2}))
+        data["weights"] = {"1": "not/a/fraction"}
+        with pytest.raises((ReproError, ValueError, ZeroDivisionError)):
+            weighted_kb_from_dict(data)
+
+
 class TestKnowledgeBaseRetraction:
     def test_contract_stops_belief(self):
         kb = KnowledgeBase("a & b")

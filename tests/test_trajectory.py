@@ -1,0 +1,181 @@
+"""Unit tests for the perf-trajectory gate (``repro.bench.trajectory``)."""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.trajectory import (
+    compare_files,
+    compare_payloads,
+    extract_points,
+    render_report,
+)
+from repro.cli import main
+from repro.errors import ReproError
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def e9_payload(speedup: float = 40.0, checksum: str = "abc") -> dict:
+    return {
+        "experiment": "E9",
+        "kernel_speedup": [
+            {"atoms": 10, "operator": "dalal", "pairs": 3,
+             "speedup": speedup, "checksum": checksum},
+            {"atoms": 12, "operator": "dalal", "pairs": 3,
+             "speedup": 2 * speedup, "checksum": "def"},
+        ],
+        "operator_sweep": [{"atoms": 10, "operator": "dalal", "seconds": 0.1}],
+    }
+
+
+def e4_payload() -> dict:
+    return {
+        "experiment": "E4-weighted",
+        "fitting_speedup": [
+            {"atoms": 10, "workload": "dense", "pairs": 3, "speedup": 450.0}
+        ],
+        "merge_speedup": [
+            {"atoms": 10, "workload": "dense", "sources": 4, "speedup": 300.0}
+        ],
+    }
+
+
+class TestExtractPoints:
+    def test_e9_ignores_non_speedup_series(self):
+        points = extract_points(e9_payload())
+        assert {point.series for point in points} == {"kernel_speedup"}
+        assert points[0].key == "atoms=10 operator=dalal"
+        assert points[0].checksum == "abc"
+
+    def test_e4_combines_both_series(self):
+        points = extract_points(e4_payload())
+        assert {point.series for point in points} == {
+            "fitting_speedup", "merge_speedup"
+        }
+
+    def test_e7_rows(self):
+        payload = {
+            "experiment": "E7-audit",
+            "rows": [{"atoms": 2, "jobs": 4, "speedup": 3.8}],
+        }
+        [point] = extract_points(payload)
+        assert point.key == "atoms=2 jobs=4"
+        assert point.checksum is None
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            extract_points({"experiment": "E99"})
+
+
+class TestComparePayloads:
+    def test_identical_payloads_pass(self):
+        report = compare_payloads(e9_payload(), e9_payload())
+        assert report.ok
+        assert report.compared == 2
+
+    def test_within_tolerance_passes(self):
+        report = compare_payloads(e9_payload(40.0), e9_payload(15.0))
+        assert report.ok  # 0.375 ratio clears the 0.2 floor
+
+    def test_regression_fails(self):
+        report = compare_payloads(e9_payload(40.0), e9_payload(1.0))
+        assert not report.ok
+        assert {issue.kind for issue in report.issues} == {"regression"}
+        assert len(report.issues) == 2
+
+    def test_missing_row_fails(self):
+        fresh = e9_payload()
+        fresh["kernel_speedup"] = fresh["kernel_speedup"][:1]
+        report = compare_payloads(e9_payload(), fresh)
+        assert not report.ok
+        assert report.issues[0].kind == "missing"
+
+    def test_allow_missing_tolerates_dropped_rows(self):
+        fresh = e9_payload()
+        fresh["kernel_speedup"] = fresh["kernel_speedup"][:1]
+        report = compare_payloads(e9_payload(), fresh, allow_missing=True)
+        assert report.ok
+        assert report.compared == 1
+
+    def test_extra_fresh_rows_are_fine(self):
+        fresh = e9_payload()
+        fresh["kernel_speedup"].append(
+            {"atoms": 14, "operator": "dalal", "pairs": 3, "speedup": 9.0}
+        )
+        assert compare_payloads(e9_payload(), fresh).ok
+
+    def test_checksum_mismatch_fails_even_when_fast(self):
+        fresh = e9_payload(speedup=400.0, checksum="CHANGED")
+        report = compare_payloads(e9_payload(), fresh)
+        assert not report.ok
+        assert report.issues[0].kind == "checksum-mismatch"
+
+    def test_missing_checksum_on_one_side_is_not_compared(self):
+        fresh = e9_payload()
+        for row in fresh["kernel_speedup"]:
+            row["checksum"] = None
+        assert compare_payloads(e9_payload(), fresh).ok
+
+    def test_experiment_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            compare_payloads(e9_payload(), e4_payload())
+
+    def test_render_report_mentions_failures(self):
+        report = compare_payloads(e9_payload(40.0), e9_payload(1.0))
+        text = render_report(report)
+        assert "FAIL" in text
+        assert "regression" in text
+
+
+class TestCompareFiles:
+    def test_round_trip_through_disk(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        baseline.write_text(json.dumps(e9_payload()))
+        fresh.write_text(json.dumps(e9_payload(1.0)))
+        report = compare_files(str(baseline), str(fresh))
+        assert not report.ok
+
+
+class TestTrajectoryCli:
+    def test_matching_payload_exits_zero(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(e9_payload()))
+        code, text = run_cli(
+            "trajectory", "--baseline", str(baseline), "--fresh", str(baseline)
+        )
+        assert code == 0
+        assert "TRAJECTORY OK" in text
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        regressed = tmp_path / "regressed.json"
+        baseline.write_text(json.dumps(e9_payload()))
+        regressed.write_text(json.dumps(e9_payload(1.0)))
+        code, text = run_cli(
+            "trajectory", "--baseline", str(baseline), "--fresh", str(regressed)
+        )
+        assert code == 1
+        assert "TRAJECTORY REGRESSED" in text
+
+    def test_committed_baseline_against_itself(self):
+        snapshot = str(Path(__file__).resolve().parent.parent / "BENCH_e9.json")
+        code, text = run_cli(
+            "trajectory", "--baseline", snapshot, "--fresh", snapshot
+        )
+        assert code == 0
+        assert "TRAJECTORY OK" in text
+
+    def test_fresh_count_must_match_baselines(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(e9_payload()))
+        code, _ = run_cli("trajectory", "--baseline", str(baseline))
+        assert code == 2
+        assert "--fresh" in capsys.readouterr().err
