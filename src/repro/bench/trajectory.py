@@ -6,7 +6,8 @@ when they rotted.  This module turns the snapshots into a regression
 gate:
 
 * :func:`extract_points` reads the speedup series out of any known
-  snapshot shape (E9 kernel rows, E7 audit rows, E4 weighted rows);
+  snapshot shape (E9 kernel rows, E7 audit rows, E4 weighted rows, shm
+  warm-up/audit rows);
 * :func:`compare_payloads` matches a fresh payload against a baseline
   point by point, with a *ratio* tolerance band — a fresh speedup must
   retain at least ``min_ratio`` of the baseline's (ratios, not absolute
@@ -122,9 +123,13 @@ def extract_points(payload: dict[str, Any]) -> list[TrajectoryPoint]:
         return _series_points(
             payload, "fitting_speedup", ("atoms", "workload")
         ) + _series_points(payload, "merge_speedup", ("atoms", "workload"))
+    if experiment == "shm":
+        return _series_points(payload, "warmup", ("atoms",)) + _series_points(
+            payload, "audit", ("atoms", "jobs")
+        )
     raise ReproError(
         f"unknown benchmark snapshot: experiment={experiment!r} "
-        "(expected E9, E7-audit, or E4-weighted)"
+        "(expected E9, E7-audit, E4-weighted, or shm)"
     )
 
 
@@ -283,6 +288,22 @@ def regenerate_payload(
                 atom_counts=atom_counts,
                 pairs=pairs,
                 sources=sources,
+            )
+        if experiment == "shm":
+            from repro.bench.shm_speedup import write_shm_snapshot
+
+            warmup = baseline.get("warmup", [])
+            audit = baseline.get("audit", [])
+            atoms = int(warmup[0]["atoms"]) if warmup else 12
+            repeats = int(warmup[0]["repeats"]) if warmup else 3
+            jobs = int(audit[0]["jobs"]) if audit else 4
+            max_scenarios = int(audit[0]["max_scenarios"]) if audit else 6
+            return write_shm_snapshot(
+                handle_path,
+                atoms=atoms,
+                max_scenarios=max_scenarios,
+                jobs=jobs,
+                repeats=repeats,
             )
         raise ReproError(
             f"cannot regenerate unknown experiment {experiment!r}"

@@ -215,6 +215,8 @@ def _cmd_audit(args, out) -> int:
         operators = [op for op in operators if op.name in wanted]
         if not operators:
             raise ReproError(f"no such operators: {sorted(wanted)}")
+    if args.resume and not args.journal:
+        raise ReproError("--resume requires --journal DIR")
     observe = args.stats or args.metrics_out
     if not observe:
         matrix = compute_matrix(
@@ -224,6 +226,9 @@ def _cmd_audit(args, out) -> int:
             jobs=args.jobs,
             chunk_timeout=args.chunk_timeout,
             max_retries=args.max_retries,
+            shm=args.shm,
+            journal_dir=args.journal,
+            resume=args.resume,
         )
         print(render_matrix(matrix), file=out)
         return 0
@@ -235,6 +240,9 @@ def _cmd_audit(args, out) -> int:
             jobs=args.jobs,
             chunk_timeout=args.chunk_timeout,
             max_retries=args.max_retries,
+            shm=args.shm,
+            journal_dir=args.journal,
+            resume=args.resume,
         )
         payload = obs.metrics_payload(registry)
     print(render_matrix(matrix), file=out)
@@ -252,6 +260,12 @@ def _cmd_audit(args, out) -> int:
 
 def _cmd_audit_weighted(args, vocabulary, out) -> int:
     """F1–F8 audit of the weighted operators through the audit engine."""
+    if args.journal:
+        raise ReproError(
+            "--journal is not supported for weighted audits: the weighted "
+            "sweep has no resumable chunk journal (drop --weighted or "
+            "--journal)"
+        )
     operators = _weighted_audit_operators(args.operator)
     observe = args.stats or args.metrics_out
     payload = None
@@ -265,6 +279,7 @@ def _cmd_audit_weighted(args, vocabulary, out) -> int:
                     jobs=args.jobs,
                     chunk_timeout=args.chunk_timeout,
                     max_retries=args.max_retries,
+                    shm=args.shm,
                 )
                 for operator in operators
             }
@@ -278,6 +293,7 @@ def _cmd_audit_weighted(args, vocabulary, out) -> int:
                 jobs=args.jobs,
                 chunk_timeout=args.chunk_timeout,
                 max_retries=args.max_retries,
+                shm=args.shm,
             )
             for operator in operators
         }
@@ -508,6 +524,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--weighted",
         action="store_true",
         help="audit the weighted operators against F1–F8 (Section 4)",
+    )
+    audit_parser.add_argument(
+        "--shm",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="zero-copy shared-memory arenas for pool workers "
+        "(default: auto when available; REPRO_SHM=0/1 overrides)",
+    )
+    audit_parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="journal completed chunks to DIR so a killed sweep can be "
+        "resumed (needs --jobs >= 2)",
+    )
+    audit_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the sweep journaled in --journal DIR, skipping "
+        "completed chunks (refused on any configuration mismatch)",
     )
     audit_parser.set_defaults(handler=_cmd_audit)
 

@@ -22,7 +22,14 @@ audit checks; this package makes the checking fast:
   testable chunk by chunk;
 * :mod:`repro.engine.weighted` — the same strategy for the weighted stack
   (Section 4): F1–F8 audits over dense mask-indexed weight vectors with
-  one shared distance matrix per operator and per-ψ̃ key caching.
+  one shared distance matrix per operator and per-ψ̃ key caching;
+* :mod:`repro.engine.shm` — zero-copy shared-memory arenas: the parent
+  publishes each distance matrix / apply table / pickled roster once and
+  pool workers map read-only views instead of rebuilding, with
+  bit-identical per-segment fallback;
+* :mod:`repro.engine.journal` — the durable chunk journal behind
+  ``repro audit --journal/--resume``: completed chunks are fsynced to
+  disk and a killed sweep resumes to a cell-identical matrix.
 
 Entry points: :func:`run_audit` for full operator × axiom sweeps (used by
 ``repro.postulates.matrix.compute_matrix(jobs=...)`` and the CLI's
@@ -52,6 +59,11 @@ from repro.engine.chunks import (
     sample_weight_maps,
 )
 from repro.engine.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.engine.journal import (
+    AUDIT_JOURNAL_VERSION,
+    ChunkJournal,
+    audit_manifest_config,
+)
 from repro.engine.pool import (
     AuditOutcome,
     ChunkOutcome,
@@ -65,6 +77,15 @@ from repro.engine.resilience import (
     FailureRecord,
     FailureReport,
     ResilienceConfig,
+)
+from repro.engine.shm import (
+    MIN_SHARED_BYTES,
+    SEGMENT_PREFIX,
+    Arena,
+    ArenaDirectory,
+    ArenaView,
+    SegmentSpec,
+    shm_available,
 )
 from repro.engine.weighted import (
     MAX_DENSE_ATOMS,
@@ -108,6 +129,16 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "AUDIT_JOURNAL_VERSION",
+    "ChunkJournal",
+    "audit_manifest_config",
+    "MIN_SHARED_BYTES",
+    "SEGMENT_PREFIX",
+    "Arena",
+    "ArenaDirectory",
+    "ArenaView",
+    "SegmentSpec",
+    "shm_available",
     "MAX_DENSE_ATOMS",
     "DenseWeightedOperator",
     "WeightedAuditOutcome",

@@ -45,7 +45,13 @@ from repro.operators.base import AssignmentOperator, TheoryChangeOperator
 from repro.orders.cache import AssignmentCache, CacheInfo
 from repro.orders.loyal import KIND_AGGREGATORS
 
-__all__ = ["BatchedOperator", "MAX_BATCH_ATOMS", "bits_of_model_set", "model_set_of_bits"]
+__all__ = [
+    "BatchedOperator",
+    "MAX_BATCH_ATOMS",
+    "batching_contract",
+    "bits_of_model_set",
+    "model_set_of_bits",
+]
 
 #: Largest vocabulary for which the full pairwise distance matrix is
 #: precomputed (2^12 × 2^12 uint8 ≈ 16 MiB).  Bigger vocabularies fall
@@ -72,6 +78,28 @@ def model_set_of_bits(vocabulary: Vocabulary, bits: int) -> ModelSet:
     return ModelSet(vocabulary, iter_set_bits(bits))
 
 
+def batching_contract(operator: TheoryChangeOperator, vocabulary: Vocabulary):
+    """The operator's matrix-batching contract, or ``None``.
+
+    Returns ``(builder, kind, metric)`` exactly when
+    :class:`BatchedOperator` would take the shared-matrix fast path —
+    the single eligibility definition shared with the arena publisher
+    (:mod:`repro.engine.shm` callers), so the parent builds matrices for
+    precisely the operators whose workers would otherwise rebuild them.
+    """
+    if not (
+        isinstance(operator, AssignmentOperator)
+        and vocabulary.size <= MAX_BATCH_ATOMS
+    ):
+        return None
+    builder = getattr(operator.assignment, "builder", None)
+    kind = getattr(builder, "kind", None)
+    metric = getattr(builder, "metric", None)
+    if kind in KIND_AGGREGATORS and metric is not None:
+        return builder, kind, metric
+    return None
+
+
 class BatchedOperator(TheoryChangeOperator):
     """An audit-engine view of an operator: bit-level, memoized, and —
     when the operator's assignment cooperates — matrix-batched."""
@@ -82,6 +110,7 @@ class BatchedOperator(TheoryChangeOperator):
         vocabulary: Vocabulary,
         key_cache_size: Optional[int] = None,
         result_cache_size: Optional[int] = RESULT_CACHE_SIZE,
+        shared_matrix=None,
     ):
         self._inner = operator
         self._vocabulary = vocabulary
@@ -96,18 +125,26 @@ class BatchedOperator(TheoryChangeOperator):
         self._kind = None
         self._unsat_base = None
         self._matrix = None
-        if (
-            isinstance(operator, AssignmentOperator)
-            and vocabulary.size <= MAX_BATCH_ATOMS
-        ):
-            builder = getattr(operator.assignment, "builder", None)
-            kind = getattr(builder, "kind", None)
-            metric = getattr(builder, "metric", None)
-            if kind in KIND_AGGREGATORS and metric is not None:
-                self._builder = builder
-                self._kind = kind
-                self._unsat_base = operator.unsat_base
-                all_masks = tuple(range(vocabulary.interpretation_count))
+        self._matrix_shared = False
+        contract = batching_contract(operator, vocabulary)
+        if contract is not None:
+            builder, kind, metric = contract
+            self._builder = builder
+            self._kind = kind
+            self._unsat_base = operator.unsat_base
+            count = vocabulary.interpretation_count
+            if (
+                shared_matrix is not None
+                and np is not None
+                and getattr(shared_matrix, "shape", None) == (count, count)
+            ):
+                # Zero-copy path: an arena published this exact matrix;
+                # mapping it is bit-identical to rebuilding it (the
+                # publisher built it with the same kernel call below).
+                self._matrix = shared_matrix
+                self._matrix_shared = True
+            else:
+                all_masks = tuple(range(count))
                 self._matrix = kernels.distance_matrix(
                     all_masks, all_masks, vocabulary, metric
                 )
@@ -129,6 +166,21 @@ class BatchedOperator(TheoryChangeOperator):
         """True iff the matrix fast path is active (vs. pure delegation)."""
         return self._builder is not None
 
+    @property
+    def matrix(self):
+        """The pairwise distance matrix (``None`` when not batched)."""
+        return self._matrix
+
+    @property
+    def matrix_shared(self) -> bool:
+        """True iff the matrix is a mapped arena view, not a local build."""
+        return self._matrix_shared
+
+    @property
+    def unsat_base(self) -> Optional[str]:
+        """The wrapped operator's unsatisfiable-ψ convention (batched only)."""
+        return self._unsat_base
+
     def cache_info(self) -> dict[str, CacheInfo]:
         """Statistics of the per-ψ key cache and the (ψ, μ) result cache."""
         return {"keys": self._keys.cache_info(), "results": self._results.cache_info()}
@@ -146,6 +198,15 @@ class BatchedOperator(TheoryChangeOperator):
             sub = [[row[c] for c in columns] for row in self._matrix]
         return KIND_AGGREGATORS[self._kind](sub)
 
+    def keys_for_bits(self, psi_bits: int):
+        """The memoized per-ψ key vector (index = interpretation mask).
+
+        Public so the arena publisher's vectorized apply-table prefill
+        (:func:`repro.engine.bitops.full_apply_table`) ranks the exact
+        keys the scalar scan below compares.
+        """
+        return self._keys.get_or_build(psi_bits, self._keys_for)
+
     def _compute_bits(self, pair: tuple[int, int]) -> int:
         psi_bits, mu_bits = pair
         if self._builder is not None:
@@ -155,7 +216,7 @@ class BatchedOperator(TheoryChangeOperator):
                 return 0 if self._unsat_base == "empty" else mu_bits
             if mu_bits == 0:
                 return 0
-            keys = self._keys.get_or_build(psi_bits, self._keys_for)
+            keys = self.keys_for_bits(psi_bits)
             best = None
             chosen = 0
             for mask in iter_set_bits(mu_bits):

@@ -30,7 +30,13 @@ except ImportError:  # pragma: no cover
 
 from repro.engine.batched import BatchedOperator
 
-__all__ = ["ApplyTable", "BIT_EVALUATORS", "TABLE_UNIVERSE_LIMIT", "supports_table"]
+__all__ = [
+    "ApplyTable",
+    "BIT_EVALUATORS",
+    "TABLE_UNIVERSE_LIMIT",
+    "full_apply_table",
+    "supports_table",
+]
 
 #: Largest knowledge-base universe (2^(2^|𝒯|)) for which the dense apply
 #: table is built: 256 × 256 int64 = 512 KiB, i.e. vocabularies of ≤ 3
@@ -52,13 +58,21 @@ class ApplyTable:
     an unfilled entry (valid results are non-negative bit-vectors).
     """
 
-    def __init__(self, operator: BatchedOperator, kb_universe: int):
+    def __init__(self, operator: BatchedOperator, kb_universe: int, shared=None):
         if not supports_table(kb_universe):
             raise ValueError(
                 f"apply table unsupported for universe of {kb_universe} knowledge bases"
             )
         self._operator = operator
-        self._table = np.full((kb_universe, kb_universe), -1, dtype=np.int64)
+        if shared is not None and getattr(shared, "shape", None) == (
+            kb_universe,
+            kb_universe,
+        ):
+            # A fully prefilled arena table (see full_apply_table): may be
+            # a read-only shared-memory view; lookups then never write.
+            self._table = shared
+        else:
+            self._table = np.full((kb_universe, kb_universe), -1, dtype=np.int64)
 
     @property
     def operator(self) -> BatchedOperator:
@@ -75,6 +89,12 @@ class ApplyTable:
         values = self._table[psi_bits, mu_bits]
         missing = values < 0
         if missing.any():
+            if not self._table.flags.writeable:
+                # A shared prefilled table is complete by construction;
+                # reaching here means it was built for another contract —
+                # degrade to a private copy rather than corrupt (or crash
+                # on) the read-only mapping.
+                self._table = self._table.copy()
             pairs = np.unique(
                 np.stack([psi_bits[missing], mu_bits[missing]], axis=1), axis=0
             )
@@ -82,6 +102,47 @@ class ApplyTable:
                 self._table[psi, mu] = self._operator.apply_bits(psi, mu)
             values = self._table[psi_bits, mu_bits]
         return values
+
+
+def full_apply_table(operator: BatchedOperator, kb_universe: int):
+    """The *complete* ``apply_bits`` table of a matrix-batched operator.
+
+    Built once in the parent (one vectorized pass per satisfiable ψ) so
+    an arena can publish it and workers skip the lazy per-worker fill.
+    Exactness: for each ψ the operator's own memoized key vector is
+    rank-converted (keys may be scalars or tuples — ``leximax``/``row``
+    aggregators — so comparison order, not magnitude, is what matters)
+    and every μ's minimal-key models are selected with the same
+    all-argmin tie rule as ``BatchedOperator._compute_bits``; the ψ = 0
+    row replicates the family-dependent unsatisfiable-ψ branch.
+    """
+    if not supports_table(kb_universe):
+        raise ValueError(
+            f"apply table unsupported for universe of {kb_universe} knowledge bases"
+        )
+    if not operator.batched:
+        raise ValueError(
+            f"full_apply_table needs a matrix-batched operator, got {operator.name!r}"
+        )
+    n_masks = operator.vocabulary.interpretation_count
+    mask_index = np.arange(n_masks, dtype=np.int64)
+    mu_values = np.arange(kb_universe, dtype=np.int64)
+    # member[mu, m] ⇔ interpretation mask m is a model of μ.
+    member = ((mu_values[:, None] >> mask_index[None, :]) & 1).astype(bool)
+    weights = np.int64(1) << mask_index
+    sentinel = np.iinfo(np.int64).max
+    table = np.empty((kb_universe, kb_universe), dtype=np.int64)
+    table[0, :] = 0 if operator.unsat_base == "empty" else mu_values
+    for psi_bits in range(1, kb_universe):
+        keys = operator.keys_for_bits(psi_bits)
+        order = {key: rank for rank, key in enumerate(sorted(set(keys)))}
+        ranks = np.array([order[key] for key in keys], dtype=np.int64)
+        keyed = np.where(member, ranks[None, :], sentinel)
+        best = keyed.min(axis=1)
+        # μ = 0 rows have no members, so best stays at the sentinel and
+        # the selection below is empty — exactly apply_bits' μ = 0 → 0.
+        table[psi_bits, :] = ((keyed == best[:, None]) & member) @ weights
+    return table
 
 
 # -- per-axiom failure predicates ---------------------------------------------

@@ -39,6 +39,7 @@ __all__ = [
     "sample_weight_maps",
     "decode_chunk",
     "decode_weighted_chunk",
+    "plan_fingerprint",
 ]
 
 #: Scenario-space size above which enumeration switches to sampling.  The
@@ -193,6 +194,26 @@ def decode_chunk(plan: ScenarioPlan, chunk: ChunkSpec) -> list[tuple[int, ...]]:
     return sample_scenario_bits(
         replay, plan.roles, chunk.count, plan.interpretation_count
     )
+
+
+def plan_fingerprint(plan: ScenarioPlan) -> dict:
+    """A JSON-safe structural identity of one unit's chunk plan.
+
+    Used by the audit journal's config digest: two plans with the same
+    fingerprint decode the same global-index → scenario map (sampled
+    plans additionally need the same integer seed, which the journal
+    digests separately), so journaled chunk ordinals stay meaningful
+    across processes.
+    """
+    return {
+        "roles": plan.roles,
+        "interpretation_count": plan.interpretation_count,
+        "kb_universe": plan.kb_universe,
+        "total": plan.total,
+        "mode": plan.mode,
+        "exhaustive": plan.exhaustive,
+        "chunks": [[chunk.start, chunk.count] for chunk in plan.chunks],
+    }
 
 
 # -- weighted scenario spaces -------------------------------------------------------

@@ -33,6 +33,23 @@ resubmitted, and retry-exhausted chunks are re-evaluated serially in the
 parent — so ``run_audit`` returns a complete, deterministic
 :class:`AuditOutcome` plus a :class:`~repro.engine.resilience.FailureReport`
 even under injected worker failures (:mod:`repro.engine.faults`).
+
+Two orthogonal run-scale layers ride on the same chunk determinism:
+
+* **zero-copy worker start-up** (:mod:`repro.engine.shm`): the parent
+  builds each operator's distance matrix (and, for big sweeps over tiny
+  universes, the complete apply table) once, publishes them in a
+  shared-memory :class:`~repro.engine.shm.Arena`, and workers map
+  read-only views instead of rebuilding.  Any attach failure falls back
+  to the rebuild path per segment, bit-identically.  ``shm=None`` (the
+  default) auto-enables when available; the ``REPRO_SHM`` environment
+  variable (``0``/``1``) overrides either way.
+* **journaled resume** (:mod:`repro.engine.journal`): with
+  ``journal_dir`` every completed chunk is durably recorded; a killed
+  sweep resumed with ``resume=True`` replays the records through the
+  same min-global-index merge, skips exactly the completed chunks, and
+  produces a cell-identical matrix — including ``stop_at_first`` runs,
+  where a pre-kill counterexample stays the reported (first) one.
 """
 
 from __future__ import annotations
@@ -52,23 +69,37 @@ except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
 from repro import obs
-from repro.engine.batched import BatchedOperator, model_set_of_bits
-from repro.engine.bitops import ApplyTable, BIT_EVALUATORS, supports_table
+from repro.distances import kernels
+from repro.engine.batched import BatchedOperator, batching_contract, model_set_of_bits
+from repro.engine.bitops import (
+    ApplyTable,
+    BIT_EVALUATORS,
+    full_apply_table,
+    supports_table,
+)
 from repro.engine.chunks import (
     DEFAULT_CHUNK_SIZE,
     ChunkSpec,
     ScenarioPlan,
     decode_chunk,
+    plan_fingerprint,
     plan_scenarios,
 )
 from repro.engine.faults import FaultPlan, trip
+from repro.engine.journal import (
+    ChunkJournal,
+    audit_manifest_config,
+    decode_chunk_record,
+    encode_chunk_record,
+)
 from repro.engine.resilience import (
     DEFAULT_MAX_RETRIES,
     FailureReport,
     ResilienceConfig,
     run_resilient,
 )
-from repro.errors import PostulateError
+from repro.engine.shm import MIN_SHARED_BYTES, Arena, ArenaView, shm_available
+from repro.errors import PostulateError, ReproError
 from repro.logic.interpretation import Vocabulary
 from repro.operators.base import TheoryChangeOperator
 from repro.postulates.axioms import Axiom
@@ -143,7 +174,10 @@ class EngineStats:
     useful work, comparable across job counts); ``elapsed_seconds`` is
     the parent's end-to-end wall time for the run.  The resilience
     counters (``retries`` … ``chunks_degraded``) mirror the attached
-    :class:`~repro.engine.resilience.FailureReport`.
+    :class:`~repro.engine.resilience.FailureReport`.  ``shm_segments`` /
+    ``shm_bytes`` describe the run's shared-memory arena (0 when the
+    zero-copy path is off), and ``chunks_skipped`` counts chunks replayed
+    from a resume journal instead of evaluated.
     """
 
     chunks: int = 0
@@ -159,6 +193,9 @@ class EngineStats:
     worker_crashes: int = 0
     pool_restarts: int = 0
     chunks_degraded: int = 0
+    shm_segments: int = 0
+    shm_bytes: int = 0
+    chunks_skipped: int = 0
 
 
 @dataclass
@@ -180,11 +217,34 @@ class AuditOutcome:
 _WORKER_STATE: Optional[dict] = None
 
 
-def _build_worker_state(vocabulary: Vocabulary, operators: Sequence[TheoryChangeOperator]) -> dict:
+def _build_worker_state(
+    vocabulary: Vocabulary,
+    operators: Sequence[TheoryChangeOperator],
+    arena: Optional[ArenaView] = None,
+) -> dict:
+    batched = [
+        BatchedOperator(
+            op,
+            vocabulary,
+            shared_matrix=None if arena is None else arena.array(f"matrix:{index}"),
+        )
+        for index, op in enumerate(operators)
+    ]
+    tables: dict[int, ApplyTable] = {}
+    if arena is not None:
+        for index, operator in enumerate(batched):
+            prefilled = arena.array(f"table:{index}")
+            if prefilled is not None and operator.batched:
+                tables[index] = ApplyTable(
+                    operator, prefilled.shape[0], shared=prefilled
+                )
     return {
         "vocabulary": vocabulary,
-        "operators": [BatchedOperator(op, vocabulary) for op in operators],
-        "tables": {},
+        "operators": batched,
+        "tables": tables,
+        # The numpy views above alias the arena's mappings, so the view
+        # must stay alive exactly as long as the state does.
+        "arena": arena,
     }
 
 
@@ -199,18 +259,32 @@ _WORKER_FAULTS: Optional[FaultPlan] = None
 
 def _init_worker(payload: bytes) -> None:
     global _WORKER_STATE, _WORKER_SEQ, _WORKER_FAULTS
-    vocabulary, operators, obs_enabled, _WORKER_FAULTS = pickle.loads(payload)
+    obs_enabled, _WORKER_FAULTS, directory, roster_blob = pickle.loads(payload)
     _WORKER_SEQ = 0
-    # Start every worker from a fresh registry — before building worker
-    # state, so the shared-matrix kernel builds are attributed to this
-    # worker.  Under the fork start method the child inherits the
-    # parent's counters, and merging an inherited registry back would
-    # double-count the parent's history.
+    # Start every worker from a fresh registry — before attaching the
+    # arena or building worker state, so mapped-vs-rebuilt work is
+    # attributed to this worker.  Under the fork start method the child
+    # inherits the parent's counters, and merging an inherited registry
+    # back would double-count the parent's history.
     if obs_enabled:
         obs.enable(obs.MetricsRegistry())
     else:
         obs.disable()
-    _WORKER_STATE = _build_worker_state(vocabulary, operators)
+    arena: Optional[ArenaView] = None
+    if directory is not None:
+        arena = ArenaView.attach(directory)
+        if roster_blob is None:
+            roster_blob = arena.blob("roster")
+    if roster_blob is None:
+        # The roster was arena-only and its segment failed verification;
+        # there is nothing to evaluate against.  Raising routes the run
+        # through the resilience ladder down to the parent's serial
+        # path, which never needs the arena.
+        raise RuntimeError(
+            "audit worker: operator roster unavailable (arena attach failed)"
+        )
+    vocabulary, operators = pickle.loads(roster_blob)
+    _WORKER_STATE = _build_worker_state(vocabulary, operators, arena)
 
 
 def _cache_snapshot(operator: BatchedOperator) -> tuple[int, int, int, int]:
@@ -451,6 +525,72 @@ def _serial_audit(
     return outcome
 
 
+#: Prefilled apply tables are published only for sweeps of at least this
+#: many scenarios across all units — below that, each worker's lazy fill
+#: touches too few entries for the parent's full-table build to pay off.
+TABLE_PREFILL_MIN_SCENARIOS = 4096
+
+
+def _build_audit_arena(
+    vocabulary: Vocabulary,
+    operators: Sequence[TheoryChangeOperator],
+    roster_blob: bytes,
+    units: Sequence[_Unit],
+) -> Optional[Arena]:
+    """Publish everything pool workers would otherwise rebuild.
+
+    Per matrix-batchable operator: its dense distance matrix, built once
+    per *distinct metric* (most standard operators share the Hamming
+    matrix; the arena additionally content-deduplicates byte-identical
+    payloads onto one OS segment) and, when the sweep is big enough to
+    amortize it, the complete apply table
+    (:func:`~repro.engine.bitops.full_apply_table`).  The pickled roster
+    rides along so pool respawns re-map it instead of re-receiving it.
+
+    Payloads under :data:`~repro.engine.shm.MIN_SHARED_BYTES` are not
+    worth their page/attach overhead and are skipped; if that leaves no
+    array segment the arena is pointless and ``None`` is returned — the
+    run then behaves exactly as before this layer existed.
+    """
+    arena = Arena()
+    try:
+        kb_universe = units[0].plan.kb_universe if units else 0
+        total_scenarios = sum(unit.plan.total for unit in units)
+        prefill = (
+            supports_table(kb_universe)
+            and total_scenarios >= TABLE_PREFILL_MIN_SCENARIOS
+        )
+        by_metric: dict[bytes, object] = {}
+        for op_index, operator in enumerate(operators):
+            contract = batching_contract(operator, vocabulary)
+            if contract is None:
+                continue
+            _, _, metric = contract
+            fingerprint = pickle.dumps(metric)
+            matrix = by_metric.get(fingerprint)
+            if matrix is None:
+                all_masks = tuple(range(vocabulary.interpretation_count))
+                matrix = np.asarray(
+                    kernels.distance_matrix(all_masks, all_masks, vocabulary, metric)
+                )
+                by_metric[fingerprint] = matrix
+            if matrix.nbytes >= MIN_SHARED_BYTES:
+                arena.publish_array(f"matrix:{op_index}", matrix)
+            if prefill:
+                batched = BatchedOperator(operator, vocabulary, shared_matrix=matrix)
+                table = full_apply_table(batched, kb_universe)
+                if table.nbytes >= MIN_SHARED_BYTES:
+                    arena.publish_array(f"table:{op_index}", table)
+        if not any(spec.dtype is not None for spec in arena.directory().segments):
+            arena.close()
+            return None
+        arena.publish_bytes("roster", roster_blob)
+        return arena
+    except Exception:
+        arena.close()
+        raise
+
+
 def run_audit(
     operators: Sequence[TheoryChangeOperator],
     axioms: Sequence[Axiom],
@@ -463,6 +603,9 @@ def run_audit(
     chunk_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     faults: Optional[FaultPlan] = None,
+    shm: Optional[bool] = None,
+    journal_dir: Optional[str | os.PathLike] = None,
+    resume: bool = False,
 ) -> AuditOutcome:
     """Audit every operator against every axiom, fanned out over ``jobs``
     pool workers (``jobs=1``: the legacy serial loop, bit-identical to
@@ -473,11 +616,32 @@ def run_audit(
     parent re-evaluates it serially; ``faults`` injects deterministic
     failures for testing (defaults to the ``REPRO_FAULTS`` environment
     plan, if any).
+
+    ``shm`` selects the zero-copy arena path (``None`` = auto when
+    available; the ``REPRO_SHM`` env var, ``0``/``1``, overrides both).
+    ``journal_dir`` makes the sweep resumable: every completed chunk is
+    durably journaled there, and ``resume=True`` replays a prior
+    journal's chunks — refusing on any configuration mismatch — before
+    evaluating only what remains.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     _ensure_unique([operator.name for operator in operators], "operator")
     _ensure_unique([axiom.name for axiom in axioms], "axiom")
+    if resume and journal_dir is None:
+        raise ReproError("resume requires a journal directory")
+    if journal_dir is not None:
+        if jobs == 1:
+            raise ReproError(
+                "journaled audits need the chunked engine: pass jobs >= 2 "
+                "(the serial path has no chunk boundaries to journal)"
+            )
+        if not isinstance(rng, int):
+            raise ReproError(
+                "journaled audits need an integer seed: a shared Random "
+                "instance has no stable identity across processes, so its "
+                "journal could not be validated or resumed"
+            )
     # The serial path must see the caller's RNG untouched: planning
     # fast-forwards a shared stream, so it happens only on pool paths.
     if jobs == 1:
@@ -486,9 +650,17 @@ def run_audit(
         )
     if faults is None:
         faults = FaultPlan.from_env()
+    # One serialization per run (satellite contract): these bytes are
+    # reused verbatim — inside the initializer payload or mapped from the
+    # arena — by every pool (re)spawn, never re-pickled.
     try:
-        payload = pickle.dumps((vocabulary, list(operators), obs.enabled(), faults))
+        roster_blob = pickle.dumps((vocabulary, list(operators)))
     except Exception as error:  # pickling contract violated by a custom operator
+        if journal_dir is not None:
+            raise ReproError(
+                f"journaled audit: operator roster does not pickle ({error}); "
+                "the serial fallback cannot honor a chunk journal"
+            ) from error
         warnings.warn(
             f"audit engine: operator roster does not pickle ({error}); "
             "falling back to the serial harness",
@@ -503,6 +675,74 @@ def run_audit(
     outcome = AuditOutcome()
     stats = outcome.stats
     run_start = time.perf_counter()
+
+    journal: Optional[ChunkJournal] = None
+    completed: set[tuple[int, int]] = set()
+    if journal_dir is not None:
+        journal = ChunkJournal(journal_dir)
+        manifest_config = audit_manifest_config(
+            vocabulary,
+            [operator.name for operator in operators],
+            [axiom.name for axiom in axioms],
+            max_scenarios,
+            rng,
+            stop_at_first,
+            chunk_size,
+            [plan_fingerprint(unit.plan) for unit in units],
+        )
+        if resume:
+            journal.validate(manifest_config)
+            for record in journal.records():
+                kwargs = decode_chunk_record(vocabulary, record)
+                unit_id, ordinal = kwargs["unit"], kwargs["ordinal"]
+                if not 0 <= unit_id < len(units):
+                    raise ReproError(
+                        f"audit journal names unknown unit {unit_id}"
+                    )
+                if not 0 <= ordinal < len(units[unit_id].plan.chunks):
+                    raise ReproError(
+                        f"audit journal names unknown chunk {ordinal} "
+                        f"of unit {unit_id}"
+                    )
+                if (unit_id, ordinal) in completed:
+                    continue
+                completed.add((unit_id, ordinal))
+                # Replaying through the live run's own merge is what keeps
+                # a pre-kill counterexample FIRST: its global scenario
+                # index wins against anything found after the resume, and
+                # may_skip prunes accordingly.
+                units[unit_id].absorb(ChunkOutcome(**kwargs))
+        else:
+            journal.initialize(manifest_config)
+    stats.chunks_skipped = len(completed)
+
+    env_shm = os.environ.get("REPRO_SHM", "").strip()
+    if env_shm in {"0", "1"}:
+        shm = env_shm == "1"
+    if shm is None:
+        use_shm = shm_available()
+    elif shm and not shm_available():
+        warnings.warn(
+            "audit engine: shared-memory arenas unavailable (numpy or "
+            "multiprocessing.shared_memory missing); workers will rebuild "
+            "their state",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        use_shm = False
+    else:
+        use_shm = shm
+    arena: Optional[Arena] = None
+    if use_shm:
+        arena = _build_audit_arena(vocabulary, operators, roster_blob, units)
+    directory = arena.directory() if arena is not None else None
+    roster_in_arena = directory is not None and directory.find("roster") is not None
+    payload = pickle.dumps(
+        (obs.enabled(), faults, directory, None if roster_in_arena else roster_blob)
+    )
+    if arena is not None:
+        stats.shm_segments = arena.segment_count
+        stats.shm_bytes = arena.bytes_published
     # Freshest worker registry snapshot per pid: {pid: (seq, snapshot)}.
     worker_metrics: dict[int, tuple[int, dict]] = {}
     context = None
@@ -538,6 +778,10 @@ def run_audit(
                     chunk_outcome.seq,
                     chunk_outcome.metrics,
                 )
+        if journal is not None:
+            # Durably record the chunk before merging it, so the journal
+            # only ever names chunks that were fully evaluated.
+            journal.append_chunk(encode_chunk_record(chunk_outcome, task.chunk.count))
         return unit.absorb(chunk_outcome)
 
     def may_skip(task: ChunkTask) -> bool:
@@ -557,8 +801,30 @@ def run_audit(
         # Last-resort degradation: the parent evaluates the chunk with
         # the exact worker code path (fault injection never fires here).
         if not parent_state:
-            parent_state.update(_build_worker_state(vocabulary, list(operators)))
+            parent_state.update(
+                _build_worker_state(
+                    vocabulary,
+                    list(operators),
+                    None if arena is None else arena.view(),
+                )
+            )
         return evaluate_chunk(parent_state, task)
+
+    def on_restart() -> None:
+        # A respawned pool's workers re-attach the same arena names; a
+        # vanished segment would mean silent rebuild storms in every new
+        # worker, so surface it (attaches still degrade gracefully).
+        if arena is None:
+            return
+        missing = arena.verify()
+        if missing:
+            warnings.warn(
+                f"audit engine: {len(missing)} arena segment(s) vanished "
+                "across a pool restart; respawned workers will rebuild "
+                "locally",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     tasks = [
         ChunkTask(
@@ -573,19 +839,27 @@ def run_audit(
         )
         for unit_id, unit in enumerate(units)
         for chunk in unit.plan.chunks
+        if (unit_id, chunk.ordinal) not in completed
     ]
     config = ResilienceConfig(chunk_timeout=chunk_timeout, max_retries=max_retries)
-    with obs.span("engine.run_audit", jobs=jobs, units=len(units)):
-        outcome.failures = run_resilient(
-            tasks,
-            _run_chunk,
-            make_executor,
-            handle_outcome,
-            may_skip,
-            serial_eval,
-            config,
-            metric_prefix="engine.",
-        )
+    try:
+        with obs.span("engine.run_audit", jobs=jobs, units=len(units)):
+            outcome.failures = run_resilient(
+                tasks,
+                _run_chunk,
+                make_executor,
+                handle_outcome,
+                may_skip,
+                serial_eval,
+                config,
+                metric_prefix="engine.",
+                on_restart=on_restart,
+            )
+    finally:
+        # The sole unlink point: workers (dead or alive) never own the
+        # names, so closing here on every exit path keeps /dev/shm clean.
+        if arena is not None:
+            arena.close()
     stats.retries = outcome.failures.retries
     stats.worker_crashes = outcome.failures.worker_crashes
     stats.pool_restarts = outcome.failures.pool_restarts
@@ -598,6 +872,16 @@ def run_audit(
         for _, snapshot in worker_metrics.values():
             registry.merge_snapshot(snapshot)
         registry.counter("engine.audits").inc()
+        registry.gauge("engine.shm_segments").set(stats.shm_segments)
+        if arena is not None:
+            # Ensure the worker-side arena counters exist in the payload
+            # even when every attach succeeded with nothing to count.
+            registry.counter("engine.shm_bytes_mapped")
+            registry.counter("engine.shm_attach_failures")
+        if stats.chunks_skipped:
+            registry.counter("engine.chunks_skipped_resume").inc(
+                stats.chunks_skipped
+            )
         registry.histogram("engine.audit_seconds").observe(stats.elapsed_seconds)
         if stats.elapsed_seconds > 0:
             registry.gauge("engine.scenarios_per_second").set(
@@ -622,6 +906,7 @@ def check_axiom_parallel(
     chunk_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     faults: Optional[FaultPlan] = None,
+    shm: Optional[bool] = None,
 ) -> CheckResult:
     """Parallel counterpart of :func:`repro.postulates.harness.check_axiom`
     for a single (operator, axiom) pair."""
@@ -637,5 +922,6 @@ def check_axiom_parallel(
         chunk_timeout=chunk_timeout,
         max_retries=max_retries,
         faults=faults,
+        shm=shm,
     )
     return outcome.results[operator.name][axiom.name]

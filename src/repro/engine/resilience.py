@@ -162,6 +162,7 @@ def run_resilient(
     serial_eval: Callable[[object], object],
     config: ResilienceConfig,
     metric_prefix: str = "engine.",
+    on_restart: Optional[Callable[[], None]] = None,
 ) -> FailureReport:
     """Run every task to completion through a respawnable process pool.
 
@@ -178,6 +179,16 @@ def run_resilient(
     pruned, regardless of how many attempts, pool restarts, or
     degradations it took — which is what keeps the merged outcome
     identical to a fault-free run.
+
+    Restart cost contract: ``executor_factory`` must be a *closure over
+    already-serialized state* — the audit engines capture the worker
+    initializer payload as one ``bytes`` object per run, so a pool
+    respawn reuses those bytes verbatim instead of re-pickling the
+    operator roster (and, with a shared-memory arena, the roster bytes
+    live in the arena and respawned workers re-map rather than re-receive
+    them).  ``on_restart``, when given, runs after each respawn — the
+    engines use it to verify the arena's segments survived the crash
+    before the new workers attach.
     """
     report = FailureReport()
     registry = obs.active()
@@ -255,6 +266,8 @@ def run_resilient(
         report.pool_restarts += 1
         count("pool_restarts")
         _terminate_pool(executor)
+        if on_restart is not None:
+            on_restart()
         executor = executor_factory()
 
     def recover(culprits: dict[Future, str], cause: str) -> None:

@@ -1,0 +1,428 @@
+"""Zero-copy shared-memory arenas for the audit engine.
+
+Before this layer, every pool worker rebuilt its own copy of each
+operator's dense ``2^|𝒯| × 2^|𝒯|`` distance matrix (and lazily refilled
+its own apply table) from the pickled roster the initializer shipped.  At
+10–14 atoms that rebuild dominates worker start-up — hundreds of
+milliseconds and tens of MiB *per worker* for data that is bit-identical
+across the whole pool.
+
+An :class:`Arena` fixes that with the standard ship-indices/map-data
+pattern: the parent builds each immutable array **once**, publishes it as
+a POSIX shared-memory segment (``multiprocessing.shared_memory``) with a
+small self-describing header (magic, dtype, shape, CRC-32 checksum), and
+hands workers a picklable :class:`ArenaDirectory` of segment names.
+Workers :meth:`ArenaView.attach` read-only numpy views onto the mapped
+pages — no copy, no rebuild — and fall back *bit-identically* to the
+rebuild path for any segment they cannot attach or verify.
+
+Lifecycle contract (the part that keeps ``/dev/shm`` clean):
+
+* the parent is the sole owner: it unlinks every segment exactly once, in
+  ``Arena.close()``, on every exit path of a run — including pool
+  respawns after worker crashes, injected kills, and hung-chunk reaps
+  (segments stay mapped in the parent across restarts, so respawned
+  workers re-attach the same names);
+* workers only ever open existing segments; a killed worker therefore
+  cannot leak anything — the name still belongs to the parent;
+* if the parent itself dies, Python's ``resource_tracker`` unlinks the
+  registered segments at interpreter teardown (the documented safety
+  net).
+
+Segments are content-addressed within one arena: publishing two
+byte-identical payloads (e.g. the Hamming distance matrix shared by most
+standard operators) maps both keys onto one OS segment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import uuid
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+try:  # pragma: no cover - numpy is baked into the container
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+try:  # pragma: no cover - absent only on exotic builds
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None  # type: ignore[assignment]
+
+from repro import obs
+
+__all__ = [
+    "MIN_SHARED_BYTES",
+    "SEGMENT_PREFIX",
+    "SegmentSpec",
+    "ArenaDirectory",
+    "Arena",
+    "ArenaView",
+    "shm_available",
+]
+
+#: Smallest payload worth a shared segment.  Below this the per-segment
+#: overhead (page rounding, open/mmap syscalls, checksum verification)
+#: beats the rebuild it would save, so tiny-vocabulary audits publish
+#: nothing and behave exactly as before.
+MIN_SHARED_BYTES = 1 << 16
+
+#: Shared-memory name prefix, so tests (and humans) can audit
+#: ``/dev/shm`` for leaked ``repro-arena-*`` segments.
+SEGMENT_PREFIX = "repro-arena"
+
+#: Segment layout: magic + u32 header length, then the JSON header, then
+#: the payload at a 64-byte-aligned offset.
+_MAGIC = b"RPROSHM1"
+_PREAMBLE = struct.Struct("<8sI")
+_ALIGN = 64
+
+
+def shm_available() -> bool:
+    """Whether the zero-copy path can work in this process at all."""
+    return np is not None and _shm is not None
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Directory entry for one published payload.
+
+    ``dtype``/``shape`` are ``None`` for raw byte payloads.  ``offset``
+    is where the payload starts inside the segment (after the header);
+    ``crc32`` is the payload checksum, repeated in the in-segment header
+    so an attach can detect both a stale directory and a torn segment.
+    """
+
+    key: str
+    name: str
+    dtype: Optional[str]
+    shape: Optional[tuple[int, ...]]
+    nbytes: int
+    crc32: int
+    offset: int
+
+
+@dataclass(frozen=True)
+class ArenaDirectory:
+    """The picklable map of everything one arena published."""
+
+    segments: tuple[SegmentSpec, ...] = ()
+
+    def find(self, key: str) -> Optional[SegmentSpec]:
+        for spec in self.segments:
+            if spec.key == key:
+                return spec
+        return None
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return tuple(spec.key for spec in self.segments)
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes mapped by a full attach (shared names counted
+        once per key, which is what each worker actually maps)."""
+        return sum(spec.nbytes for spec in self.segments)
+
+
+def _header_bytes(
+    dtype: Optional[str], shape: Optional[tuple[int, ...]], nbytes: int, crc: int
+) -> bytes:
+    header = json.dumps(
+        {
+            "dtype": dtype,
+            "shape": list(shape) if shape is not None else None,
+            "nbytes": nbytes,
+            "crc32": crc,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return _PREAMBLE.pack(_MAGIC, len(header)) + header
+
+
+class Arena:
+    """Parent-side owner of a set of shared-memory segments.
+
+    Publish immutable payloads, hand the :meth:`directory` to workers,
+    keep the arena alive for the whole run (across any number of pool
+    respawns), then :meth:`close` exactly once — close unlinks every
+    segment, so it must happen only after the last worker that might
+    attach is gone.
+    """
+
+    def __init__(self) -> None:
+        if not shm_available():
+            raise RuntimeError(
+                "shared-memory arenas need numpy and multiprocessing.shared_memory"
+            )
+        self._segments: dict[str, "_shm.SharedMemory"] = {}  # name -> segment
+        self._specs: list[SegmentSpec] = []
+        self._by_content: dict[tuple, str] = {}  # content fingerprint -> name
+        self._closed = False
+
+    # -- publishing -------------------------------------------------------------
+
+    def _publish(
+        self,
+        key: str,
+        payload: bytes,
+        dtype: Optional[str],
+        shape: Optional[tuple[int, ...]],
+    ) -> SegmentSpec:
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        if any(spec.key == key for spec in self._specs):
+            raise ValueError(f"arena key published twice: {key!r}")
+        crc = zlib.crc32(payload)
+        header = _header_bytes(dtype, shape, len(payload), crc)
+        offset = _aligned(len(header))
+        fingerprint = (crc, len(payload), dtype, shape)
+        name = self._by_content.get(fingerprint)
+        if name is None:
+            name = f"{SEGMENT_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+            segment = _shm.SharedMemory(
+                create=True, size=offset + len(payload), name=name
+            )
+            segment.buf[: len(header)] = header
+            segment.buf[offset : offset + len(payload)] = payload
+            self._segments[name] = segment
+            self._by_content[fingerprint] = name
+        spec = SegmentSpec(
+            key=key,
+            name=name,
+            dtype=dtype,
+            shape=shape,
+            nbytes=len(payload),
+            crc32=crc,
+            offset=offset,
+        )
+        self._specs.append(spec)
+        return spec
+
+    def publish_array(self, key: str, array) -> SegmentSpec:
+        """Publish a numpy array under ``key`` (content-deduplicated)."""
+        contiguous = np.ascontiguousarray(array)
+        return self._publish(
+            key,
+            contiguous.tobytes(),
+            contiguous.dtype.str,
+            tuple(contiguous.shape),
+        )
+
+    def publish_bytes(self, key: str, payload: bytes) -> SegmentSpec:
+        """Publish a raw byte payload under ``key`` (e.g. the pickled
+        operator roster, so pool respawns re-map instead of re-shipping)."""
+        return self._publish(key, bytes(payload), None, None)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def segment_count(self) -> int:
+        """Distinct OS segments owned (after content deduplication)."""
+        return len(self._segments)
+
+    @property
+    def bytes_published(self) -> int:
+        """Total bytes of the owned OS segments (deduplicated)."""
+        return sum(segment.size for segment in self._segments.values())
+
+    def directory(self) -> ArenaDirectory:
+        return ArenaDirectory(tuple(self._specs))
+
+    def view(self) -> "ArenaView":
+        """A zero-copy view over the parent's own mappings (used by the
+        parent-side serial degradation path; no re-attach, no checksum
+        pass — the parent wrote these pages itself)."""
+        arrays: dict[str, object] = {}
+        blobs: dict[str, bytes] = {}
+        for spec in self._specs:
+            segment = self._segments[spec.name]
+            if spec.dtype is None:
+                blobs[spec.key] = bytes(
+                    segment.buf[spec.offset : spec.offset + spec.nbytes]
+                )
+            else:
+                arrays[spec.key] = _array_over(segment, spec)
+        return ArenaView(arrays, blobs, segments=(), bytes_mapped=0, failures=0)
+
+    def verify(self) -> list[str]:
+        """Names of owned segments that vanished from the OS (never
+        expected while the arena is open; checked on pool respawn so a
+        platform-level unlink surfaces as a warning, not silent rebuild
+        storms in every respawned worker)."""
+        missing = []
+        for name in self._segments:
+            try:
+                probe = _shm.SharedMemory(name=name)
+            except FileNotFoundError:
+                missing.append(name)
+            else:
+                probe.close()
+        return missing
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close and unlink every owned segment; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - buffer already released
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - external unlink
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "Arena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _array_over(segment, spec: SegmentSpec):
+    """A read-only numpy view of one mapped payload."""
+    count = int(np.prod(spec.shape, dtype=np.int64)) if spec.shape else 1
+    array = np.frombuffer(
+        segment.buf, dtype=np.dtype(spec.dtype), count=count, offset=spec.offset
+    ).reshape(spec.shape)
+    array.flags.writeable = False
+    return array
+
+
+class ArenaView:
+    """Worker-side read-only views of an arena's segments.
+
+    :meth:`attach` never raises for a bad segment: a missing name, a
+    wrong magic, a header that disagrees with the directory, or a CRC
+    mismatch each count one ``engine.shm_attach_failures`` and leave that
+    key absent — callers then rebuild locally, which is bit-identical by
+    construction.  The view holds the ``SharedMemory`` objects so the
+    mappings outlive any numpy views handed out.
+    """
+
+    def __init__(
+        self,
+        arrays: dict[str, object],
+        blobs: dict[str, bytes],
+        segments: tuple = (),
+        bytes_mapped: int = 0,
+        failures: int = 0,
+    ) -> None:
+        self._arrays = arrays
+        self._blobs = blobs
+        self._segments = segments
+        self.bytes_mapped = bytes_mapped
+        self.failures = failures
+
+    @classmethod
+    def attach(cls, directory: ArenaDirectory) -> "ArenaView":
+        arrays: dict[str, object] = {}
+        blobs: dict[str, bytes] = {}
+        segments: dict[str, object] = {}
+        bytes_mapped = 0
+        failures = 0
+        registry = obs.active()
+        for spec in directory.segments:
+            segment = segments.get(spec.name)
+            if segment is None:
+                try:
+                    segment = _shm.SharedMemory(name=spec.name)
+                except Exception:
+                    segment = None
+                if segment is not None:
+                    segments[spec.name] = segment
+            payload_ok = False
+            if segment is not None and segment.size >= spec.offset + spec.nbytes:
+                payload_ok = _verify_segment(segment, spec)
+            if not payload_ok:
+                failures += 1
+                if registry is not None:
+                    registry.counter("engine.shm_attach_failures").inc()
+                continue
+            if spec.dtype is None:
+                blobs[spec.key] = bytes(
+                    segment.buf[spec.offset : spec.offset + spec.nbytes]
+                )
+            else:
+                arrays[spec.key] = _array_over(segment, spec)
+            bytes_mapped += spec.nbytes
+            if registry is not None:
+                registry.counter("engine.shm_bytes_mapped").inc(spec.nbytes)
+        return cls(
+            arrays,
+            blobs,
+            segments=tuple(segments.values()),
+            bytes_mapped=bytes_mapped,
+            failures=failures,
+        )
+
+    def array(self, key: str):
+        """The read-only array published under ``key``, or ``None``."""
+        return self._arrays.get(key)
+
+    def blob(self, key: str) -> Optional[bytes]:
+        """The byte payload published under ``key``, or ``None``."""
+        return self._blobs.get(key)
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return tuple(self._arrays) + tuple(self._blobs)
+
+    def close(self) -> None:
+        """Drop the mappings (never unlinks — the parent owns the names).
+
+        Only safe once no handed-out array views are in use; workers
+        normally skip this and let process exit clean up.
+        """
+        self._arrays.clear()
+        self._blobs.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - buffer still exported
+                pass
+        self._segments = ()
+
+
+def _verify_segment(segment, spec: SegmentSpec) -> bool:
+    """Header + checksum validation of one mapped segment against its
+    directory entry."""
+    try:
+        magic, header_len = _PREAMBLE.unpack_from(segment.buf, 0)
+        if magic != _MAGIC:
+            return False
+        header = json.loads(
+            bytes(segment.buf[_PREAMBLE.size : _PREAMBLE.size + header_len])
+        )
+        shape = tuple(header["shape"]) if header["shape"] is not None else None
+        if (
+            header["dtype"] != spec.dtype
+            or shape != spec.shape
+            or header["nbytes"] != spec.nbytes
+            or header["crc32"] != spec.crc32
+        ):
+            return False
+        payload = segment.buf[spec.offset : spec.offset + spec.nbytes]
+        return zlib.crc32(payload) == spec.crc32
+    except Exception:
+        return False

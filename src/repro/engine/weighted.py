@@ -62,6 +62,7 @@ from repro.engine.resilience import (
     ResilienceConfig,
     run_resilient,
 )
+from repro.engine.shm import MIN_SHARED_BYTES, Arena, ArenaView, shm_available
 from repro.errors import PostulateError
 from repro.logic.interpretation import Vocabulary
 from repro.orders.cache import AssignmentCache, CacheInfo
@@ -124,6 +125,7 @@ class DenseWeightedOperator:
         vocabulary: Vocabulary,
         key_cache_size: Optional[int] = WEIGHTED_KEY_CACHE_SIZE,
         result_cache_size: Optional[int] = WEIGHTED_RESULT_CACHE_SIZE,
+        shared_matrix=None,
     ):
         self._operator = operator
         self._vocabulary = vocabulary
@@ -135,11 +137,23 @@ class DenseWeightedOperator:
             maxsize=result_cache_size, name="engine.weighted_results"
         )
         self._matrix = None
-        if np is not None and vocabulary.size <= MAX_DENSE_ATOMS:
+        self._matrix_shared = False
+        count = vocabulary.interpretation_count
+        if (
+            shared_matrix is not None
+            and np is not None
+            and getattr(shared_matrix, "shape", None) == (count, count)
+            and getattr(shared_matrix, "dtype", None) == np.float64
+        ):
+            # Zero-copy path: the arena published this exact float64
+            # matrix; mapping it is bit-identical to the rebuild below.
+            self._matrix = shared_matrix
+            self._matrix_shared = True
+        elif np is not None and vocabulary.size <= MAX_DENSE_ATOMS:
             assignment = getattr(operator, "assignment", None)
             builder = getattr(assignment, "builder", None)
             if getattr(builder, "kind", None) == "wdist":
-                masks = range(vocabulary.interpretation_count)
+                masks = range(count)
                 matrix = np.asarray(
                     kernels.distance_matrix(
                         masks, masks, vocabulary, builder.metric
@@ -152,6 +166,11 @@ class DenseWeightedOperator:
     def dense(self) -> bool:
         """True iff ψ̃ ▷ μ̃ runs on the shared-matrix fast path."""
         return self._matrix is not None
+
+    @property
+    def matrix_shared(self) -> bool:
+        """True iff the matrix is a mapped arena view, not a local build."""
+        return self._matrix_shared
 
     @property
     def inner(self) -> WeightedOperator:
@@ -353,26 +372,49 @@ _WORKER_FAULTS: Optional[FaultPlan] = None
 
 
 def _build_worker_state(
-    vocabulary: Vocabulary, operator: WeightedOperator
+    vocabulary: Vocabulary,
+    operator: WeightedOperator,
+    arena: Optional[ArenaView] = None,
 ) -> dict:
     return {
         "vocabulary": vocabulary,
-        "operator": DenseWeightedOperator(operator, vocabulary),
+        "operator": DenseWeightedOperator(
+            operator,
+            vocabulary,
+            shared_matrix=None if arena is None else arena.array("wmatrix"),
+        ),
+        # The dense matrix view aliases the arena's mappings, so the view
+        # must stay alive exactly as long as the state does.
+        "arena": arena,
     }
 
 
 def _init_worker(payload: bytes) -> None:
     global _WORKER_STATE, _WORKER_SEQ, _WORKER_FAULTS
-    vocabulary, operator, obs_enabled, _WORKER_FAULTS = pickle.loads(payload)
+    obs_enabled, _WORKER_FAULTS, directory, roster_blob = pickle.loads(payload)
     _WORKER_SEQ = 0
-    # Fresh registry before worker state, so the shared-matrix build is
-    # attributed to this worker (and forked parent history is not
-    # double-counted).
+    # Fresh registry before the arena attach and worker state, so
+    # mapped-vs-rebuilt work is attributed to this worker (and forked
+    # parent history is not double-counted).
     if obs_enabled:
         obs.enable(obs.MetricsRegistry())
     else:
         obs.disable()
-    _WORKER_STATE = _build_worker_state(vocabulary, operator)
+    arena: Optional[ArenaView] = None
+    if directory is not None:
+        arena = ArenaView.attach(directory)
+        if roster_blob is None:
+            roster_blob = arena.blob("roster")
+    if roster_blob is None:
+        # Arena-only roster whose segment failed verification: raising
+        # routes the run down the resilience ladder to the parent's
+        # serial path, which never needs the arena.
+        raise RuntimeError(
+            "weighted audit worker: operator roster unavailable "
+            "(arena attach failed)"
+        )
+    vocabulary, operator = pickle.loads(roster_blob)
+    _WORKER_STATE = _build_worker_state(vocabulary, operator, arena)
 
 
 def _cache_snapshot(operator: DenseWeightedOperator) -> tuple[int, int, int, int]:
@@ -583,6 +625,43 @@ def _serial_weighted_audit(
     return outcome
 
 
+def _build_weighted_arena(
+    vocabulary: Vocabulary, operator: WeightedOperator, roster_blob: bytes
+) -> Optional[Arena]:
+    """Publish the float64 distance matrix workers would otherwise build.
+
+    Mirrors :class:`DenseWeightedOperator`'s own eligibility exactly
+    (``kind="wdist"`` contract, integer metric, vocabulary within
+    :data:`MAX_DENSE_ATOMS`), so the parent publishes a matrix precisely
+    when every worker would rebuild the identical one.  Matrices under
+    :data:`~repro.engine.shm.MIN_SHARED_BYTES` stay local — segment
+    overhead would beat the rebuild they save.
+    """
+    if np is None or vocabulary.size > MAX_DENSE_ATOMS:
+        return None
+    assignment = getattr(operator, "assignment", None)
+    builder = getattr(assignment, "builder", None)
+    if getattr(builder, "kind", None) != "wdist":
+        return None
+    masks = range(vocabulary.interpretation_count)
+    matrix = np.asarray(
+        kernels.distance_matrix(masks, masks, vocabulary, builder.metric)
+    )
+    if matrix.dtype.kind not in "iu":
+        return None
+    dense = matrix.astype(np.float64)
+    if dense.nbytes < MIN_SHARED_BYTES:
+        return None
+    arena = Arena()
+    try:
+        arena.publish_array("wmatrix", dense)
+        arena.publish_bytes("roster", roster_blob)
+        return arena
+    except Exception:
+        arena.close()
+        raise
+
+
 def run_weighted_audit(
     operator: WeightedOperator,
     axioms: Sequence[WeightedAxiom] = WEIGHTED_AXIOMS,
@@ -597,13 +676,16 @@ def run_weighted_audit(
     chunk_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     faults: Optional[FaultPlan] = None,
+    shm: Optional[bool] = None,
 ) -> WeightedAuditOutcome:
     """Audit one weighted operator against every axiom, fanned out over
     ``jobs`` pool workers (``jobs=1``: the legacy serial loop, identical
     to calling ``check_weighted_axiom`` per axiom).
 
     ``chunk_timeout`` / ``max_retries`` / ``faults`` configure the
-    resilience layer exactly as in :func:`repro.engine.pool.run_audit`.
+    resilience layer, and ``shm`` the zero-copy arena path (``None`` =
+    auto, ``REPRO_SHM`` overrides), exactly as in
+    :func:`repro.engine.pool.run_audit`.
     """
     if vocabulary is None:
         raise ValueError("run_weighted_audit requires a vocabulary")
@@ -617,9 +699,11 @@ def run_weighted_audit(
     if faults is None:
         faults = FaultPlan.from_env()
     # Pickle before planning: the serial fallback must see the caller's
-    # RNG untouched (planning fast-forwards a shared stream).
+    # RNG untouched (planning fast-forwards a shared stream).  One
+    # serialization per run — the bytes are reused verbatim by every pool
+    # (re)spawn, never re-pickled.
     try:
-        payload = pickle.dumps((vocabulary, operator, obs.enabled(), faults))
+        roster_blob = pickle.dumps((vocabulary, operator))
     except Exception as error:  # pickling contract violated by a custom operator
         warnings.warn(
             f"weighted audit engine: operator does not pickle ({error}); "
@@ -634,8 +718,35 @@ def run_weighted_audit(
         axioms, vocabulary, scenarios, rng, chunk_size, max_weight, density
     )
 
+    env_shm = os.environ.get("REPRO_SHM", "").strip()
+    if env_shm in {"0", "1"}:
+        shm = env_shm == "1"
+    if shm is None:
+        use_shm = shm_available()
+    elif shm and not shm_available():
+        warnings.warn(
+            "weighted audit engine: shared-memory arenas unavailable (numpy "
+            "or multiprocessing.shared_memory missing); workers will rebuild "
+            "their state",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        use_shm = False
+    else:
+        use_shm = shm
+    arena: Optional[Arena] = None
+    if use_shm:
+        arena = _build_weighted_arena(vocabulary, operator, roster_blob)
+    directory = arena.directory() if arena is not None else None
+    payload = pickle.dumps(
+        (obs.enabled(), faults, directory, None if arena is not None else roster_blob)
+    )
+
     outcome = WeightedAuditOutcome()
     stats = outcome.stats
+    if arena is not None:
+        stats.shm_segments = arena.segment_count
+        stats.shm_bytes = arena.bytes_published
     run_start = time.perf_counter()
     worker_metrics: dict[int, tuple[int, dict]] = {}
     context = None
@@ -691,8 +802,29 @@ def run_weighted_audit(
         # Last-resort degradation: the parent evaluates the chunk with
         # the exact worker code path (fault injection never fires here).
         if not parent_state:
-            parent_state.update(_build_worker_state(vocabulary, operator))
+            parent_state.update(
+                _build_worker_state(
+                    vocabulary,
+                    operator,
+                    None if arena is None else arena.view(),
+                )
+            )
         return evaluate_weighted_chunk(parent_state, task)
+
+    def on_restart() -> None:
+        # Respawned workers re-attach the same arena names; a vanished
+        # segment would mean silent rebuild storms, so surface it.
+        if arena is None:
+            return
+        missing = arena.verify()
+        if missing:
+            warnings.warn(
+                f"weighted audit engine: {len(missing)} arena segment(s) "
+                "vanished across a pool restart; respawned workers will "
+                "rebuild locally",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     tasks = [
         WeightedChunkTask(
@@ -709,17 +841,24 @@ def run_weighted_audit(
         for chunk in unit.plan.chunks
     ]
     config = ResilienceConfig(chunk_timeout=chunk_timeout, max_retries=max_retries)
-    with obs.span("engine.run_weighted_audit", jobs=jobs, units=len(units)):
-        outcome.failures = run_resilient(
-            tasks,
-            _run_chunk,
-            make_executor,
-            handle_outcome,
-            may_skip,
-            serial_eval,
-            config,
-            metric_prefix="engine.weighted_",
-        )
+    try:
+        with obs.span("engine.run_weighted_audit", jobs=jobs, units=len(units)):
+            outcome.failures = run_resilient(
+                tasks,
+                _run_chunk,
+                make_executor,
+                handle_outcome,
+                may_skip,
+                serial_eval,
+                config,
+                metric_prefix="engine.weighted_",
+                on_restart=on_restart,
+            )
+    finally:
+        # The sole unlink point: workers never own the names, so closing
+        # here on every exit path keeps /dev/shm clean.
+        if arena is not None:
+            arena.close()
     stats.retries = outcome.failures.retries
     stats.worker_crashes = outcome.failures.worker_crashes
     stats.pool_restarts = outcome.failures.pool_restarts
@@ -730,6 +869,12 @@ def run_weighted_audit(
         for _, snapshot in worker_metrics.values():
             registry.merge_snapshot(snapshot)
         registry.counter("engine.weighted_audits").inc()
+        registry.gauge("engine.shm_segments").set(stats.shm_segments)
+        if arena is not None:
+            # Ensure the worker-side arena counters exist in the payload
+            # even when every attach succeeded with nothing to count.
+            registry.counter("engine.shm_bytes_mapped")
+            registry.counter("engine.shm_attach_failures")
         registry.histogram("engine.weighted_audit_seconds").observe(
             stats.elapsed_seconds
         )
@@ -755,6 +900,7 @@ def check_weighted_axiom_parallel(
     chunk_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     faults: Optional[FaultPlan] = None,
+    shm: Optional[bool] = None,
 ) -> Optional[WeightedCounterexample]:
     """Parallel counterpart of
     :func:`repro.postulates.weighted_axioms.check_weighted_axiom` for a
@@ -772,5 +918,6 @@ def check_weighted_axiom_parallel(
         chunk_timeout=chunk_timeout,
         max_retries=max_retries,
         faults=faults,
+        shm=shm,
     )
     return outcome.results[axiom.name]

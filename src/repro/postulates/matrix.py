@@ -73,6 +73,9 @@ def compute_matrix(
     jobs: int = 1,
     chunk_timeout: float | None = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    shm: bool | None = None,
+    journal_dir: str | None = None,
+    resume: bool = False,
 ) -> SatisfactionMatrix:
     """Audit every operator against every axiom.
 
@@ -84,7 +87,9 @@ def compute_matrix(
     one process pool, one operator-roster shipment, batched chunk
     evaluation — with results identical to the serial loop.
     ``chunk_timeout`` / ``max_retries`` configure the engine's resilience
-    ladder (ignored on the serial path).
+    ladder, ``shm`` its zero-copy arena, and ``journal_dir`` / ``resume``
+    its chunk journal; all engine-only (``journal_dir`` on the serial
+    path is refused — it has no chunk boundaries to journal).
     """
     if jobs > 1:
         from repro.engine.pool import run_audit
@@ -98,9 +103,18 @@ def compute_matrix(
             jobs=jobs,
             chunk_timeout=chunk_timeout,
             max_retries=max_retries,
+            shm=shm,
+            journal_dir=journal_dir,
+            resume=resume,
         )
         results = outcome.results
     else:
+        if journal_dir is not None:
+            from repro.errors import ReproError
+
+            raise ReproError(
+                "journaled audits need the chunked engine: pass jobs >= 2"
+            )
         results = {}
         for operator in operators:
             results[operator.name] = audit_operator(

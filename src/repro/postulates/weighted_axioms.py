@@ -310,12 +310,14 @@ def audit_weighted_operator(
     density: float = 0.5,
     chunk_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    shm: Optional[bool] = None,
 ) -> dict[str, Optional[WeightedCounterexample]]:
     """Check all of F1–F8; results keyed by axiom name (None = held).
 
     With ``jobs > 1`` the whole F1–F8 sweep runs through one process pool
     (:func:`repro.engine.weighted.run_weighted_audit`); the verdict matrix
-    is cell-identical to the serial loop at any job count.
+    is cell-identical to the serial loop at any job count.  ``shm``
+    selects the zero-copy arena path (``None`` = auto).
     """
     if jobs > 1:
         from repro.engine.weighted import run_weighted_audit
@@ -331,6 +333,7 @@ def audit_weighted_operator(
             density=density,
             chunk_timeout=chunk_timeout,
             max_retries=max_retries,
+            shm=shm,
         )
         return outcome.results
     return {

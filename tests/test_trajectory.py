@@ -69,6 +69,22 @@ class TestExtractPoints:
         assert point.key == "atoms=2 jobs=4"
         assert point.checksum is None
 
+    def test_shm_combines_warmup_and_audit(self):
+        payload = {
+            "experiment": "shm",
+            "warmup": [{"atoms": 12, "repeats": 3, "speedup": 15.0}],
+            "audit": [
+                {"atoms": 12, "jobs": 4, "speedup": 1.3, "checksum": "abc"}
+            ],
+        }
+        points = extract_points(payload)
+        assert {point.series for point in points} == {"warmup", "audit"}
+        by_series = {point.series: point for point in points}
+        assert by_series["warmup"].key == "atoms=12"
+        assert by_series["warmup"].checksum is None
+        assert by_series["audit"].key == "atoms=12 jobs=4"
+        assert by_series["audit"].checksum == "abc"
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ReproError):
             extract_points({"experiment": "E99"})
@@ -167,6 +183,16 @@ class TestTrajectoryCli:
 
     def test_committed_baseline_against_itself(self):
         snapshot = str(Path(__file__).resolve().parent.parent / "BENCH_e9.json")
+        code, text = run_cli(
+            "trajectory", "--baseline", snapshot, "--fresh", snapshot
+        )
+        assert code == 0
+        assert "TRAJECTORY OK" in text
+
+    def test_committed_shm_baseline_against_itself(self):
+        snapshot = str(
+            Path(__file__).resolve().parent.parent / "BENCH_shm.json"
+        )
         code, text = run_cli(
             "trajectory", "--baseline", snapshot, "--fresh", snapshot
         )
