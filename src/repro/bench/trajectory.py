@@ -127,9 +127,13 @@ def extract_points(payload: dict[str, Any]) -> list[TrajectoryPoint]:
         return _series_points(payload, "warmup", ("atoms",)) + _series_points(
             payload, "audit", ("atoms", "jobs")
         )
+    if experiment == "symbolic":
+        return _series_points(payload, "crossover", ("atoms",)) + _series_points(
+            payload, "query30", ("atoms", "operator")
+        )
     raise ReproError(
         f"unknown benchmark snapshot: experiment={experiment!r} "
-        "(expected E9, E7-audit, E4-weighted, or shm)"
+        "(expected E9, E7-audit, E4-weighted, shm, or symbolic)"
     )
 
 
@@ -304,6 +308,23 @@ def regenerate_payload(
                 max_scenarios=max_scenarios,
                 jobs=jobs,
                 repeats=repeats,
+            )
+        if experiment == "symbolic":
+            from repro.bench.symbolic_speedup import write_symbolic_snapshot
+
+            crossover_rows = baseline.get("crossover", [])
+            ladder = [
+                (int(row["atoms"]), int(row["max_scenarios"]))
+                for row in crossover_rows
+            ] or [(4, 120), (6, 120), (8, 60), (10, 24), (12, 8)]
+            query_rows = baseline.get("query30", [])
+            query_atoms = int(query_rows[0]["atoms"]) if query_rows else 30
+            queries = int(query_rows[0]["queries"]) if query_rows else 20
+            return write_symbolic_snapshot(
+                handle_path,
+                crossover=ladder,
+                query_atoms=query_atoms,
+                queries=queries,
             )
         raise ReproError(
             f"cannot regenerate unknown experiment {experiment!r}"

@@ -69,6 +69,7 @@ from repro.postulates.weighted_axioms import (
     audit_weighted_operator,
     render_weighted_audit,
 )
+from repro.symbolic import ensure_symbolic_roster, supports_symbolic
 
 __all__ = ["main"]
 
@@ -207,14 +208,38 @@ def _cmd_audit(args, out) -> int:
     vocabulary = Vocabulary(
         [chr(ord("a") + index) for index in range(args.atoms_count)]
     )
+    symbolic = args.impl == "symbolic"
+    if symbolic and args.weighted:
+        raise ReproError(
+            "--impl symbolic does not support --weighted "
+            "(weighted audits are dense-only)"
+        )
     if args.weighted:
         return _cmd_audit_weighted(args, vocabulary, out)
+    if symbolic and (args.jobs > 1 or args.shm or args.journal or args.resume):
+        raise ReproError(
+            "--impl symbolic is serial and in-process: drop "
+            "--jobs/--shm/--journal/--resume"
+        )
     operators = standard_operators()
     if args.operator:
         wanted = set(args.operator)
         operators = [op for op in operators if op.name in wanted]
         if not operators:
             raise ReproError(f"no such operators: {sorted(wanted)}")
+        if symbolic:
+            # Explicitly named operators must all have symbolic executions.
+            ensure_symbolic_roster(operators)
+    elif symbolic:
+        # Default roster: audit the symbolic-capable subset, say what's skipped.
+        skipped = [op.name for op in operators if not supports_symbolic(op)]
+        operators = [op for op in operators if supports_symbolic(op)]
+        if skipped:
+            print(
+                "note: dense-only operators skipped under --impl symbolic: "
+                + ", ".join(skipped),
+                file=out,
+            )
     if args.resume and not args.journal:
         raise ReproError("--resume requires --journal DIR")
     observe = args.stats or args.metrics_out
@@ -229,6 +254,7 @@ def _cmd_audit(args, out) -> int:
             shm=args.shm,
             journal_dir=args.journal,
             resume=args.resume,
+            impl=args.impl,
         )
         print(render_matrix(matrix), file=out)
         return 0
@@ -243,6 +269,7 @@ def _cmd_audit(args, out) -> int:
             shm=args.shm,
             journal_dir=args.journal,
             resume=args.resume,
+            impl=args.impl,
         )
         payload = obs.metrics_payload(registry)
     print(render_matrix(matrix), file=out)
@@ -544,6 +571,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume the sweep journaled in --journal DIR, skipping "
         "completed chunks (refused on any configuration mismatch)",
+    )
+    audit_parser.add_argument(
+        "--impl",
+        choices=("dense", "symbolic"),
+        default="dense",
+        help="backend: 'dense' enumerates interpretations, 'symbolic' "
+        "audits on BDD level sets (cell-identical up to 16 atoms, and the "
+        "only backend that completes at 30+; serial — excludes --jobs/"
+        "--shm/--journal; REPRO_SYMBOLIC_THRESHOLD tunes formula-level "
+        "auto dispatch)",
     )
     audit_parser.set_defaults(handler=_cmd_audit)
 

@@ -18,16 +18,31 @@ else) core:
 :class:`repro.logic.enumeration.EnumerationEngine` protocol so every
 operator in the library can run on BDD-backed enumeration; the E10
 ablation compares the three engines.
+
+Beyond the connectives, the manager carries the set-level operations the
+symbolic backend (:mod:`repro.symbolic`) is built from: existential
+quantification (= forgetting one atom), Hamming dilation and cached ball
+chains, weighted level sets (``popcount ≤ k`` predicates), symmetric-
+difference images, subset-minimal elements, cube enumeration, and
+truth-table lifting.  Managers are *persistent*: :func:`manager_for`
+hands out one shared manager per vocabulary from a bounded LRU registry
+(statistics via :func:`manager_cache_info`, shaped like
+:class:`repro.orders.cache.CacheInfo`), so formula and operation caches
+survive across queries instead of being rebuilt per call.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import threading
+from collections import OrderedDict
+from typing import Iterable, Iterator, NamedTuple, Optional
 
 from repro.errors import VocabularyError
 from repro.logic.interpretation import Vocabulary
 from repro.logic.semantics import ModelSet
 from repro.logic.syntax import (
+    BOTTOM,
+    TOP,
     And,
     Atom,
     Bottom,
@@ -38,13 +53,38 @@ from repro.logic.syntax import (
     Or,
     Top,
     Xor,
+    conjoin,
+    disjoin,
 )
 
-__all__ = ["BddManager", "BddEngine"]
+__all__ = [
+    "BddManager",
+    "BddEngine",
+    "BddCacheInfo",
+    "manager_for",
+    "manager_cache_info",
+    "clear_managers",
+    "DEFAULT_MANAGER_CACHE_SIZE",
+]
 
 #: Terminal node ids.
 FALSE = 0
 TRUE = 1
+
+#: Distinct cache-miss sentinel (``None`` and ``0`` are both valid values).
+_MISSING = object()
+
+
+class BddCacheInfo(NamedTuple):
+    """Cache statistics, field-compatible with
+    :class:`repro.orders.cache.CacheInfo` (defined locally because
+    ``repro.logic`` sits below ``repro.orders`` in the import order)."""
+
+    hits: int
+    misses: int
+    evictions: int
+    maxsize: Optional[int]
+    currsize: int
 
 
 class BddManager:
@@ -71,6 +111,23 @@ class BddManager:
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
         self._count_cache: dict[int, int] = {}
+        # Formula cache: the whole point of sharing one manager per
+        # vocabulary — repeated queries over the same formulas are O(1).
+        self._formula_cache: dict[Formula, int] = {}
+        self._formula_hits = 0
+        self._formula_misses = 0
+        # Operation caches for the symbolic backend.  All are keyed by
+        # node ids, which are stable for the manager's lifetime; none can
+        # outgrow a polynomial of the node count.
+        self._quant_cache: dict[tuple[int, int], int] = {}
+        self._flip_cache: dict[int, int] = {}
+        self._dilate_cache: dict[int, int] = {}
+        self._ball_chains: dict[int, list[int]] = {}
+        self._xor_cache: dict[tuple[int, int], int] = {}
+        self._uc_cache: dict[int, int] = {}
+        self._min_cache: dict[tuple[int, int], int] = {}
+        self._weight_cache: dict[tuple[str, int, int], int] = {}
+        self._any_cache: dict[int, Optional[int]] = {}
 
     # -- accessors -------------------------------------------------------------
 
@@ -171,7 +228,21 @@ class BddManager:
         return self.ite(left, right, self.apply_not(right))
 
     def from_formula(self, formula: Formula) -> int:
-        """Build the (canonical) BDD of a formula."""
+        """Build the (canonical) BDD of a formula, memoized per subformula.
+
+        Formulas hash structurally, so a shared manager answers repeated
+        queries — and queries over common subformulas — from cache.
+        """
+        node = self._formula_cache.get(formula)
+        if node is not None:
+            self._formula_hits += 1
+            return node
+        self._formula_misses += 1
+        node = self._translate(formula)
+        self._formula_cache[formula] = node
+        return node
+
+    def _translate(self, formula: Formula) -> int:
         if isinstance(formula, Atom):
             return self.var(formula.name)
         if isinstance(formula, Top):
@@ -207,6 +278,204 @@ class BddManager:
                 self.from_formula(formula.lhs), self.from_formula(formula.rhs)
             )
         raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+    # -- symbolic set operations -------------------------------------------------
+
+    def var_level(self, level: int) -> int:
+        """The BDD of the positive atom at ``level`` (by index, not name)."""
+        if not 0 <= level < self._vocabulary.size:
+            raise VocabularyError(f"no atom at level {level}")
+        return self._mk(level, FALSE, TRUE)
+
+    def exists(self, node: int, level: int) -> int:
+        """Existential quantification ``∃x.f`` — forgetting one atom.
+
+        ``(∃x.f)(I) = f(I[x:=0]) ∨ f(I[x:=1])``, the BDD form of
+        :func:`repro.logic.forgetting.forget` for a single atom.
+        """
+        if self.level(node) > level:
+            return node
+        key = (node, level)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        if self.level(node) == level:
+            result = self.apply_or(self.low(node), self.high(node))
+        else:
+            result = self._mk(
+                self.level(node),
+                self.exists(self.low(node), level),
+                self.exists(self.high(node), level),
+            )
+        self._quant_cache[key] = result
+        return result
+
+    def forget_levels(self, node: int, levels: Iterable[int]) -> int:
+        """Forget several atoms: iterated existential quantification."""
+        for level in sorted(set(levels)):
+            node = self.exists(node, level)
+        return node
+
+    def flip_all(self, node: int) -> int:
+        """The image of the set under complementing every atom:
+        ``{~I : I ∈ f}`` (swap low/high at every node)."""
+        if node <= TRUE:
+            return node
+        cached = self._flip_cache.get(node)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            self.level(node),
+            self.flip_all(self.high(node)),
+            self.flip_all(self.low(node)),
+        )
+        self._flip_cache[node] = result
+        return result
+
+    def dilate(self, node: int) -> int:
+        """Hamming dilation: all interpretations at distance ≤ 1 from the
+        set — ``f ∨ ⋁_x ∃x.f`` (each ``∃x.f`` contains both ``f`` and the
+        single-bit flips at ``x``)."""
+        if node <= TRUE:
+            return node
+        cached = self._dilate_cache.get(node)
+        if cached is not None:
+            return cached
+        result = node
+        for level in range(self._vocabulary.size):
+            result = self.apply_or(result, self.exists(node, level))
+            if result == TRUE:
+                break
+        self._dilate_cache[node] = result
+        return result
+
+    def hamming_ball(self, node: int, radius: int) -> int:
+        """All interpretations within Hamming distance ``radius`` of the
+        set: the ``radius``-fold dilation, with the chain cached per base
+        node and shared across radii (the symbolic "sphere" predicates)."""
+        if radius < 0:
+            return FALSE
+        chain = self._ball_chains.setdefault(node, [node])
+        while len(chain) <= radius and chain[-1] != TRUE:
+            grown = self.dilate(chain[-1])
+            if grown == chain[-1]:  # fixpoint (e.g. the empty set)
+                break
+            chain.append(grown)
+        return chain[min(radius, len(chain) - 1)]
+
+    def weight_le(self, bound: int) -> int:
+        """The weighted level set ``{I : |I| ≤ bound}`` (popcount bound),
+        built by the standard symmetric-function DP."""
+        return self._weight(0, bound, "le")
+
+    def weight_eq(self, weight: int) -> int:
+        """The weighted level shell ``{I : |I| = weight}``."""
+        return self._weight(0, weight, "eq")
+
+    def _weight(self, level: int, budget: int, mode: str) -> int:
+        size = self._vocabulary.size
+        if budget < 0:
+            return FALSE
+        remaining = size - level
+        if mode == "le" and budget >= remaining:
+            return TRUE
+        if mode == "eq":
+            if budget > remaining:
+                return FALSE
+            if remaining == 0:
+                return TRUE if budget == 0 else FALSE
+        elif remaining == 0:
+            return TRUE
+        key = (mode, level, budget)
+        cached = self._weight_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            level,
+            self._weight(level + 1, budget, mode),
+            self._weight(level + 1, budget - 1, mode),
+        )
+        self._weight_cache[key] = result
+        return result
+
+    def xor_image(self, left: int, right: int) -> int:
+        """The symmetric-difference image ``{I ⊕ J : I ∈ f, J ∈ g}`` —
+        Satoh's set of difference bitmasks, computed without enumerating
+        either operand."""
+        if left == FALSE or right == FALSE:
+            return FALSE
+        if left == TRUE and right == TRUE:
+            return TRUE
+        key = (left, right) if left <= right else (right, left)
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            return cached
+        top = min(self.level(left), self.level(right))
+
+        def cofactor(node: int, positive: bool) -> int:
+            if self.level(node) != top:
+                return node
+            return self.high(node) if positive else self.low(node)
+
+        l0, l1 = cofactor(left, False), cofactor(left, True)
+        r0, r1 = cofactor(right, False), cofactor(right, True)
+        low = self.apply_or(self.xor_image(l0, r0), self.xor_image(l1, r1))
+        high = self.apply_or(self.xor_image(l0, r1), self.xor_image(l1, r0))
+        result = self._mk(top, low, high)
+        self._xor_cache[key] = result
+        return result
+
+    def upward_closure(self, node: int) -> int:
+        """``{J : ∃I ∈ f, I ⊆ J}`` — every superset of a member.
+
+        Atoms the diagram never tests stay untested: a free atom can
+        always be 0 in the witness subset, so the closure does not
+        constrain it.
+        """
+        if node <= TRUE:
+            return node
+        cached = self._uc_cache.get(node)
+        if cached is not None:
+            return cached
+        low = self.upward_closure(self.low(node))
+        high = self.apply_or(low, self.upward_closure(self.high(node)))
+        result = self._mk(self.level(node), low, high)
+        self._uc_cache[node] = result
+        return result
+
+    def subset_minimal(self, node: int) -> int:
+        """The ⊆-minimal members of the set, over the *full* vocabulary.
+
+        A member with an atom the diagram never tests is never minimal
+        with that atom true (clearing it yields a smaller member), so the
+        recursion tracks levels explicitly rather than skipping free
+        variables.
+        """
+        return self._subset_minimal(node, 0)
+
+    def _subset_minimal(self, node: int, level: int) -> int:
+        if node == FALSE:
+            return FALSE
+        if level >= self._vocabulary.size:
+            return node
+        key = (node, level)
+        cached = self._min_cache.get(key)
+        if cached is not None:
+            return cached
+        if self.level(node) > level:
+            # Free atom: minimal members have it false.
+            result = self._mk(level, self._subset_minimal(node, level + 1), FALSE)
+        else:
+            low, high = self.low(node), self.high(node)
+            kept_high = self.apply_and(
+                self._subset_minimal(high, level + 1),
+                self.apply_not(self.upward_closure(low)),
+            )
+            result = self._mk(
+                level, self._subset_minimal(low, level + 1), kept_high
+            )
+        self._min_cache[key] = result
+        return result
 
     # -- queries -----------------------------------------------------------------
 
@@ -298,34 +567,272 @@ class BddManager:
         """True iff the node is the TRUE terminal."""
         return node == TRUE
 
+    def evaluate(self, node: int, mask: int) -> bool:
+        """Membership test: does the interpretation bitmask satisfy the
+        node?  O(vocabulary size)."""
+        while node > TRUE:
+            if (mask >> self.level(node)) & 1:
+                node = self.high(node)
+            else:
+                node = self.low(node)
+        return node == TRUE
+
+    def any_model(self, node: int) -> Optional[int]:
+        """The numerically smallest satisfying bitmask, or ``None`` for
+        FALSE — a deterministic witness usable at any vocabulary size."""
+        if node == FALSE:
+            return None
+        if node == TRUE:
+            return 0
+        cached = self._any_cache.get(node, _MISSING)
+        if cached is not _MISSING:
+            return cached  # type: ignore[return-value]
+        low_min = self.any_model(self.low(node))
+        high_min = self.any_model(self.high(node))
+        candidates = []
+        if low_min is not None:
+            candidates.append(low_min)
+        if high_min is not None:
+            candidates.append(high_min | (1 << self.level(node)))
+        result = min(candidates)
+        self._any_cache[node] = result
+        return result
+
+    def iter_cubes(self, node: int) -> Iterator[tuple[int, int]]:
+        """Yield the diagram's root-to-TRUE paths as implicant cubes
+        ``(fixed_mask, value_mask)`` (the :mod:`repro.logic.implicants`
+        encoding).  Cubes are pairwise disjoint, so their disjunction is
+        exact — one cube per path, not per model."""
+
+        def walk(node_id: int, fixed: int, value: int) -> Iterator[tuple[int, int]]:
+            if node_id == FALSE:
+                return
+            if node_id == TRUE:
+                yield (fixed, value)
+                return
+            bit = 1 << self.level(node_id)
+            yield from walk(self.low(node_id), fixed | bit, value)
+            yield from walk(self.high(node_id), fixed | bit, value | bit)
+
+        yield from walk(node, 0, 0)
+
+    def from_cubes(self, cubes: Iterable[tuple[int, int]]) -> int:
+        """Build the disjunction of implicant cubes
+        ``(fixed_mask, value_mask)`` — the inverse of :meth:`iter_cubes`
+        and the bridge from :func:`repro.logic.implicants.minimal_cover`."""
+        result = FALSE
+        for fixed, value in cubes:
+            cube = TRUE
+            for level in reversed(range(self._vocabulary.size)):
+                bit = 1 << level
+                if fixed & bit:
+                    if value & bit:
+                        cube = self._mk(level, FALSE, cube)
+                    else:
+                        cube = self._mk(level, cube, FALSE)
+            result = self.apply_or(result, cube)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    def from_masks(self, masks: Iterable[int]) -> int:
+        """Build the set of explicitly listed interpretation bitmasks."""
+        full = (1 << self._vocabulary.size) - 1
+        return self.from_cubes((full, mask) for mask in masks)
+
+    def from_truth_bits(self, bits: int) -> int:
+        """Lift a packed truth table (bit ``m`` set ⇔ interpretation mask
+        ``m`` is a member — the harness's knowledge-base encoding) into a
+        node, sharing repeated subtables along the way."""
+        size = self._vocabulary.size
+        memo: dict[tuple[int, int], int] = {}
+
+        def build(table: int, width: int) -> int:
+            if width == 0:
+                return TRUE if table & 1 else FALSE
+            table &= (1 << (1 << width)) - 1
+            key = (table, width)
+            node = memo.get(key)
+            if node is not None:
+                return node
+            if table == 0:
+                node = FALSE
+            else:
+                # Entries with the lowest remaining atom false sit at the
+                # even table indices; split via an LSB-first bit string.
+                reversed_bits = format(table, "0{}b".format(1 << width))[::-1]
+                low = build(int(reversed_bits[0::2][::-1] or "0", 2), width - 1)
+                high = build(int(reversed_bits[1::2][::-1] or "0", 2), width - 1)
+                node = self._mk(size - width, low, high)
+            memo[key] = node
+            return node
+
+        return build(bits, size)
+
+    def to_formula(self, node: int) -> Formula:
+        """A DNF formula whose models are exactly the node's set — one
+        conjunct per diagram path, so the size tracks the diagram, not the
+        model count (usable at 30+ atoms where ``form_formula`` is not)."""
+        if node == FALSE:
+            return BOTTOM
+        if node == TRUE:
+            return TOP
+        atoms = self._vocabulary.atoms
+        terms = []
+        for fixed, value in self.iter_cubes(node):
+            literals: list[Formula] = []
+            for level in range(self._vocabulary.size):
+                bit = 1 << level
+                if fixed & bit:
+                    atom = Atom(atoms[level])
+                    literals.append(atom if value & bit else Not(atom))
+            terms.append(conjoin(literals))
+        return disjoin(terms)
+
+    def cache_info(self) -> BddCacheInfo:
+        """Formula-cache statistics (the shared-manager regression
+        surface; shaped like ``AssignmentCache.cache_info()``).  The cache
+        is unbounded but node-backed: entries cost one int each, and the
+        registry bound on managers bounds total memory."""
+        return BddCacheInfo(
+            hits=self._formula_hits,
+            misses=self._formula_misses,
+            evictions=0,
+            maxsize=None,
+            currsize=len(self._formula_cache),
+        )
+
+
+#: Bound on simultaneously cached per-vocabulary managers.  Managers hold
+#: every node they ever allocated, so the registry bound — not the
+#: per-manager caches — is the memory ceiling.
+DEFAULT_MANAGER_CACHE_SIZE = 8
+
+
+class _ManagerRegistry:
+    """Bounded LRU of shared per-vocabulary managers.
+
+    A hand-rolled sibling of :class:`repro.orders.cache.AssignmentCache`
+    (which cannot be imported here without inverting the layer order):
+    same locking discipline, same statistics shape, and the same
+    ``cache.<name>.*`` observability counters when a registry is active.
+    """
+
+    def __init__(self, maxsize: int, name: str = "bdd.managers"):
+        self._data: "OrderedDict[Vocabulary, BddManager]" = OrderedDict()
+        self._maxsize = maxsize
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._lock = threading.Lock()
+        self.name = name
+
+    def _publish(self, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
+        try:  # telemetry only; never let the obs layer break a lookup
+            from repro import obs
+
+            registry = obs.active()
+        except Exception:
+            return
+        if registry is None:
+            return
+        prefix = f"cache.{self.name}"
+        if hits:
+            registry.counter(f"{prefix}.hits").inc(hits)
+        if misses:
+            registry.counter(f"{prefix}.misses").inc(misses)
+        if evictions:
+            registry.counter(f"{prefix}.evictions").inc(evictions)
+
+    def get(self, vocabulary: Vocabulary) -> BddManager:
+        evicted = 0
+        with self._lock:
+            manager = self._data.get(vocabulary)
+            hit = manager is not None
+            if hit:
+                self._hits += 1
+                self._data.move_to_end(vocabulary)
+            else:
+                self._misses += 1
+                manager = BddManager(vocabulary)
+                self._data[vocabulary] = manager
+                while len(self._data) > self._maxsize:
+                    self._data.popitem(last=False)
+                    self._evictions += 1
+                    evicted += 1
+        self._publish(hits=int(hit), misses=int(not hit), evictions=evicted)
+        return manager
+
+    def cache_info(self) -> BddCacheInfo:
+        with self._lock:
+            return BddCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                maxsize=self._maxsize,
+                currsize=len(self._data),
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+
+_REGISTRY = _ManagerRegistry(DEFAULT_MANAGER_CACHE_SIZE)
+
+
+def manager_for(vocabulary: Vocabulary) -> BddManager:
+    """The shared manager for a vocabulary (bounded LRU; one per
+    vocabulary, so formula and operation caches persist across calls)."""
+    return _REGISTRY.get(vocabulary)
+
+
+def manager_cache_info() -> BddCacheInfo:
+    """Statistics of the shared-manager registry."""
+    return _REGISTRY.cache_info()
+
+
+def clear_managers() -> None:
+    """Drop every shared manager (tests and memory-pressure escape hatch)."""
+    _REGISTRY.clear()
+
 
 class BddEngine:
-    """Enumeration engine backed by a per-call :class:`BddManager`.
+    """Enumeration engine backed by the *shared* per-vocabulary manager.
 
     Satisfiability and equivalence are terminal checks after construction;
     model materialization expands free variables like the other engines.
+    Formula caches persist across calls (see :func:`manager_for`), so
+    repeated queries over a vocabulary are answered from cache instead of
+    rebuilding the diagram — ``cache_info()`` exposes the traffic.
     """
 
-    def models(self, formula: Formula, vocabulary: Vocabulary) -> ModelSet:
+    def _manager(self, formula: Formula, vocabulary: Vocabulary) -> BddManager:
         missing = formula.atoms() - set(vocabulary.atoms)
         if missing:
             raise VocabularyError(
                 f"formula mentions atoms outside the vocabulary: {sorted(missing)}"
             )
-        manager = BddManager(vocabulary)
+        return manager_for(vocabulary)
+
+    def models(self, formula: Formula, vocabulary: Vocabulary) -> ModelSet:
+        manager = self._manager(formula, vocabulary)
         return manager.to_model_set(manager.from_formula(formula))
 
     def is_satisfiable(self, formula: Formula, vocabulary: Vocabulary) -> bool:
-        missing = formula.atoms() - set(vocabulary.atoms)
-        if missing:
-            raise VocabularyError(
-                f"formula mentions atoms outside the vocabulary: {sorted(missing)}"
-            )
-        manager = BddManager(vocabulary)
+        manager = self._manager(formula, vocabulary)
         return manager.is_satisfiable(manager.from_formula(formula))
 
     def count_models(self, formula: Formula, vocabulary: Vocabulary) -> int:
         """Model count without enumeration — cheap even when the count is
         astronomically large."""
-        manager = BddManager(vocabulary)
+        manager = self._manager(formula, vocabulary)
         return manager.count_models(manager.from_formula(formula))
+
+    def cache_info(self) -> BddCacheInfo:
+        """Shared-manager registry statistics (hits mean a later query
+        reused an earlier query's manager and caches)."""
+        return manager_cache_info()

@@ -74,6 +74,7 @@ class TheoryChangeOperator(ABC):
         mu: Formula,
         vocabulary: Optional[Vocabulary] = None,
         engine: Optional[EnumerationEngine] = None,
+        impl: str = "auto",
     ) -> Formula:
         """Formula-level application: enumerate, change, re-express.
 
@@ -81,9 +82,33 @@ class TheoryChangeOperator(ABC):
         set.  The vocabulary defaults to the union of atoms of ψ and μ;
         pass 𝒯 explicitly when the intended universe is larger (extra atoms
         change distances and therefore outcomes).
+
+        ``impl`` selects the backend: ``"dense"`` enumerates all ``2^|T|``
+        interpretations; ``"symbolic"`` runs on BDD level sets and returns
+        a path-DNF formula instead of the canonical ``form(...)``
+        (logically equivalent, different syntax); ``"auto"`` (default)
+        picks symbolic once the vocabulary reaches
+        :func:`repro.symbolic.symbolic_threshold` and the operator supports
+        it, keeping small instances bit-identical to the historical output.
         """
+        if impl not in ("auto", "dense", "symbolic"):
+            raise VocabularyError(
+                f"unknown impl {impl!r}; expected 'auto', 'dense' or 'symbolic'"
+            )
         if vocabulary is None:
             vocabulary = Vocabulary.from_formulas(psi, mu)
+        if impl != "dense":
+            from repro.symbolic import (
+                apply_symbolic,
+                supports_symbolic,
+                symbolic_threshold,
+            )
+
+            if impl == "symbolic":
+                # Forced: apply_symbolic raises for unsupported operators.
+                return apply_symbolic(self, psi, mu, vocabulary)
+            if supports_symbolic(self) and vocabulary.size >= symbolic_threshold():
+                return apply_symbolic(self, psi, mu, vocabulary)
         psi_models = models(psi, vocabulary, engine)
         mu_models = models(mu, vocabulary, engine)
         result = self.apply_models(psi_models, mu_models)

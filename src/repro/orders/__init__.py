@@ -31,10 +31,18 @@ from repro.orders.preorder import (
     minimal_by_leq,
 )
 from repro.orders.spheres import SphereSystem
+from repro.orders.symbolic import (
+    SymbolicPreorder,
+    max_distance_preorder,
+    min_distance_preorder,
+)
 
 __all__ = [
     "TotalPreorder",
     "LazyTotalPreorder",
+    "SymbolicPreorder",
+    "min_distance_preorder",
+    "max_distance_preorder",
     "AssignmentCache",
     "CacheInfo",
     "DEFAULT_CACHE_SIZE",

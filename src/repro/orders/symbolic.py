@@ -1,0 +1,156 @@
+"""Symbolic pre-orders: level sets as BDD nodes instead of dense ranks.
+
+The dense :class:`~repro.orders.preorder.TotalPreorder` assigns every one
+of the ``2^|T|`` interpretations an explicit rank, which is exactly the
+wall the symbolic backend removes.  A :class:`SymbolicPreorder` never
+ranks individual interpretations: it represents each *level set*
+``{I : rank(I) ≤ k}`` as one BDD node and computes
+``Min(Mod(μ), ≤ψ)`` by walking levels ``k = 0, 1, 2, …`` and intersecting
+— the first satisfiable intersection is the answer (level sets are
+nested, so everything in it sits at the minimal rank).
+
+Two faithful/loyal order families are expressible this way over the
+Hamming metric:
+
+* ``kind="min"`` (Dalal's faithful order): ``rank(I) = min_{J∈ψ}
+  dist(I, J)``.  Level ``k`` is the Hamming ball of radius ``k`` around
+  ``Mod(ψ)`` — the ``k``-fold dilation.
+* ``kind="max"`` (the paper's loyal odist order): ``rank(I) = max_{J∈ψ}
+  dist(I, J)``.  Level ``k`` is an intersection of balls around every
+  model of ψ, which would be exponential to build directly; instead use
+  ``dist(I, J) ≥ k+1 ⇔ dist(I, ~J) ≤ |T|−k−1`` to get the complement
+  image ``level_k = ¬ ball_{|T|−k−1}(flip_all(ψ))``.
+
+Both constructions are lazy (balls extend on demand and are cached on
+the shared manager), so ``minimal`` touches only the levels below the
+answer's rank.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+from repro.logic.bdd import FALSE, TRUE, BddManager
+
+__all__ = [
+    "SymbolicPreorder",
+    "min_distance_preorder",
+    "max_distance_preorder",
+]
+
+
+class SymbolicPreorder:
+    """A total pre-order on interpretation space given by nested BDD
+    level sets — the symbolic sibling of
+    :class:`~repro.orders.preorder.TotalPreorder`.
+
+    ``level_node(k)`` is the set of interpretations of rank ≤ ``k``;
+    ``sphere_node(k)`` the shell of rank exactly ``k``; ``minimal(μ)``
+    the rank-minimal members of ``μ`` — all as nodes on the shared
+    manager, never as dense vectors.
+    """
+
+    __slots__ = ("_manager", "_base", "_kind", "_levels")
+
+    def __init__(self, manager: BddManager, base: int, kind: str):
+        if kind not in ("min", "max"):
+            raise ReproError(
+                f"symbolic pre-orders support kinds 'min' and 'max', got {kind!r}"
+            )
+        self._manager = manager
+        self._base = base
+        self._kind = kind
+        self._levels: dict[int, int] = {}
+
+    @property
+    def manager(self) -> BddManager:
+        return self._manager
+
+    @property
+    def base(self) -> int:
+        """The knowledge base ``Mod(ψ)`` the order is loyal/faithful to."""
+        return self._base
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def max_rank(self) -> int:
+        """Ranks range over ``0 … |T|`` (Hamming distances)."""
+        return self._manager.vocabulary.size
+
+    def level_node(self, rank: int) -> int:
+        """``{I : rank(I) ≤ rank}`` as a node (cached per rank)."""
+        if rank < 0:
+            return FALSE
+        rank = min(rank, self.max_rank)
+        node = self._levels.get(rank)
+        if node is None:
+            manager = self._manager
+            if self._kind == "min":
+                node = manager.hamming_ball(self._base, rank)
+            else:
+                remainder = self.max_rank - rank - 1
+                if remainder < 0:
+                    node = TRUE
+                else:
+                    node = manager.apply_not(
+                        manager.hamming_ball(
+                            manager.flip_all(self._base), remainder
+                        )
+                    )
+            self._levels[rank] = node
+        return node
+
+    def sphere_node(self, rank: int) -> int:
+        """The shell ``{I : rank(I) = rank}`` (level minus its interior)."""
+        return self._manager.apply_and(
+            self.level_node(rank),
+            self._manager.apply_not(self.level_node(rank - 1)),
+        )
+
+    def iter_levels(self) -> Iterator[tuple[int, int]]:
+        """Lazy ``(rank, sphere_node)`` pairs for the non-empty shells, in
+        increasing rank order."""
+        for rank in range(self.max_rank + 1):
+            sphere = self.sphere_node(rank)
+            if sphere != FALSE:
+                yield rank, sphere
+
+    def rank_of(self, mask: int) -> Optional[int]:
+        """The rank of one interpretation bitmask (``None`` when the order
+        is degenerate and no level ever contains it)."""
+        for rank in range(self.max_rank + 1):
+            if self._manager.evaluate(self.level_node(rank), mask):
+                return rank
+        return None
+
+    def minimal(self, candidates: int) -> int:
+        """``Min(candidates, ≤)``: walk levels upward, intersect, stop at
+        the first satisfiable intersection."""
+        manager = self._manager
+        if candidates == FALSE:
+            return FALSE
+        for rank in range(self.max_rank + 1):
+            selected = manager.apply_and(candidates, self.level_node(rank))
+            if selected != FALSE:
+                return selected
+        return FALSE
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolicPreorder(kind={self._kind!r}, base=node#{self._base}, "
+            f"atoms={self._manager.vocabulary.size})"
+        )
+
+
+def min_distance_preorder(manager: BddManager, base: int) -> SymbolicPreorder:
+    """Dalal's faithful order ``rank(I) = min_{J∈Mod(ψ)} dist(I, J)``."""
+    return SymbolicPreorder(manager, base, "min")
+
+
+def max_distance_preorder(manager: BddManager, base: int) -> SymbolicPreorder:
+    """The paper's loyal odist order ``rank(I) = max_{J∈Mod(ψ)} dist(I, J)``."""
+    return SymbolicPreorder(manager, base, "max")

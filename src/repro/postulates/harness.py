@@ -23,6 +23,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 from repro import obs
 from repro.engine.chunks import DEFAULT_EXHAUSTIVE_LIMIT
+from repro.errors import ReproError
 from repro.engine.resilience import DEFAULT_MAX_RETRIES
 from repro.logic.interpretation import Vocabulary, iter_set_bits
 from repro.logic.semantics import ModelSet
@@ -110,6 +111,7 @@ def check_axiom(
     jobs: int = 1,
     chunk_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    impl: str = "dense",
 ) -> CheckResult:
     """Check one axiom for one operator over the vocabulary.
 
@@ -126,7 +128,31 @@ def check_axiom(
     deterministic and result-identical to this serial loop;
     ``chunk_timeout`` / ``max_retries`` configure its resilience ladder
     (ignored on the serial path).
+
+    ``impl="symbolic"`` runs the whole check on BDD level sets
+    (:func:`repro.symbolic.check_axiom_symbolic`): result-identical here
+    up to 16 atoms, and the only mode that completes at 30+.  Symbolic
+    checks are serial (nodes live in one manager), so ``jobs`` must be 1.
     """
+    if impl not in ("dense", "symbolic"):
+        raise ReproError(
+            f"unknown impl {impl!r}; expected 'dense' or 'symbolic'"
+        )
+    if impl == "symbolic":
+        if jobs > 1:
+            raise ReproError(
+                "impl='symbolic' is serial (shared BDD manager); use jobs=1"
+            )
+        from repro.symbolic import check_axiom_symbolic
+
+        return check_axiom_symbolic(
+            operator,
+            axiom,
+            vocabulary,
+            max_scenarios=max_scenarios,
+            rng=rng,
+            stop_at_first=stop_at_first,
+        )
     if jobs > 1:
         from repro.engine.pool import check_axiom_parallel
 
@@ -196,12 +222,29 @@ def audit_operator(
     jobs: int = 1,
     chunk_timeout: Optional[float] = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
+    impl: str = "dense",
 ) -> dict[str, CheckResult]:
     """Check a whole axiom set for one operator; results keyed by axiom.
 
     With ``jobs > 1`` the whole sweep runs through one process pool (one
     roster shipment, shared per-worker caches) instead of per-axiom.
+    ``impl="symbolic"`` audits on BDD level sets (serial; ``jobs`` must
+    stay 1).
     """
+    if impl not in ("dense", "symbolic"):
+        raise ReproError(
+            f"unknown impl {impl!r}; expected 'dense' or 'symbolic'"
+        )
+    if impl == "symbolic":
+        if jobs > 1:
+            raise ReproError(
+                "impl='symbolic' is serial (shared BDD manager); use jobs=1"
+            )
+        from repro.symbolic import audit_operator_symbolic
+
+        return audit_operator_symbolic(
+            operator, axioms, vocabulary, max_scenarios=max_scenarios, rng=rng
+        )
     if jobs > 1:
         from repro.engine.pool import run_audit
 

@@ -76,6 +76,7 @@ def compute_matrix(
     shm: bool | None = None,
     journal_dir: str | None = None,
     resume: bool = False,
+    impl: str = "dense",
 ) -> SatisfactionMatrix:
     """Audit every operator against every axiom.
 
@@ -90,7 +91,38 @@ def compute_matrix(
     ladder, ``shm`` its zero-copy arena, and ``journal_dir`` / ``resume``
     its chunk journal; all engine-only (``journal_dir`` on the serial
     path is refused — it has no chunk boundaries to journal).
+
+    ``impl="symbolic"`` audits on BDD level sets: cell-identical to dense
+    up to 16 atoms, and the only mode feasible at 30+.  Symbolic sweeps
+    are serial and in-process, so they exclude ``jobs > 1``, ``shm`` and
+    ``journal_dir``.
     """
+    if impl not in ("dense", "symbolic"):
+        from repro.errors import ReproError
+
+        raise ReproError(f"unknown impl {impl!r}; expected 'dense' or 'symbolic'")
+    if impl == "symbolic":
+        from repro.errors import ReproError
+
+        if jobs > 1 or shm or journal_dir is not None:
+            raise ReproError(
+                "impl='symbolic' is serial and in-process: "
+                "jobs, --shm and --journal do not apply"
+            )
+        from repro.symbolic import audit_operator_symbolic, ensure_symbolic_roster
+
+        ensure_symbolic_roster(operators)
+        results = {}
+        for operator in operators:
+            results[operator.name] = audit_operator_symbolic(
+                operator, axioms, vocabulary, max_scenarios, rng
+            )
+        return SatisfactionMatrix(
+            operators=tuple(op.name for op in operators),
+            axioms=tuple(a.name for a in axioms),
+            results=results,
+            vocabulary_size=vocabulary.size,
+        )
     if jobs > 1:
         from repro.engine.pool import run_audit
 

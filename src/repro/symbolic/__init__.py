@@ -1,0 +1,59 @@
+"""The symbolic (ROBDD) backend: theory change without the ``2^|T|`` wall.
+
+Layers (bottom to top):
+
+* :mod:`repro.logic.bdd` — hash-consed node store, persistent
+  per-vocabulary managers, and the symbolic kernels (dilation/Hamming
+  balls, XOR images, ⊆-minimization, weight level sets).
+* :mod:`repro.orders.symbolic` — level sets of the faithful min-distance
+  and loyal max-distance pre-orders as nested BDD nodes.
+* :mod:`repro.symbolic.sets` — :class:`SymbolicModelSet`, the duck-typed
+  :class:`~repro.logic.semantics.ModelSet` stand-in.
+* :mod:`repro.symbolic.operators` — per-operator symbolic execution and
+  the ``impl="auto"`` dispatch threshold.
+* :mod:`repro.symbolic.harness` — postulate auditing over symbolic
+  scenarios, dense-stream-identical at small vocabularies.
+
+The dense backend remains the differential oracle throughout:
+``tests/test_symbolic_differential.py`` pins cell-exact agreement.
+"""
+
+from repro.symbolic.harness import (
+    DEFAULT_FORMULA_DEPTH,
+    MASK_SCENARIO_MAX_ATOMS,
+    audit_operator_symbolic,
+    check_axiom_symbolic,
+    ensure_symbolic_roster,
+    lift_model_set,
+    sampled_symbolic_scenarios,
+)
+from repro.symbolic.operators import (
+    DEFAULT_SYMBOLIC_THRESHOLD,
+    SYMBOLIC_THRESHOLD_ENV,
+    SymbolicOperator,
+    apply_models_symbolic,
+    apply_symbolic,
+    merge_models_symbolic,
+    supports_symbolic,
+    symbolic_threshold,
+)
+from repro.symbolic.sets import SymbolicModelSet
+
+__all__ = [
+    "SymbolicModelSet",
+    "SymbolicOperator",
+    "supports_symbolic",
+    "symbolic_threshold",
+    "apply_models_symbolic",
+    "merge_models_symbolic",
+    "apply_symbolic",
+    "check_axiom_symbolic",
+    "audit_operator_symbolic",
+    "ensure_symbolic_roster",
+    "lift_model_set",
+    "sampled_symbolic_scenarios",
+    "DEFAULT_SYMBOLIC_THRESHOLD",
+    "SYMBOLIC_THRESHOLD_ENV",
+    "MASK_SCENARIO_MAX_ATOMS",
+    "DEFAULT_FORMULA_DEPTH",
+]

@@ -1,0 +1,192 @@
+"""Symbolic model sets: the BDD-backed stand-in for :class:`ModelSet`.
+
+A :class:`SymbolicModelSet` is a (shared manager, node) pair exposing the
+subset of the :class:`repro.logic.semantics.ModelSet` API the axiom
+checkers and operators consume — union, intersection, difference,
+``issubset``, ``is_empty``, equality, ``len`` — so the *entire* existing
+postulate machinery runs on it unchanged.  Every operation is a node
+operation: equality is node-id comparison (ROBDDs are canonical),
+``len`` is :meth:`BddManager.count_models`, and nothing ever enumerates
+``2^|T|`` interpretations unless :meth:`to_model_set` is explicitly
+asked for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import VocabularyError
+from repro.logic.bdd import FALSE, TRUE, BddManager, manager_for
+from repro.logic.interpretation import Vocabulary
+from repro.logic.semantics import ModelSet
+from repro.logic.syntax import Formula
+
+__all__ = ["SymbolicModelSet"]
+
+
+class SymbolicModelSet:
+    """An immutable set of interpretations represented by one BDD node.
+
+    Mirrors the dense :class:`ModelSet` contract (the operations the
+    postulate checkers use), but stays symbolic throughout — usable at
+    30+ atoms where a dense set cannot even be constructed.
+    """
+
+    __slots__ = ("_manager", "_node")
+
+    def __init__(self, manager: BddManager, node: int):
+        self._manager = manager
+        self._node = node
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, vocabulary: Vocabulary) -> "SymbolicModelSet":
+        return cls(manager_for(vocabulary), FALSE)
+
+    @classmethod
+    def universe(cls, vocabulary: Vocabulary) -> "SymbolicModelSet":
+        return cls(manager_for(vocabulary), TRUE)
+
+    @classmethod
+    def from_formula(
+        cls, formula: Formula, vocabulary: Vocabulary
+    ) -> "SymbolicModelSet":
+        manager = manager_for(vocabulary)
+        return cls(manager, manager.from_formula(formula))
+
+    @classmethod
+    def from_model_set(cls, model_set: ModelSet) -> "SymbolicModelSet":
+        """Lift a dense set (the differential-oracle direction)."""
+        manager = manager_for(model_set.vocabulary)
+        return cls(manager, manager.from_masks(model_set.masks))
+
+    @classmethod
+    def from_truth_bits(
+        cls, vocabulary: Vocabulary, bits: int
+    ) -> "SymbolicModelSet":
+        """Lift a packed knowledge-base bit-vector (the harness's scenario
+        encoding, bit ``m`` ⇔ interpretation mask ``m``)."""
+        manager = manager_for(vocabulary)
+        return cls(manager, manager.from_truth_bits(bits))
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def manager(self) -> BddManager:
+        return self._manager
+
+    @property
+    def node(self) -> int:
+        """The canonical node id (equal sets have equal node ids)."""
+        return self._node
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._manager.vocabulary
+
+    @property
+    def is_empty(self) -> bool:
+        return self._node == FALSE
+
+    @property
+    def is_universe(self) -> bool:
+        return self._node == TRUE
+
+    def __len__(self) -> int:
+        return self._manager.count_models(self._node)
+
+    # -- set algebra (the checker-facing surface) --------------------------------
+
+    def _coerce(self, other: "SymbolicModelSet") -> int:
+        if not isinstance(other, SymbolicModelSet):
+            raise TypeError(
+                f"expected a SymbolicModelSet, got {type(other).__name__}"
+            )
+        if other._manager is not self._manager:
+            if other.vocabulary != self.vocabulary:
+                raise VocabularyError(
+                    "symbolic model sets are over different vocabularies"
+                )
+            # Same vocabulary on a different manager (e.g. after a registry
+            # eviction): translate through cubes rather than failing.
+            return self._manager.from_cubes(other._manager.iter_cubes(other._node))
+        return other._node
+
+    def union(self, other: "SymbolicModelSet") -> "SymbolicModelSet":
+        return SymbolicModelSet(
+            self._manager, self._manager.apply_or(self._node, self._coerce(other))
+        )
+
+    def intersection(self, other: "SymbolicModelSet") -> "SymbolicModelSet":
+        return SymbolicModelSet(
+            self._manager, self._manager.apply_and(self._node, self._coerce(other))
+        )
+
+    def difference(self, other: "SymbolicModelSet") -> "SymbolicModelSet":
+        return SymbolicModelSet(
+            self._manager,
+            self._manager.apply_and(
+                self._node, self._manager.apply_not(self._coerce(other))
+            ),
+        )
+
+    def complement(self) -> "SymbolicModelSet":
+        return SymbolicModelSet(self._manager, self._manager.apply_not(self._node))
+
+    def issubset(self, other: "SymbolicModelSet") -> bool:
+        return (
+            self._manager.apply_and(
+                self._node, self._manager.apply_not(self._coerce(other))
+            )
+            == FALSE
+        )
+
+    def __le__(self, other: "SymbolicModelSet") -> bool:
+        return self.issubset(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymbolicModelSet):
+            return NotImplemented
+        if other._manager is self._manager:
+            return other._node == self._node
+        if other.vocabulary != self.vocabulary:
+            return False
+        return self._coerce(other) == self._node
+
+    def __hash__(self) -> int:
+        return hash((id(self._manager), self._node))
+
+    def __contains__(self, mask: object) -> bool:
+        if isinstance(mask, int):
+            return self._manager.evaluate(self._node, mask)
+        return False
+
+    # -- conversions -------------------------------------------------------------
+
+    def count(self) -> int:
+        """Exact model count without enumeration (alias of ``len`` that
+        cannot overflow ``__len__`` conventions at huge vocabularies)."""
+        return self._manager.count_models(self._node)
+
+    def witness(self) -> int | None:
+        """The smallest member bitmask, or ``None`` when empty."""
+        return self._manager.any_model(self._node)
+
+    def iter_masks(self) -> Iterable[int]:
+        """Enumerate member bitmasks (ascending) — small vocabularies only."""
+        return self._manager.iter_models(self._node)
+
+    def to_model_set(self) -> ModelSet:
+        """Materialize densely (the differential-oracle direction back)."""
+        return self._manager.to_model_set(self._node)
+
+    def to_formula(self) -> Formula:
+        """A path-DNF formula of the set (size tracks the diagram)."""
+        return self._manager.to_formula(self._node)
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolicModelSet({self.count()} model(s) over "
+            f"{self.vocabulary.size} atom(s), node#{self._node})"
+        )

@@ -4,8 +4,18 @@ import pytest
 from hypothesis import given
 
 from repro.errors import VocabularyError
-from repro.logic.bdd import FALSE, TRUE, BddEngine, BddManager
+from repro.logic.bdd import (
+    FALSE,
+    TRUE,
+    BddEngine,
+    BddManager,
+    clear_managers,
+    manager_cache_info,
+    manager_for,
+)
 from repro.logic.enumeration import TruthTableEngine
+from repro.logic.forgetting import forget_models
+from repro.logic.implicants import minimal_cover
 from repro.logic.interpretation import Vocabulary
 from repro.logic.parser import parse
 from repro.logic.syntax import Atom
@@ -134,3 +144,202 @@ class TestStructuralSharing:
         result = ReveszFitting().apply_models(psi, mu)
         assert result.issubset(mu)
         assert not result.is_empty
+
+
+class TestIteCanonicity:
+    """Equivalent formulas must reduce to the *same* node object — not just
+    semantically equal sets — because the symbolic backend's equality and
+    caching ride entirely on node-id identity."""
+
+    EQUIVALENT_PAIRS = [
+        ("a -> b", "!a | b"),
+        ("a <-> b", "(a & b) | (!a & !b)"),
+        ("a ^ b", "(a | b) & !(a & b)"),
+        ("!(a & b)", "!a | !b"),
+        ("(a & b) | (a & c)", "a & (b | c)"),
+        ("a | (b & (a | c))", "a | (b & c)"),
+    ]
+
+    def test_equivalent_formulas_share_one_node(self):
+        manager = BddManager(VOCAB)
+        for left, right in self.EQUIVALENT_PAIRS:
+            assert manager.from_formula(parse(left)) == manager.from_formula(
+                parse(right)
+            ), f"{left!r} and {right!r} should be the same node"
+
+    @given(formulas())
+    def test_ite_rebuild_is_pointer_stable(self, formula):
+        """Re-translating a formula yields the identical node id (the
+        formula cache may serve it, but a cold rebuild reduces to the same
+        canonical node either way)."""
+        manager = BddManager(VOCAB)
+        first = manager.from_formula(formula)
+        second = manager.from_formula(formula)
+        assert first == second
+
+    @given(formulas())
+    def test_negation_roundtrip_canonical(self, formula):
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(formula)
+        assert manager.apply_not(manager.apply_not(node)) == node
+
+    def test_formula_cache_serves_repeats(self):
+        manager = BddManager(VOCAB)
+        formula = parse("(a -> b) & (b -> c)")
+        manager.from_formula(formula)
+        before = manager.cache_info()
+        manager.from_formula(formula)
+        after = manager.cache_info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+
+class TestCountAndIterAgainstEnumeration:
+    @given(formulas())
+    def test_count_and_iter_agree_with_truth_table(self, formula):
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(formula)
+        expected = sorted(TruthTableEngine().models(formula, VOCAB).masks)
+        assert list(manager.iter_models(node)) == expected
+        assert manager.count_models(node) == len(expected)
+
+    @given(formulas())
+    def test_any_model_is_smallest_member(self, formula):
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(formula)
+        masks = sorted(TruthTableEngine().models(formula, VOCAB).masks)
+        assert manager.any_model(node) == (masks[0] if masks else None)
+
+    @given(formulas())
+    def test_cubes_partition_the_models(self, formula):
+        """iter_cubes yields disjoint cubes whose union is the model set."""
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(formula)
+        seen: set[int] = set()
+        for fixed, value in manager.iter_cubes(node):
+            members = {
+                mask
+                for mask in range(VOCAB.interpretation_count)
+                if (mask & fixed) == value
+            }
+            assert not (members & seen), "cubes must be disjoint"
+            seen |= members
+        assert seen == set(TruthTableEngine().models(formula, VOCAB).masks)
+
+
+class TestOperationCacheMonotonicity:
+    def test_node_count_never_decreases(self):
+        """The store is append-only: operations may add nodes, never drop
+        them (reduction happens at construction, not by GC)."""
+        manager = BddManager(VOCAB)
+        counts = [manager.node_count]
+        for text in ("a & b", "a | c", "(a ^ b) -> c", "!(b <-> c)"):
+            manager.from_formula(parse(text))
+            counts.append(manager.node_count)
+        assert counts == sorted(counts)
+
+    def test_repeated_operations_do_not_grow_the_store(self):
+        """A cached operation is a lookup, not an allocation."""
+        manager = BddManager(VOCAB)
+        left = manager.from_formula(parse("a ^ b"))
+        right = manager.from_formula(parse("b <-> c"))
+        manager.apply_and(left, right)
+        manager.apply_or(left, right)
+        manager.hamming_ball(left, 1)
+        manager.xor_image(left, right)
+        before = manager.node_count
+        for _ in range(5):
+            manager.apply_and(left, right)
+            manager.apply_or(left, right)
+            manager.hamming_ball(left, 1)
+            manager.xor_image(left, right)
+        assert manager.node_count == before
+
+
+class TestForgettingAndImplicantsRoundTrips:
+    @given(formulas())
+    def test_exists_matches_forget_models(self, formula):
+        """Symbolic ∃-quantification is exactly dense forgetting."""
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(formula)
+        dense = TruthTableEngine().models(formula, VOCAB)
+        for name in VOCAB.atoms:
+            level = VOCAB.index(name)
+            projected = manager.exists(node, level)
+            assert manager.to_model_set(projected) == forget_models(
+                dense, [name]
+            )
+
+    @given(formulas())
+    def test_forget_levels_matches_multi_atom_forgetting(self, formula):
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(formula)
+        dense = TruthTableEngine().models(formula, VOCAB)
+        projected = manager.forget_levels(node, [0, 2])
+        assert manager.to_model_set(projected) == forget_models(
+            dense, ["a", "c"]
+        )
+
+    @given(formulas())
+    def test_minimal_cover_lifts_back_to_the_same_node(self, formula):
+        """minimal_cover implicants are (fixed, value) cubes — feeding them
+        to from_cubes must reproduce the node exactly (canonicity)."""
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(formula)
+        dense = TruthTableEngine().models(formula, VOCAB)
+        assert manager.from_cubes(minimal_cover(dense)) == node
+
+    @given(formulas())
+    def test_to_formula_roundtrip(self, formula):
+        manager = BddManager(VOCAB)
+        node = manager.from_formula(formula)
+        assert manager.from_formula(manager.to_formula(node)) == node
+
+
+class TestSharedManagerRegistry:
+    """Regression for the fresh-manager-per-call engine: repeated engine
+    calls over one vocabulary must hit one persistent manager."""
+
+    def setup_method(self):
+        clear_managers()
+
+    def teardown_method(self):
+        clear_managers()
+
+    def test_manager_for_is_idempotent(self):
+        assert manager_for(VOCAB) is manager_for(VOCAB)
+
+    def test_engine_calls_share_one_manager(self):
+        engine = BddEngine()
+        formula = parse("(a -> b) & (b -> c)")
+        engine.models(formula, VOCAB)
+        before = manager_cache_info()
+        engine.count_models(formula, VOCAB)
+        engine.is_satisfiable(formula, VOCAB)
+        after = manager_cache_info()
+        assert after.hits >= before.hits + 2
+        assert after.misses == before.misses
+        assert engine.cache_info().currsize >= 1
+
+    def test_second_engine_call_reuses_formula_translation(self):
+        engine = BddEngine()
+        formula = parse("a ^ (b <-> c)")
+        engine.models(formula, VOCAB)
+        manager = manager_for(VOCAB)
+        hits_before = manager.cache_info().hits
+        engine.models(formula, VOCAB)
+        assert manager.cache_info().hits > hits_before
+
+    def test_registry_is_bounded(self):
+        from repro.logic.bdd import DEFAULT_MANAGER_CACHE_SIZE
+
+        for index in range(DEFAULT_MANAGER_CACHE_SIZE + 3):
+            manager_for(Vocabulary([f"q{index}", f"r{index}"]))
+        info = manager_cache_info()
+        assert info.currsize <= DEFAULT_MANAGER_CACHE_SIZE
+        assert info.evictions >= 3
+
+    def test_vocabulary_must_cover_still_enforced(self):
+        engine = BddEngine()
+        with pytest.raises(VocabularyError):
+            engine.count_models(Atom("z"), VOCAB)
