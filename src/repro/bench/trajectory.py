@@ -131,9 +131,11 @@ def extract_points(payload: dict[str, Any]) -> list[TrajectoryPoint]:
         return _series_points(payload, "crossover", ("atoms",)) + _series_points(
             payload, "query30", ("atoms", "operator")
         )
+    if experiment == "serve":
+        return _series_points(payload, "load", ("atoms", "clients"))
     raise ReproError(
         f"unknown benchmark snapshot: experiment={experiment!r} "
-        "(expected E9, E7-audit, E4-weighted, shm, or symbolic)"
+        "(expected E9, E7-audit, E4-weighted, shm, symbolic, or serve)"
     )
 
 
@@ -325,6 +327,22 @@ def regenerate_payload(
                 crossover=ladder,
                 query_atoms=query_atoms,
                 queries=queries,
+            )
+        if experiment == "serve":
+            from repro.bench.serve_load import write_serve_snapshot
+
+            rows = baseline.get("load", [])
+            workloads = [
+                (
+                    int(row["atoms"]),
+                    int(row["clients"]),
+                    int(row.get("queries_per_client", 12)),
+                )
+                for row in rows
+            ] or [(4, 1, 24), (4, 8, 12), (6, 8, 12)]
+            seed = int(rows[0].get("seed", 0)) if rows else 0
+            return write_serve_snapshot(
+                handle_path, workloads=workloads, seed=seed
             )
         raise ReproError(
             f"cannot regenerate unknown experiment {experiment!r}"

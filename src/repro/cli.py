@@ -13,6 +13,7 @@ Commands
 ``soak``         replay a long seeded change stream with online invariants
 ``trajectory``   gate fresh benchmark runs against committed BENCH baselines
 ``experiments``  run the paper-reproduction drivers E1–E8
+``serve``        run the arbitration service (HTTP/JSON sessions)
 
 Formulas use the library's surface syntax (``!``, ``&``, ``|``, ``->``,
 ``<->``, ``^``); the vocabulary defaults to the atoms mentioned, or pass
@@ -47,7 +48,6 @@ from repro.bench.experiments import (
     standard_operators,
 )
 from repro.core.arbitration import ArbitrationOperator
-from repro.core.fitting import PriorityFitting, ReveszFitting
 from repro.core.weighted import WeightedArbitration, WeightedKnowledgeBase
 from repro.errors import ReproError
 from repro.kb.merge import MergeSession
@@ -57,14 +57,8 @@ from repro.logic.implicants import minimal_formula
 from repro.engine.resilience import DEFAULT_MAX_RETRIES
 from repro.logic.interpretation import Vocabulary
 from repro.logic.parser import parse
-from repro.operators.revision import (
-    BorgidaRevision,
-    DalalRevision,
-    SatohRevision,
-    WeberRevision,
-)
-from repro.operators.update import ForbusUpdate, WinslettUpdate
 from repro.postulates.matrix import compute_matrix, render_matrix
+from repro.session import OPERATOR_FACTORIES, context_for, operator_by_name
 from repro.postulates.weighted_axioms import (
     audit_weighted_operator,
     render_weighted_audit,
@@ -73,16 +67,9 @@ from repro.symbolic import ensure_symbolic_roster, supports_symbolic
 
 __all__ = ["main"]
 
-_OPERATORS = {
-    "dalal": DalalRevision,
-    "satoh": SatohRevision,
-    "borgida": BorgidaRevision,
-    "weber": WeberRevision,
-    "winslett": WinslettUpdate,
-    "forbus": ForbusUpdate,
-    "odist": ReveszFitting,
-    "priority": PriorityFitting,
-}
+# One operator roster for the whole surface: the ``change`` command, the
+# session layer, and the serving layer all dispatch through this table.
+_OPERATORS = dict(OPERATOR_FACTORIES)
 
 _ENGINES = {
     "tt": TruthTableEngine,
@@ -134,8 +121,12 @@ def _cmd_change(args, out) -> int:
     psi = parse(args.psi)
     mu = parse(args.mu)
     vocabulary = _vocabulary(args.atoms, psi, mu)
-    operator = _OPERATORS[args.op]()
-    result = models(operator.apply(psi, mu, vocabulary), vocabulary)
+    operator = operator_by_name(args.op)
+    # Resolve through the shared session registry: repeated invocations in
+    # one process (shell, serve, tests) reuse one execution context per
+    # (operator, vocabulary) instead of rebuilding the distance matrix.
+    context = context_for(operator, vocabulary)
+    result = models(context.apply(psi, mu), vocabulary)
     print(f"{operator.name}(ψ, μ) = {minimal_formula(result)}", file=out)
     _print_models(result, out)
     return 0
@@ -456,6 +447,21 @@ def _cmd_experiments(args, out) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_serve(args, out) -> int:
+    """Run the arbitration service until SIGINT/SIGTERM."""
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        queue_limit=args.queue_limit,
+        batch_window=args.batch_window_ms / 1000.0,
+        batch_max=args.batch_max,
+    )
+    return run_server(config, out=out, metrics_out=args.metrics_out)
+
+
 def _cmd_shell(args, out) -> int:
     from repro.kb.shell import Shell
 
@@ -701,6 +707,48 @@ def _build_parser() -> argparse.ArgumentParser:
         "--only", nargs="*", help="experiment ids, e.g. E3 E4"
     )
     experiments_parser.set_defaults(handler=_cmd_experiments)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the arbitration service (HTTP/JSON sessions)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8423, help="TCP port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist session snapshots under DIR (restart restores them; "
+        "omit for in-memory-only sessions)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="admission bound: queued jobs beyond this are shed with 429 "
+        "(default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching window: how long to coalesce concurrent "
+        "queries onto shared engine contexts (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        help="hard cap on jobs per batch (default: %(default)s)",
+    )
+    serve_parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the final serve.* metrics snapshot to FILE on shutdown",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     shell_parser = subparsers.add_parser(
         "shell", help="interactive theory-change session"

@@ -16,6 +16,7 @@ reattaches whatever operators the caller passes (defaults otherwise).
 from __future__ import annotations
 
 import json
+import os
 from fractions import Fraction
 from typing import Any
 
@@ -32,8 +33,13 @@ __all__ = [
     "model_set_from_dict",
     "weighted_kb_to_dict",
     "weighted_kb_from_dict",
+    "knowledge_base_to_dict",
+    "knowledge_base_from_dict",
     "knowledge_base_to_json",
     "knowledge_base_from_json",
+    "atomic_write_text",
+    "save_json_snapshot",
+    "load_json_snapshot",
 ]
 
 _FORMAT_VERSION = 1
@@ -103,8 +109,81 @@ def weighted_kb_from_dict(data: dict[str, Any]) -> WeightedKnowledgeBase:
     return WeightedKnowledgeBase(vocabulary, weights)
 
 
-def knowledge_base_to_json(kb: KnowledgeBase) -> str:
-    """Serialize a knowledge base (state + provenance) to a JSON string."""
+def atomic_write_text(path: str, text: str) -> None:
+    """Crash-safe file replacement: write-temp, fsync, rename, fsync dir.
+
+    A reader never observes a torn file — it sees either the old
+    complete snapshot or the new complete snapshot.  The temp file lives
+    next to the target (same filesystem, so ``os.replace`` is atomic)
+    and is removed on any failure.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    # Persist the rename itself: fsync the containing directory so the
+    # new entry survives a power loss (best-effort on filesystems that
+    # refuse directory fds).
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def save_json_snapshot(path: str, payload: dict[str, Any]) -> None:
+    """Atomically persist a versioned snapshot payload as canonical JSON.
+
+    The rendering is deterministic (sorted keys, fixed indent, trailing
+    newline), so an unchanged payload re-saves byte-identically — the
+    property the serving layer's restart tests pin.
+    """
+    if "version" not in payload:
+        raise ReproError("snapshot payloads must carry a 'version' stamp")
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(path, text)
+
+
+def load_json_snapshot(path: str, what: str = "snapshot") -> dict[str, Any]:
+    """Load a snapshot written by :func:`save_json_snapshot`.
+
+    A torn or partial file — possible only for snapshots written without
+    :func:`atomic_write_text` (e.g. hand-copied) — is *refused* with a
+    :class:`ReproError` naming the file, never misparsed; version
+    validation stays with the per-kind ``*_from_dict`` loaders.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise ReproError(
+            f"corrupt or truncated {what} at {path}: {error}"
+        ) from error
+    if not isinstance(data, dict):
+        raise ReproError(
+            f"corrupt {what} at {path}: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return data
+
+
+def knowledge_base_to_dict(kb: KnowledgeBase) -> dict[str, Any]:
+    """Plain-JSON representation of a knowledge base (state + provenance)."""
     payload = {
         "version": _FORMAT_VERSION,
         "kind": "knowledge-base",
@@ -122,22 +201,26 @@ def knowledge_base_to_json(kb: KnowledgeBase) -> str:
             for record in kb.history
         ],
     }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    return payload
 
 
-def knowledge_base_from_json(
-    text: str,
+def knowledge_base_to_json(kb: KnowledgeBase) -> str:
+    """Serialize a knowledge base (state + provenance) to a JSON string."""
+    return json.dumps(knowledge_base_to_dict(kb), indent=2, sort_keys=True)
+
+
+def knowledge_base_from_dict(
+    data: dict[str, Any],
     revision=None,
     update=None,
     fitting=None,
 ) -> KnowledgeBase:
-    """Rebuild a knowledge base from :func:`knowledge_base_to_json` output.
+    """Rebuild a knowledge base from :func:`knowledge_base_to_dict` output.
 
     The provenance log is restored as data (it is inspectable but the
     ``before``/``after`` records are not re-derived); operators are
     reattached from the keyword arguments or library defaults.
     """
-    data = json.loads(text)
     if data.get("kind") != "knowledge-base":
         raise ReproError(
             f"not a serialized knowledge base: kind={data.get('kind')!r}"
@@ -168,3 +251,19 @@ def knowledge_base_from_json(
         _models=model_set,
         _history=history,
     )
+
+
+def knowledge_base_from_json(
+    text: str,
+    revision=None,
+    update=None,
+    fitting=None,
+) -> KnowledgeBase:
+    """String-input convenience wrapper for :func:`knowledge_base_from_dict`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ReproError(
+            f"corrupt or truncated knowledge base snapshot: {error}"
+        ) from error
+    return knowledge_base_from_dict(data, revision, update, fitting)

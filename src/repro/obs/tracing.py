@@ -158,7 +158,23 @@ def span(name: str, **attrs) -> Iterator[Optional[SpanRecord]]:
         yield None
     finally:
         duration = time.perf_counter() - start
-        _stack.reset(token)
+        try:
+            _stack.reset(token)
+        except ValueError:
+            # The span exited in a different context than it entered —
+            # possible when the body is an async generator resumed on
+            # another task, or a context-copying callback.  ``reset``
+            # refuses cross-context tokens; prune this span from the
+            # *current* context's stack instead so it cannot linger as a
+            # phantom parent for later spans here.  The entering
+            # context's own copy-on-write stack is unreachable from this
+            # one (contextvars copy per task), so siblings never saw the
+            # span either way.
+            current = _stack.get()
+            if span_id in current:
+                _stack.set(
+                    tuple(open_id for open_id in current if open_id != span_id)
+                )
         recorder.record(
             SpanRecord(
                 span_id=span_id,

@@ -91,24 +91,20 @@ class TheoryChangeOperator(ABC):
         :func:`repro.symbolic.symbolic_threshold` and the operator supports
         it, keeping small instances bit-identical to the historical output.
         """
-        if impl not in ("auto", "dense", "symbolic"):
-            raise VocabularyError(
-                f"unknown impl {impl!r}; expected 'auto', 'dense' or 'symbolic'"
-            )
+        # The session core owns the dispatch rule; every layer (this
+        # method, the postulate harness, the CLI, the serving layer)
+        # resolves through the same definition.
+        from repro.session.dispatch import resolve_backend
+
         if vocabulary is None:
             vocabulary = Vocabulary.from_formulas(psi, mu)
-        if impl != "dense":
-            from repro.symbolic import (
-                apply_symbolic,
-                supports_symbolic,
-                symbolic_threshold,
-            )
+        backend = resolve_backend(self, vocabulary, impl, error=VocabularyError)
+        if backend == "symbolic":
+            from repro.symbolic import apply_symbolic
 
-            if impl == "symbolic":
-                # Forced: apply_symbolic raises for unsupported operators.
-                return apply_symbolic(self, psi, mu, vocabulary)
-            if supports_symbolic(self) and vocabulary.size >= symbolic_threshold():
-                return apply_symbolic(self, psi, mu, vocabulary)
+            # Forced symbolic: apply_symbolic raises for unsupported
+            # operators; auto only resolves here when supported.
+            return apply_symbolic(self, psi, mu, vocabulary)
         psi_models = models(psi, vocabulary, engine)
         mu_models = models(mu, vocabulary, engine)
         result = self.apply_models(psi_models, mu_models)

@@ -134,10 +134,9 @@ def check_axiom(
     up to 16 atoms, and the only mode that completes at 30+.  Symbolic
     checks are serial (nodes live in one manager), so ``jobs`` must be 1.
     """
-    if impl not in ("dense", "symbolic"):
-        raise ReproError(
-            f"unknown impl {impl!r}; expected 'dense' or 'symbolic'"
-        )
+    from repro.session.dispatch import ensure_impl
+
+    ensure_impl(impl, ("dense", "symbolic"))
     if impl == "symbolic":
         if jobs > 1:
             raise ReproError(
@@ -231,10 +230,9 @@ def audit_operator(
     ``impl="symbolic"`` audits on BDD level sets (serial; ``jobs`` must
     stay 1).
     """
-    if impl not in ("dense", "symbolic"):
-        raise ReproError(
-            f"unknown impl {impl!r}; expected 'dense' or 'symbolic'"
-        )
+    from repro.session.dispatch import ensure_impl
+
+    ensure_impl(impl, ("dense", "symbolic"))
     if impl == "symbolic":
         if jobs > 1:
             raise ReproError(

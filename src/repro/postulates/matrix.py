@@ -97,10 +97,9 @@ def compute_matrix(
     are serial and in-process, so they exclude ``jobs > 1``, ``shm`` and
     ``journal_dir``.
     """
-    if impl not in ("dense", "symbolic"):
-        from repro.errors import ReproError
+    from repro.session.dispatch import ensure_impl
 
-        raise ReproError(f"unknown impl {impl!r}; expected 'dense' or 'symbolic'")
+    ensure_impl(impl, ("dense", "symbolic"))
     if impl == "symbolic":
         from repro.errors import ReproError
 

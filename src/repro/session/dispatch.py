@@ -1,0 +1,90 @@
+"""The single definition of backend dispatch for operator execution.
+
+Before the session layer, every call site — ``TheoryChangeOperator.apply``,
+the postulate harness, the satisfaction matrix, the CLI — re-implemented
+the same two decisions: *is this impl string valid here* and *which
+backend actually runs*.  This module owns both, so the answer-identity
+contract ("``impl='auto'`` picks symbolic exactly when the operator
+supports it and the vocabulary clears the threshold") is written down
+once and every layer routes through it.
+
+Backends:
+
+* ``"dense"`` — enumerate all ``2^|T|`` interpretations; the scalar /
+  vectorized numpy stack.
+* ``"symbolic"`` — ROBDD level sets (:mod:`repro.symbolic`); the only
+  backend that completes at 30+ atoms.
+
+``"auto"`` is not a backend but a *policy*: it resolves to one of the two
+above via :func:`resolve_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Type
+
+from repro.errors import ReproError
+from repro.logic.interpretation import Vocabulary
+from repro.operators.base import TheoryChangeOperator
+
+__all__ = [
+    "AUTO",
+    "DENSE",
+    "SYMBOLIC",
+    "ensure_impl",
+    "resolve_backend",
+]
+
+AUTO = "auto"
+DENSE = "dense"
+SYMBOLIC = "symbolic"
+
+
+def ensure_impl(
+    impl: str,
+    allowed: Sequence[str] = (AUTO, DENSE, SYMBOLIC),
+    error: Type[ReproError] = ReproError,
+) -> str:
+    """Validate an ``impl`` string against the modes a call site accepts.
+
+    Raises ``error`` with the historical message shape (the one every
+    pre-refactor call site produced) so behavior is unchanged for callers
+    that match on it.
+    """
+    if impl not in allowed:
+        parts = [repr(mode) for mode in allowed]
+        if len(parts) > 1:
+            expected = ", ".join(parts[:-1]) + " or " + parts[-1]
+        else:
+            expected = parts[0]
+        raise error(f"unknown impl {impl!r}; expected {expected}")
+    return impl
+
+
+def resolve_backend(
+    operator: TheoryChangeOperator,
+    vocabulary: Vocabulary,
+    impl: str = AUTO,
+    error: Type[ReproError] = ReproError,
+) -> str:
+    """Resolve ``impl`` to the backend that will actually run.
+
+    * ``"dense"`` / ``"symbolic"`` are forced (a forced symbolic request
+      for an unsupported operator is *not* rejected here — the symbolic
+      executor raises its own precise refusal, preserving the historical
+      error text);
+    * ``"auto"`` picks symbolic exactly when the operator has a symbolic
+      execution and the vocabulary has reached
+      :func:`repro.symbolic.symbolic_threshold`, keeping small instances
+      bit-identical to the historical dense output.
+    """
+    ensure_impl(impl, error=error)
+    if impl == DENSE:
+        return DENSE
+    if impl == SYMBOLIC:
+        return SYMBOLIC
+    from repro.symbolic import supports_symbolic, symbolic_threshold
+
+    if supports_symbolic(operator) and vocabulary.size >= symbolic_threshold():
+        return SYMBOLIC
+    return DENSE

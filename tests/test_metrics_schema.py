@@ -130,3 +130,47 @@ class TestCliAcceptance:
         payload = json.loads(out.getvalue())
         validate(payload)
         assert payload["counters"]["harness.checks"] > 0
+
+
+class TestServeMetrics:
+    def test_live_serve_payload_validates(self):
+        """A real serve workload's metrics payload obeys the schema."""
+        import asyncio
+
+        from repro.serve import ArbitrationServer, ServeClient, ServeConfig
+
+        async def drive():
+            server = ArbitrationServer(ServeConfig(port=0))
+            await server.start()
+            client = ServeClient(server.host, server.port)
+            try:
+                await client.request(
+                    "POST", "/v1/sessions", {"id": "s", "atoms": ["a", "b"]}
+                )
+                await client.request(
+                    "POST",
+                    "/v1/sessions/s/query",
+                    {"op": "revise", "formula": "a & !b"},
+                )
+                status, payload = await client.request("GET", "/metrics")
+            finally:
+                await client.close()
+                await server.stop()
+            return status, payload
+
+        with obs.use() as registry:
+            status, over_http = asyncio.run(drive())
+            final = obs.metrics_payload(registry)
+        assert status == 200
+        validate(final)
+        names = set(final["counters"])
+        assert {
+            "serve.requests",
+            "serve.queries",
+            "serve.batches",
+            "serve.sessions_created",
+        } <= names
+        assert "serve.queue_depth" in final["gauges"]
+        assert "serve.request_seconds" in final["histograms"]
+        # the /metrics endpoint serves the same (schema-valid) shape
+        validate(over_http)

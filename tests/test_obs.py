@@ -206,6 +206,88 @@ class TestSpans:
         assert payload[0]["name"] == "only"
 
 
+class TestAsyncSpans:
+    """Span propagation across asyncio tasks (the serving layer's shape).
+
+    Each task gets a copy of the creating context, so a span opened
+    before ``gather`` is the parent of every task's spans, while sibling
+    tasks never see each other's open spans.
+    """
+
+    def test_tasks_inherit_parent_without_sibling_leakage(self):
+        import asyncio
+
+        from repro.obs.tracing import current_span_id
+
+        async def child(name: str, delay: float):
+            with span(name):
+                # sleep so the siblings' lifetimes overlap — a stack leak
+                # between tasks would surface as a wrong parent here
+                await asyncio.sleep(delay)
+                return current_span_id()
+
+        async def main():
+            with span("root"):
+                root_id = current_span_id()
+                child_ids = await asyncio.gather(
+                    child("left", 0.02), child("right", 0.001)
+                )
+                return root_id, child_ids, current_span_id()
+
+        with obs.use():
+            root_id, child_ids, after_children = asyncio.run(main())
+            records = {
+                record.name: record
+                for record in obs.active_recorder().records()
+            }
+        assert records["left"].parent_id == root_id
+        assert records["right"].parent_id == root_id
+        assert records["left"].span_id != records["right"].span_id
+        assert child_ids == [
+            records["left"].span_id,
+            records["right"].span_id,
+        ]
+        # the parent's own stack survived its children finishing
+        assert after_children == root_id
+        assert records["root"].parent_id is None
+
+    def test_current_span_id_stable_across_awaits(self):
+        import asyncio
+
+        from repro.obs.tracing import current_span_id
+
+        async def work():
+            with span("outer"):
+                before = current_span_id()
+                await asyncio.sleep(0.001)
+                assert current_span_id() == before
+                with span("inner"):
+                    await asyncio.sleep(0.001)
+                    assert current_span_id() != before
+                assert current_span_id() == before
+
+        with obs.use():
+            asyncio.run(work())
+
+    def test_cross_context_exit_records_instead_of_raising(self):
+        """A span exited in a different context than it entered (async
+        generators resumed on another task, context-copying callbacks)
+        must still record — and must not corrupt the local stack."""
+        import contextvars
+
+        from repro.obs.tracing import current_span_id
+
+        with obs.use():
+            manager = span("crossed")
+            context = contextvars.copy_context()
+            context.run(manager.__enter__)
+            # exiting here hands ``reset`` a token from the other context
+            manager.__exit__(None, None, None)
+            assert current_span_id() is None
+            records = obs.active_recorder().records()
+        assert [record.name for record in records] == ["crossed"]
+
+
 class TestExport:
     def test_payload_shape_when_disabled(self):
         payload = obs.metrics_payload()

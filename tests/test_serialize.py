@@ -187,3 +187,78 @@ class TestKnowledgeBaseRetraction:
     def test_history_records_retractions(self):
         kb = KnowledgeBase("a & b").contract("a").erase("b")
         assert [record.operation for record in kb.history] == ["contract", "erase"]
+
+
+class TestAtomicSnapshots:
+    """Crash-safe snapshot files: atomic writes, refusal of torn reads."""
+
+    def test_atomic_write_replaces_and_leaves_no_temp_files(self, tmp_path):
+        from repro.kb.serialize import atomic_write_text
+
+        path = tmp_path / "state.json"
+        atomic_write_text(str(path), "first\n")
+        atomic_write_text(str(path), "second\n")
+        assert path.read_text() == "second\n"
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == [
+            "state.json"
+        ]
+
+    def test_failed_write_preserves_original_and_cleans_temp(self, tmp_path):
+        from repro.kb.serialize import save_json_snapshot
+
+        path = tmp_path / "state.json"
+        save_json_snapshot(str(path), {"version": 1, "kind": "x"})
+        original = path.read_bytes()
+        with pytest.raises(TypeError):
+            # non-serializable payload: the dump fails mid-write
+            save_json_snapshot(str(path), {"version": 1, "bad": object()})
+        assert path.read_bytes() == original
+        assert sorted(entry.name for entry in tmp_path.iterdir()) == [
+            "state.json"
+        ]
+
+    def test_save_requires_version_stamp(self, tmp_path):
+        from repro.kb.serialize import save_json_snapshot
+
+        with pytest.raises(ReproError, match="version"):
+            save_json_snapshot(str(tmp_path / "x.json"), {"kind": "x"})
+
+    def test_round_trip_and_byte_identical_resave(self, tmp_path):
+        from repro.kb.serialize import (
+            knowledge_base_to_dict,
+            load_json_snapshot,
+            save_json_snapshot,
+        )
+
+        kb = KnowledgeBase("a & (b | !c)").revise("c")
+        payload = {"version": 1, "kind": "wrap", "kb": knowledge_base_to_dict(kb)}
+        path = tmp_path / "kb.json"
+        save_json_snapshot(str(path), payload)
+        first_bytes = path.read_bytes()
+        loaded = load_json_snapshot(str(path))
+        assert loaded == payload
+        save_json_snapshot(str(path), loaded)
+        assert path.read_bytes() == first_bytes
+
+    def test_truncated_snapshot_refused_not_misparsed(self, tmp_path):
+        from repro.kb.serialize import load_json_snapshot, save_json_snapshot
+
+        path = tmp_path / "kb.json"
+        save_json_snapshot(str(path), {"version": 1, "rows": list(range(50))})
+        complete = path.read_bytes()
+        for cut in (1, len(complete) // 2, len(complete) - 2):
+            path.write_bytes(complete[:cut])
+            with pytest.raises(ReproError, match="corrupt or truncated"):
+                load_json_snapshot(str(path), what="kb snapshot")
+
+    def test_non_object_snapshot_refused(self, tmp_path):
+        from repro.kb.serialize import load_json_snapshot
+
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ReproError, match="expected a JSON object"):
+            load_json_snapshot(str(path))
+
+    def test_corrupt_json_string_refused(self):
+        with pytest.raises(ReproError, match="corrupt or truncated"):
+            knowledge_base_from_json('{"kind": "knowledge-base", "versi')

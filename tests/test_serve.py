@@ -1,0 +1,511 @@
+"""Tests for the serving layer: protocol, batching, admission, persistence.
+
+All async tests run through ``asyncio.run`` inside plain pytest functions
+(the suite has no async plugin, deliberately — the stdlib is enough).
+Every server is bound to port 0 on loopback and torn down in the test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro import obs
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.serve import (
+    ArbitrationServer,
+    ServeClient,
+    ServeConfig,
+    SessionStore,
+)
+from repro.session import ContextRegistry, Session, WeightedSession
+
+
+@asynccontextmanager
+async def serve(config: ServeConfig | None = None):
+    """A started server on a fresh port plus one connected client."""
+    server = ArbitrationServer(config or ServeConfig(port=0))
+    await server.start()
+    client = ServeClient(server.host, server.port)
+    try:
+        yield server, client
+    finally:
+        await client.close()
+        await server.stop()
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestProtocolErrors:
+    def test_malformed_request_line_is_400_and_close(self):
+        async def main():
+            async with serve() as (server, _):
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(b"NOT-HTTP\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw
+
+        raw = run(main())
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+        assert b"malformed request line" in raw
+
+    def test_oversized_body_is_413(self):
+        async def main():
+            async with serve() as (server, _):
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    b"POST /v1/sessions HTTP/1.1\r\n"
+                    b"Content-Length: 99999999\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw
+
+        assert b"413" in run(main()).split(b"\r\n", 1)[0]
+
+    def test_bad_json_body_is_400(self):
+        async def main():
+            async with serve() as (server, _):
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                body = b"{not json"
+                writer.write(
+                    b"POST /v1/sessions HTTP/1.1\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                writer.close()
+                return status_line
+
+        assert b"400" in run(main())
+
+    def test_unknown_endpoint_is_404(self):
+        async def main():
+            async with serve() as (_, client):
+                return await client.request("GET", "/nope")
+
+        status, body = run(main())
+        assert status == 404 and body["ok"] is False
+
+    def test_wrong_method_is_405(self):
+        async def main():
+            async with serve() as (_, client):
+                return await client.request("DELETE", "/healthz")
+
+        assert run(main())[0] == 405
+
+
+class TestSessionEndpoints:
+    def test_create_query_ask_roundtrip_matches_direct_kb(self):
+        async def main():
+            async with serve() as (_, client):
+                responses = []
+                responses.append(
+                    await client.request(
+                        "POST",
+                        "/v1/sessions",
+                        {
+                            "id": "s1",
+                            "atoms": ["a", "b", "c"],
+                            "formula": "a & b & (a & b -> c)",
+                        },
+                    )
+                )
+                for op, formula in [
+                    ("revise", "!c"),
+                    ("update", "b -> a"),
+                    ("arbitrate", "!a & !b"),
+                    ("ask", "a | b"),
+                ]:
+                    responses.append(
+                        await client.request(
+                            "POST",
+                            "/v1/sessions/s1/query",
+                            {"op": op, "formula": formula},
+                        )
+                    )
+                return responses
+
+        created, revised, updated, arbitrated, asked = run(main())
+        assert created[0] == 201 and created[1]["session"]["steps"] == 0
+        # the same sequence against a plain knowledge base
+        kb = KnowledgeBase("a & b & (a & b -> c)", atoms=["a", "b", "c"])
+        kb = kb.revise("!c").update("b -> a").arbitrate("!a & !b")
+        assert revised[0] == updated[0] == arbitrated[0] == 200
+        final = arbitrated[1]["session"]
+        assert final["steps"] == 3
+        restored = KnowledgeBase(final["formula"], atoms=final["atoms"])
+        assert restored.model_set == kb.model_set
+        assert asked[1]["answer"] == kb.ask("a | b")
+
+    def test_merge_endpoint(self):
+        async def main():
+            async with serve() as (_, client):
+                await client.request(
+                    "POST",
+                    "/v1/sessions",
+                    {"id": "m", "atoms": ["a", "b"], "formula": "a & b"},
+                )
+                return await client.request(
+                    "POST",
+                    "/v1/sessions/m/query",
+                    {"op": "merge", "sources": ["a & !b", "!a & b"]},
+                )
+
+        status, body = run(main())
+        assert status == 200 and body["session"]["steps"] == 1
+        session = Session("m", atoms=["a", "b"], formula="a & b")
+        session.merge(["a & !b", "!a & b"])
+        assert body["session"]["formula"] == session.state()["formula"]
+
+    def test_conflict_unknown_and_delete(self):
+        async def main():
+            async with serve() as (_, client):
+                await client.request(
+                    "POST", "/v1/sessions", {"id": "x", "atoms": ["a"]}
+                )
+                conflict = await client.request(
+                    "POST", "/v1/sessions", {"id": "x", "atoms": ["a"]}
+                )
+                missing = await client.request("GET", "/v1/sessions/ghost")
+                deleted = await client.request("DELETE", "/v1/sessions/x")
+                gone = await client.request("GET", "/v1/sessions/x")
+                return conflict, missing, deleted, gone
+
+        conflict, missing, deleted, gone = run(main())
+        assert conflict[0] == 409
+        assert missing[0] == 404
+        assert deleted == (200, {"ok": True, "deleted": "x"})
+        assert gone[0] == 404
+
+    def test_bad_requests_are_400(self):
+        async def main():
+            async with serve() as (_, client):
+                no_atoms = await client.request(
+                    "POST", "/v1/sessions", {"id": "y"}
+                )
+                await client.request(
+                    "POST", "/v1/sessions", {"id": "y", "atoms": ["a"]}
+                )
+                bad_op = await client.request(
+                    "POST", "/v1/sessions/y/query", {"op": "transmogrify"}
+                )
+                bad_formula = await client.request(
+                    "POST",
+                    "/v1/sessions/y/query",
+                    {"op": "revise", "formula": "a &&& b"},
+                )
+                bad_id = await client.request(
+                    "POST", "/v1/sessions", {"id": "../sneaky", "atoms": ["a"]}
+                )
+                return no_atoms, bad_op, bad_formula, bad_id
+
+        no_atoms, bad_op, bad_formula, bad_id = run(main())
+        assert no_atoms[0] == 400
+        assert bad_op[0] == 400 and "unknown op" in bad_op[1]["error"]
+        assert bad_formula[0] == 400
+        assert bad_id[0] == 400 and "invalid session id" in bad_id[1]["error"]
+
+    def test_weighted_session_over_http_matches_direct(self):
+        async def main():
+            async with serve() as (_, client):
+                await client.request(
+                    "POST",
+                    "/v1/sessions",
+                    {
+                        "id": "w",
+                        "atoms": ["a", "b"],
+                        "formula": "a",
+                        "weighted": True,
+                        "weight": 2,
+                    },
+                )
+                arb = await client.request(
+                    "POST",
+                    "/v1/sessions/w/query",
+                    {"op": "arbitrate", "formula": "!a & b", "weight": 1},
+                )
+                revise = await client.request(
+                    "POST", "/v1/sessions/w/query", {"op": "revise", "formula": "a"}
+                )
+                ask = await client.request(
+                    "POST", "/v1/sessions/w/query", {"op": "ask", "formula": "a"}
+                )
+                return arb, revise, ask
+
+        arb, revise, ask = run(main())
+        direct = WeightedSession("w", atoms=["a", "b"], formula="a", weight=2)
+        direct.arbitrate("!a & b", weight=1)
+        assert arb[0] == 200
+        assert arb[1]["session"] == direct.state()
+        assert revise[0] == 400  # boolean-only verb on a weighted session
+        assert ask[1]["answer"] == direct.ask("a")
+
+
+class TestBatchingAndAdmission:
+    def test_concurrent_queries_coalesce_into_batches(self):
+        async def main():
+            config = ServeConfig(port=0, batch_window=0.2, batch_max=32)
+            with obs.use() as registry:
+                async with serve(config) as (server, client):
+                    for index in range(4):
+                        await client.request(
+                            "POST",
+                            "/v1/sessions",
+                            {"id": f"c{index}", "atoms": ["a", "b"]},
+                        )
+
+                    async def one_query(index: int):
+                        extra = ServeClient(server.host, server.port)
+                        try:
+                            return await extra.request(
+                                "POST",
+                                f"/v1/sessions/c{index % 4}/query",
+                                {"op": "revise", "formula": "a" if index % 2 else "!a"},
+                            )
+                        finally:
+                            await extra.close()
+
+                    outcomes = await asyncio.gather(
+                        *(one_query(index) for index in range(8))
+                    )
+                snapshot = registry.snapshot()
+            return outcomes, snapshot
+
+        outcomes, snapshot = run(main())
+        assert all(status == 200 for status, _ in outcomes)
+        counters = snapshot["counters"]
+        # eight concurrent same-vocabulary queries must not take eight
+        # batches; the window coalesces them onto the shared context
+        assert counters["serve.coalesced"] >= 1
+        assert counters["serve.batches"] < counters["serve.queries"]
+        assert snapshot["histograms"]["serve.batch_size"]["max"] > 1
+
+    def test_full_queue_sheds_with_429(self):
+        async def main():
+            config = ServeConfig(port=0, queue_limit=1)
+            with obs.use() as registry:
+                async with serve(config) as (server, client):
+                    # Freeze the batcher so the queue cannot drain: the
+                    # first request occupies the single slot, the second
+                    # must be shed immediately.
+                    server._batcher_task.cancel()
+                    await asyncio.sleep(0)
+
+                    first_reader, first_writer = await asyncio.open_connection(
+                        server.host, server.port
+                    )
+                    first_writer.write(
+                        b"GET /v1/sessions/pending HTTP/1.1\r\n"
+                        b"Content-Length: 0\r\n\r\n"
+                    )
+                    await first_writer.drain()
+                    await asyncio.sleep(0.05)  # let it enqueue
+                    shed = await client.request("GET", "/v1/sessions/pending")
+                    first_writer.close()
+                    snapshot = registry.snapshot()
+                    return shed, snapshot
+
+        shed, snapshot = run(main())
+        status, body = shed
+        assert status == 429
+        assert body["shed"] is True
+        assert snapshot["counters"]["serve.shed"] == 1
+
+    def test_healthz_bypasses_admission(self):
+        async def main():
+            config = ServeConfig(port=0, queue_limit=1)
+            async with serve(config) as (server, client):
+                server._batcher_task.cancel()
+                await asyncio.sleep(0)
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    b"GET /v1/sessions/pending HTTP/1.1\r\n"
+                    b"Content-Length: 0\r\n\r\n"
+                )
+                await writer.drain()
+                await asyncio.sleep(0.05)
+                health = await client.request("GET", "/healthz")
+                writer.close()
+                return health
+
+        status, body = run(main())
+        assert status == 200 and body["ok"] is True
+        assert body["queue_depth"] == 1
+
+
+class TestPersistence:
+    def test_restart_restores_sessions_byte_identically(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+
+        async def first_life():
+            config = ServeConfig(port=0, store_dir=store_dir)
+            async with serve(config) as (_, client):
+                await client.request(
+                    "POST",
+                    "/v1/sessions",
+                    {"id": "persist", "atoms": ["a", "b", "c"], "formula": "a"},
+                )
+                await client.request(
+                    "POST",
+                    "/v1/sessions/persist/query",
+                    {"op": "revise", "formula": "b & c"},
+                )
+                return await client.request("GET", "/v1/sessions/persist")
+
+        async def second_life():
+            config = ServeConfig(port=0, store_dir=store_dir)
+            async with serve(config) as (_, client):
+                state = await client.request("GET", "/v1/sessions/persist")
+                ask = await client.request(
+                    "POST",
+                    "/v1/sessions/persist/query",
+                    {"op": "ask", "formula": "b"},
+                )
+                return state, ask
+
+        before = run(first_life())
+        snapshot_path = os.path.join(store_dir, "persist.json")
+        original_bytes = open(snapshot_path, "rb").read()
+
+        after, ask = run(second_life())
+        assert after == before  # the restored state is indistinguishable
+        assert ask[1]["answer"] == "yes"
+        # reads never rewrite; and a re-save of the loaded session is
+        # byte-identical (canonical JSON + deterministic payload)
+        assert open(snapshot_path, "rb").read() == original_bytes
+        store = SessionStore(store_dir)
+        store.save(store.load("persist", registry=ContextRegistry()))
+        assert open(snapshot_path, "rb").read() == original_bytes
+
+    def test_mutations_snapshot_and_delete_removes_file(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+
+        async def main():
+            config = ServeConfig(port=0, store_dir=store_dir)
+            async with serve(config) as (_, client):
+                await client.request(
+                    "POST", "/v1/sessions", {"id": "d", "atoms": ["a"]}
+                )
+                existed = os.path.exists(os.path.join(store_dir, "d.json"))
+                await client.request("DELETE", "/v1/sessions/d")
+                return existed, os.path.exists(os.path.join(store_dir, "d.json"))
+
+        existed, still_there = run(main())
+        assert existed and not still_there
+
+    def test_weighted_sessions_persist_too(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+
+        async def main():
+            config = ServeConfig(port=0, store_dir=store_dir)
+            async with serve(config) as (_, client):
+                await client.request(
+                    "POST",
+                    "/v1/sessions",
+                    {"id": "w", "atoms": ["a", "b"], "weighted": True},
+                )
+                await client.request(
+                    "POST",
+                    "/v1/sessions/w/query",
+                    {"op": "fit", "formula": "a", "weight": 3},
+                )
+                return await client.request("GET", "/v1/sessions/w")
+
+        before = run(main())
+
+        async def reload():
+            config = ServeConfig(port=0, store_dir=store_dir)
+            async with serve(config) as (_, client):
+                return await client.request("GET", "/v1/sessions/w")
+
+        assert run(reload()) == before
+
+    def test_torn_snapshot_refused_on_load(self, tmp_path):
+        from repro.errors import ReproError
+
+        store = SessionStore(str(tmp_path))
+        store.save(Session("t", atoms=["a", "b"], registry=ContextRegistry()))
+        path = store.path_for("t")
+        complete = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(complete[: len(complete) // 2])  # simulate a tear
+        with pytest.raises(ReproError, match="corrupt or truncated"):
+            store.load("t", registry=ContextRegistry())
+
+
+class TestServeCommand:
+    def test_cli_serve_smoke_sigterm_clean_shutdown(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "src")
+        store_dir = str(tmp_path / "store")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--store",
+                store_dir,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline().strip()
+            assert banner.startswith("serve: listening on ")
+            port = int(banner.rsplit(":", 1)[1])
+            import http.client
+
+            connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            connection.request(
+                "POST",
+                "/v1/sessions",
+                body=json.dumps({"id": "cli", "atoms": ["a", "b"]}),
+            )
+            created = connection.getresponse()
+            assert created.status == 201
+            created.read()
+            connection.request(
+                "POST",
+                "/v1/sessions/cli/query",
+                body=json.dumps({"op": "revise", "formula": "a & !b"}),
+            )
+            response = json.loads(connection.getresponse().read())
+            assert response["session"]["formula"] == "a & !b"
+            connection.close()
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+            assert process.returncode == 0, stderr
+            assert "serve: clean shutdown" in stdout
+            assert os.path.exists(os.path.join(store_dir, "cli.json"))
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()

@@ -1,0 +1,303 @@
+"""Tests for the session core: dispatch, the context registry, sessions.
+
+The load-bearing guarantee is *answer identity*: resolving through the
+shared registry must never change what is computed, only where the
+arithmetic happens.  Every block here pins some face of that — context
+results vs direct ``operator.apply``, session verbs vs plain
+``KnowledgeBase`` verbs, payload round-trips — plus the registry's
+LRU/eviction/isolation mechanics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.logic.enumeration import models
+from repro.logic.interpretation import Vocabulary
+from repro.logic.parser import parse
+from repro.logic.semantics import ModelSet
+from repro.operators.revision import DalalRevision, SatohRevision
+from repro.operators.update import WinslettUpdate
+from repro.session import (
+    AUTO,
+    DENSE,
+    SYMBOLIC,
+    ContextRegistry,
+    Session,
+    WeightedSession,
+    ensure_impl,
+    resolve_backend,
+)
+from repro.session.registry import context_key
+from repro.session.session import operator_by_name, validate_session_id
+from repro.symbolic import supports_symbolic
+
+VOC3 = Vocabulary(["a", "b", "c"])
+VOC2 = Vocabulary(["a", "b"])
+
+#: Formula pairs exercising disjoint, overlapping, and nested cases.
+PAIRS = [
+    ("a & b & c", "!c"),
+    ("a | b", "!a & !b"),
+    ("a & (b -> c)", "b & !c"),
+    ("!a", "a | (b & c)"),
+]
+
+
+class TestDispatch:
+    def test_ensure_impl_accepts_known(self):
+        for impl in (AUTO, DENSE, SYMBOLIC):
+            assert ensure_impl(impl) == impl
+
+    def test_ensure_impl_rejects_unknown(self):
+        with pytest.raises(ReproError, match="unknown impl"):
+            ensure_impl("vectorized")
+
+    def test_ensure_impl_respects_allowed_subset(self):
+        with pytest.raises(ReproError, match="expected 'dense' or 'symbolic'"):
+            ensure_impl(AUTO, (DENSE, SYMBOLIC))
+
+    def test_forced_backends_pass_through(self):
+        operator = DalalRevision()
+        assert resolve_backend(operator, VOC3, DENSE) == DENSE
+        assert resolve_backend(operator, VOC3, SYMBOLIC) == SYMBOLIC
+
+    def test_auto_resolves_dense_below_threshold(self):
+        assert resolve_backend(DalalRevision(), VOC3, AUTO) == DENSE
+
+    def test_auto_resolves_symbolic_above_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYMBOLIC_THRESHOLD", "3")
+        operator = DalalRevision()
+        assert supports_symbolic(operator)
+        assert resolve_backend(operator, VOC3, AUTO) == SYMBOLIC
+
+    def test_auto_never_picks_symbolic_for_unsupported_operator(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SYMBOLIC_THRESHOLD", "3")
+        operator = operator_by_name("priority")
+        if supports_symbolic(operator):
+            pytest.skip("priority fitting grew a symbolic execution")
+        assert resolve_backend(operator, VOC3, AUTO) == DENSE
+
+
+class TestContextRegistry:
+    def test_same_configuration_shares_one_context(self):
+        registry = ContextRegistry()
+        first = registry.context_for(DalalRevision(), VOC3, DENSE)
+        second = registry.context_for(DalalRevision(), VOC3, DENSE)
+        assert first is second
+        info = registry.cache_info()
+        assert info.hits == 1 and info.misses == 1
+
+    def test_cross_vocabulary_isolation(self):
+        registry = ContextRegistry()
+        ctx3 = registry.context_for(DalalRevision(), VOC3)
+        ctx2 = registry.context_for(DalalRevision(), VOC2)
+        assert ctx3 is not ctx2
+        assert ctx3.vocabulary == VOC3 and ctx2.vocabulary == VOC2
+        # engines are vocabulary-bound, never shared across vocabularies
+        assert ctx3.engine is not ctx2.engine
+
+    def test_cross_operator_isolation(self):
+        registry = ContextRegistry()
+        assert registry.context_for(DalalRevision(), VOC3) is not (
+            registry.context_for(SatohRevision(), VOC3)
+        )
+
+    def test_eviction_order_is_lru(self):
+        registry = ContextRegistry(max_contexts=2)
+        dalal = registry.context_for(DalalRevision(), VOC3, DENSE)
+        registry.context_for(SatohRevision(), VOC3, DENSE)
+        # touch dalal so satoh is the least recently used
+        assert registry.context_for(DalalRevision(), VOC3, DENSE) is dalal
+        registry.context_for(WinslettUpdate(), VOC3, DENSE)  # evicts satoh
+        assert registry.cache_info().evictions == 1
+        assert registry.context_for(DalalRevision(), VOC3, DENSE) is dalal
+        rebuilt = registry.context_for(SatohRevision(), VOC3, DENSE)
+        assert rebuilt.operator.name == "satoh"  # rebuilt after eviction
+
+    def test_context_key_separates_backends(self):
+        operator = DalalRevision()
+        assert context_key(operator, VOC3, DENSE) != context_key(
+            operator, VOC3, SYMBOLIC
+        )
+
+
+class TestAnswerIdentity:
+    """Contexts must answer exactly like the direct operator paths."""
+
+    @pytest.mark.parametrize(
+        "name", ["dalal", "satoh", "borgida", "weber", "winslett", "forbus", "odist"]
+    )
+    @pytest.mark.parametrize("psi_text,mu_text", PAIRS)
+    def test_dense_context_matches_direct_apply(self, name, psi_text, mu_text):
+        operator = operator_by_name(name)
+        registry = ContextRegistry()
+        context = registry.context_for(operator, VOC3, DENSE)
+        psi, mu = parse(psi_text), parse(mu_text)
+        via_context = context.apply(psi, mu)
+        direct = operator.apply(psi, mu, VOC3, impl=DENSE)
+        assert models(via_context, VOC3) == models(direct, VOC3)
+
+    @pytest.mark.parametrize("psi_text,mu_text", PAIRS)
+    def test_symbolic_context_matches_direct_apply(self, psi_text, mu_text):
+        operator = DalalRevision()
+        registry = ContextRegistry()
+        context = registry.context_for(operator, VOC3, SYMBOLIC)
+        psi, mu = parse(psi_text), parse(mu_text)
+        via_context = context.apply(psi, mu)
+        direct = operator.apply(psi, mu, VOC3, impl=SYMBOLIC)
+        assert models(via_context, VOC3) == models(direct, VOC3)
+
+    @pytest.mark.parametrize("psi_text,mu_text", PAIRS)
+    def test_backends_agree_model_set_level(self, psi_text, mu_text):
+        operator = DalalRevision()
+        registry = ContextRegistry()
+        psi = models(parse(psi_text), VOC3)
+        mu = models(parse(mu_text), VOC3)
+        dense = registry.context_for(operator, VOC3, DENSE)
+        symbolic = registry.context_for(operator, VOC3, SYMBOLIC)
+        assert dense.apply_model_sets(psi, mu) == symbolic.apply_model_sets(
+            psi, mu
+        )
+
+    def test_merge_model_sets_matches_direct_merge(self):
+        from repro.core.arbitration import ArbitrationOperator
+
+        operator = ArbitrationOperator()
+        registry = ContextRegistry()
+        context = registry.context_for(operator, VOC2, DENSE)
+        sources = [
+            models(parse(text), VOC2) for text in ("a & b", "a & !b", "!a")
+        ]
+        assert context.merge_model_sets(sources) == operator.merge_models(
+            sources
+        )
+
+
+class TestSession:
+    def test_ids_are_validated(self):
+        with pytest.raises(ReproError, match="invalid session id"):
+            Session("../escape", atoms=["a"])
+        with pytest.raises(ReproError, match="invalid session id"):
+            validate_session_id(".hidden")
+        assert validate_session_id("jury-1.v2_x") == "jury-1.v2_x"
+
+    def test_unknown_operator_role_rejected(self):
+        with pytest.raises(ReproError, match="unknown operator roles"):
+            Session("s", atoms=["a"], operators={"merge": "dalal"})
+
+    def test_unknown_operator_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown operator"):
+            Session("s", atoms=["a"], operators={"revision": "nope"})
+
+    @pytest.mark.parametrize("verb", ["revise", "update", "fit", "arbitrate"])
+    def test_verbs_match_plain_knowledge_base(self, verb):
+        session = Session(
+            "s", atoms=["a", "b", "c"], formula="a & b & (a & b -> c)"
+        )
+        plain = KnowledgeBase("a & b & (a & b -> c)", atoms=["a", "b", "c"])
+        getattr(session, verb)("!c")
+        plain = getattr(plain, verb)("!c")
+        assert session.kb.model_set == plain.model_set
+        assert session.kb.history[-1].operation == plain.history[-1].operation
+        assert session.kb.history[-1].operator == plain.history[-1].operator
+
+    def test_contract_matches_plain_knowledge_base(self):
+        session = Session("s", atoms=["a", "b"], formula="a & b")
+        plain = KnowledgeBase("a & b", atoms=["a", "b"]).contract("a")
+        session.contract("a")
+        assert session.kb.model_set == plain.model_set
+
+    def test_merge_matches_arbitration_merge_models(self):
+        from repro.core.arbitration import ArbitrationOperator
+
+        session = Session("s", atoms=["a", "b"], formula="a & b")
+        before = session.kb.model_set
+        session.merge(["a & !b", "!a & b"])
+        expected = ArbitrationOperator().merge_models(
+            [
+                before,
+                models(parse("a & !b"), VOC2),
+                models(parse("!a & b"), VOC2),
+            ]
+        )
+        assert session.kb.model_set == expected
+        record = session.kb.history[-1]
+        assert record.operation == "merge"
+        assert record.before == before and record.after == expected
+
+    def test_merge_requires_sources(self):
+        with pytest.raises(ReproError, match="at least one source"):
+            Session("s", atoms=["a"]).merge([])
+
+    def test_sessions_share_registry_contexts(self):
+        registry = ContextRegistry()
+        Session("s1", atoms=["a", "b"], registry=registry).revise("a")
+        Session("s2", atoms=["a", "b"], registry=registry).revise("!a")
+        info = registry.cache_info()
+        assert info.misses == 1  # one dalal/ab context built...
+        assert info.hits >= 1  # ...and reused by the second session
+
+    def test_state_shape(self):
+        session = Session("s", atoms=["a", "b"], formula="a | b")
+        state = session.state()
+        assert state["id"] == "s" and state["kind"] == "boolean"
+        assert state["atoms"] == ["a", "b"] and state["steps"] == 0
+        assert state["satisfiable"] is True and state["models"] == 3
+
+    def test_payload_round_trip_preserves_state_and_history(self):
+        session = Session("s", atoms=["a", "b", "c"], formula="a & b")
+        session.revise("!a")
+        session.merge(["b & c"])
+        restored = Session.from_payload(session.to_payload())
+        assert restored.session_id == "s"
+        assert restored.kb.model_set == session.kb.model_set
+        assert [r.operation for r in restored.kb.history] == ["revise", "merge"]
+        # the restored session keeps working through the registry
+        restored.update("c")
+        assert restored.kb.ask("c") == "yes"
+
+    def test_ask_three_valued(self):
+        session = Session("s", atoms=["a", "b"], formula="a")
+        assert session.ask("a") == "yes"
+        assert session.ask("!a") == "no"
+        assert session.ask("b") == "unknown"
+
+
+class TestWeightedSession:
+    def test_arbitrate_matches_direct_weighted_operator(self):
+        from repro.core.weighted import (
+            WeightedArbitration,
+            WeightedKnowledgeBase,
+        )
+
+        session = WeightedSession("w", atoms=["a", "b"], formula="a", weight=2)
+        session.arbitrate("!a & b", weight=1)
+        left = WeightedKnowledgeBase.from_formula(parse("a"), VOC2, weight=2)
+        right = WeightedKnowledgeBase.from_formula(
+            parse("!a & b"), VOC2, weight=1
+        )
+        direct = WeightedArbitration().apply(left, right)
+        assert dict(session.wkb.items()) == dict(direct.items())
+
+    def test_merge_weights_must_match_sources(self):
+        session = WeightedSession("w", atoms=["a"])
+        with pytest.raises(ReproError, match="one-to-one"):
+            session.merge(["a", "!a"], weights=[1])
+
+    def test_payload_round_trip(self):
+        session = WeightedSession("w", atoms=["a", "b"], formula="a | b")
+        session.fit("a", weight=3)
+        restored = WeightedSession.from_payload(session.to_payload())
+        assert dict(restored.wkb.items()) == dict(session.wkb.items())
+        assert restored.state() == session.state()
+
+    def test_state_counts_steps(self):
+        session = WeightedSession("w", atoms=["a"])
+        session.fit("a")
+        session.arbitrate("!a")
+        assert session.state()["steps"] == 2

@@ -85,6 +85,31 @@ class TestExtractPoints:
         assert by_series["audit"].key == "atoms=12 jobs=4"
         assert by_series["audit"].checksum == "abc"
 
+    def test_serve_rows(self):
+        payload = {
+            "experiment": "serve",
+            "load": [
+                {
+                    "atoms": 4,
+                    "clients": 8,
+                    "speedup": 0.21,
+                    "checksum": "deadbeef",
+                }
+            ],
+        }
+        [point] = extract_points(payload)
+        assert point.series == "load"
+        assert point.key == "atoms=4 clients=8"
+        assert point.checksum == "deadbeef"
+
+    def test_committed_serve_baseline_parses(self):
+        with open("BENCH_serve.json", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        points = extract_points(payload)
+        assert len(points) == 3
+        assert all(point.checksum for point in points)
+        assert all(point.speedup > 0 for point in points)
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ReproError):
             extract_points({"experiment": "E99"})
