@@ -36,6 +36,8 @@ from repro.errors import ReproError
 __all__ = [
     "MAX_BODY_BYTES",
     "MAX_HEADER_BYTES",
+    "MAX_HEADER_COUNT",
+    "MAX_HEADER_BLOCK_BYTES",
     "ProtocolError",
     "HttpRequest",
     "read_request",
@@ -50,6 +52,12 @@ MAX_BODY_BYTES = 1 << 20
 #: Bound on one header line / the request line.
 MAX_HEADER_BYTES = 8 << 10
 
+#: Bounds on one request's whole header block — without them a client
+#: could stream unlimited unique header names on one connection and grow
+#: the headers dict without bound.
+MAX_HEADER_COUNT = 100
+MAX_HEADER_BLOCK_BYTES = 64 << 10
+
 _STATUS_TEXT = {
     200: "OK",
     201: "Created",
@@ -59,6 +67,7 @@ _STATUS_TEXT = {
     409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
@@ -122,12 +131,22 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
         raise ProtocolError(f"malformed request line: {request_line!r}")
     method, path = parts[0].upper(), parts[1]
     headers: dict[str, str] = {}
+    header_lines = 0
+    header_bytes = 0
     while True:
         line = await _read_line(reader)
         if not line:
             raise ProtocolError("connection closed inside headers")
         if line == b"\r\n":
             break
+        header_lines += 1
+        header_bytes += len(line)
+        if header_lines > MAX_HEADER_COUNT or header_bytes > MAX_HEADER_BLOCK_BYTES:
+            raise ProtocolError(
+                f"too many request headers (over {MAX_HEADER_COUNT} lines "
+                f"or {MAX_HEADER_BLOCK_BYTES} bytes)",
+                status=431,
+            )
         name, sep, value = line.decode("latin-1").partition(":")
         if not sep:
             raise ProtocolError(f"malformed header line: {line!r}")

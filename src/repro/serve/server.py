@@ -68,6 +68,14 @@ _BOOLEAN_OPS = (
 _WEIGHTED_OPS = ("fit", "arbitrate", "merge", "ask")
 
 
+def _as_weight(value: Any) -> Optional[int]:
+    """Coerce a client-supplied weight to ``int``; ``None`` if malformed."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return None
+
+
 @dataclass
 class ServeConfig:
     """Tunables of one server instance."""
@@ -295,14 +303,22 @@ class ArbitrationServer:
 
         Read from the event loop before the batch executes; sessions only
         mutate on the worker thread, so a stale read merely costs one
-        coalescing opportunity, never correctness.
+        coalescing opportunity, never correctness.  Create bodies are raw
+        client input (``atoms`` may be anything JSON allows), so the key
+        falls back to per-job identity whenever it would not be hashable;
+        the real validation happens later, on the worker.
         """
         if job.session_id is not None:
             session = self._sessions.get(job.session_id)
             if session is not None:
                 return ("vocabulary",) + tuple(session.vocabulary.atoms)
             return ("session", job.session_id)
-        return ("create", tuple(job.body.get("atoms") or ()))
+        try:
+            key = ("create", tuple(job.body.get("atoms") or ()))
+            hash(key)
+        except TypeError:
+            return ("job", id(job))
+        return key
 
     async def _batcher(self) -> None:
         """Drain the queue into deadline-windowed, vocabulary-grouped batches."""
@@ -313,21 +329,46 @@ class ArbitrationServer:
             if job is None:
                 return
             batch = [job]
-            deadline = loop.time() + self.config.batch_window
-            drained = False
-            while len(batch) < self.config.batch_max:
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    break
+            try:
+                deadline = loop.time() + self.config.batch_window
+                drained = False
+                while len(batch) < self.config.batch_max:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(self._queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                    if item is None:
+                        drained = True
+                        break
+                    batch.append(item)
                 try:
-                    item = await asyncio.wait_for(self._queue.get(), remaining)
-                except asyncio.TimeoutError:
-                    break
-                if item is None:
-                    drained = True
-                    break
-                batch.append(item)
-            await self._run_batch(batch)
+                    await self._run_batch(batch)
+                except Exception as error:  # never let the batcher die
+                    registry = obs.active()
+                    if registry is not None:
+                        registry.counter("serve.errors").inc()
+                    for item in batch:
+                        if not item.future.done():
+                            item.future.set_result(
+                                (
+                                    500,
+                                    {"ok": False, "error": f"internal error: {error}"},
+                                )
+                            )
+            except asyncio.CancelledError:
+                # stop()'s full-queue fallback cancels us mid-batch; jobs
+                # already picked up are no longer in the queue for stop()
+                # to drain, so fail them here instead of leaving their
+                # connection handlers awaiting futures forever.
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_result(
+                            (503, {"ok": False, "error": "server shutting down"})
+                        )
+                raise
             if drained:
                 return
 
@@ -430,11 +471,14 @@ class ArbitrationServer:
             }
         formula = body.get("formula", "true")
         if body.get("weighted"):
+            weight = _as_weight(body.get("weight", 1))
+            if weight is None:
+                return 400, {"ok": False, "error": "'weight' must be an integer"}
             session = WeightedSession(
                 session_id,
                 atoms=atoms,
                 formula=formula,
-                weight=int(body.get("weight", 1)),
+                weight=weight,
             )
         else:
             session = Session(
@@ -446,7 +490,19 @@ class ArbitrationServer:
                 registry=self.registry,
             )
         self._sessions[session_id] = session
-        self._snapshot(session)
+        try:
+            self._snapshot(session)
+        except Exception as error:
+            # No durable snapshot exists: undo the creation so memory and
+            # store agree (a retry can recreate once the store recovers).
+            self._sessions.pop(session_id, None)
+            registry = obs.active()
+            if registry is not None:
+                registry.counter("serve.snapshot_failures").inc()
+            return 500, {
+                "ok": False,
+                "error": f"persistence failed; session not created: {error}",
+            }
         registry = obs.active()
         if registry is not None:
             registry.counter("serve.sessions_created").inc()
@@ -497,7 +553,20 @@ class ArbitrationServer:
                     "error": "merge needs a non-empty 'sources' list",
                 }
             if weighted:
-                session.merge(sources, weights=body.get("weights"))
+                weights = None
+                if body.get("weights") is not None:
+                    raw = body["weights"]
+                    weights = (
+                        [_as_weight(value) for value in raw]
+                        if isinstance(raw, list)
+                        else [None]
+                    )
+                    if any(weight is None for weight in weights):
+                        return 400, {
+                            "ok": False,
+                            "error": "'weights' must be a list of integers",
+                        }
+                session.merge(sources, weights=weights)
             else:
                 session.merge(sources)
         else:
@@ -505,10 +574,29 @@ class ArbitrationServer:
             if not formula:
                 return 400, {"ok": False, "error": f"{op} needs a 'formula'"}
             if weighted:
-                getattr(session, op)(formula, weight=int(body.get("weight", 1)))
+                weight = _as_weight(body.get("weight", 1))
+                if weight is None:
+                    return 400, {"ok": False, "error": "'weight' must be an integer"}
+                getattr(session, op)(formula, weight=weight)
             else:
                 getattr(session, op)(formula)
-        self._snapshot(session)
+        try:
+            self._snapshot(session)
+        except Exception as error:
+            # The op applied in memory but did not persist.  Evict the
+            # session so the next touch reloads the last good snapshot:
+            # the error response then matches observable state, and a
+            # client retry re-applies against that snapshot instead of
+            # double-applying on divergent in-memory state.
+            self._sessions.pop(session_id, None)
+            registry = obs.active()
+            if registry is not None:
+                registry.counter("serve.snapshot_failures").inc()
+                registry.gauge("serve.sessions_active").set(len(self._sessions))
+            return 500, {
+                "ok": False,
+                "error": f"persistence failed; operation rolled back: {error}",
+            }
         return 200, {"ok": True, "op": op, "session": session.state()}
 
     def _snapshot(self, session) -> None:

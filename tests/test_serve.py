@@ -13,6 +13,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 from contextlib import asynccontextmanager
 
@@ -98,6 +99,28 @@ class TestProtocolErrors:
                 return status_line
 
         assert b"400" in run(main())
+
+    def test_header_flood_is_431(self):
+        async def main():
+            async with serve() as (server, _):
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                flood = b"GET /healthz HTTP/1.1\r\n" + b"".join(
+                    f"x-flood-{index}: v\r\n".encode() for index in range(200)
+                )
+                writer.write(flood + b"\r\n")
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    pass  # the server may refuse mid-stream
+                raw = await reader.read()
+                writer.close()
+                return raw
+
+        raw = run(main())
+        assert b"431" in raw.split(b"\r\n", 1)[0]
+        assert b"too many request headers" in raw
 
     def test_unknown_endpoint_is_404(self):
         async def main():
@@ -226,6 +249,64 @@ class TestSessionEndpoints:
         assert bad_formula[0] == 400
         assert bad_id[0] == 400 and "invalid session id" in bad_id[1]["error"]
 
+    def test_malformed_create_atoms_do_not_kill_the_batcher(self):
+        # pre-fix, tuple(5) / hashing [["a"]] raised TypeError on the
+        # event loop and killed the batcher task: every later request
+        # hung and the server 429'd until restart
+        async def main():
+            async with serve() as (_, client):
+                bad_scalar = await client.request(
+                    "POST", "/v1/sessions", {"id": "b1", "atoms": 5}
+                )
+                bad_nested = await client.request(
+                    "POST", "/v1/sessions", {"id": "b2", "atoms": [["a"]]}
+                )
+                good = await client.request(
+                    "POST", "/v1/sessions", {"id": "ok", "atoms": ["a"]}
+                )
+                return bad_scalar, bad_nested, good
+
+        bad_scalar, bad_nested, good = run(main())
+        assert bad_scalar[0] == 400
+        assert bad_nested[0] in (400, 500) and bad_nested[1]["ok"] is False
+        assert good[0] == 201  # the batcher survived both
+
+    def test_malformed_weight_is_400_not_500(self):
+        async def main():
+            async with serve() as (_, client):
+                bad_create = await client.request(
+                    "POST",
+                    "/v1/sessions",
+                    {"id": "w1", "atoms": ["a"], "weighted": True, "weight": "abc"},
+                )
+                await client.request(
+                    "POST",
+                    "/v1/sessions",
+                    {"id": "w2", "atoms": ["a"], "weighted": True},
+                )
+                bad_query = await client.request(
+                    "POST",
+                    "/v1/sessions/w2/query",
+                    {"op": "fit", "formula": "a", "weight": [1]},
+                )
+                bad_weights = await client.request(
+                    "POST",
+                    "/v1/sessions/w2/query",
+                    {"op": "merge", "sources": ["a"], "weights": ["x"]},
+                )
+                string_weight = await client.request(
+                    "POST",
+                    "/v1/sessions/w2/query",
+                    {"op": "fit", "formula": "a", "weight": "3"},
+                )
+                return bad_create, bad_query, bad_weights, string_weight
+
+        bad_create, bad_query, bad_weights, string_weight = run(main())
+        assert bad_create[0] == 400 and "weight" in bad_create[1]["error"]
+        assert bad_query[0] == 400 and "weight" in bad_query[1]["error"]
+        assert bad_weights[0] == 400 and "weights" in bad_weights[1]["error"]
+        assert string_weight[0] == 200  # numeric strings still coerce
+
     def test_weighted_session_over_http_matches_direct(self):
         async def main():
             async with serve() as (_, client):
@@ -331,6 +412,37 @@ class TestBatchingAndAdmission:
         assert status == 429
         assert body["shed"] is True
         assert snapshot["counters"]["serve.shed"] == 1
+
+    def test_cancel_mid_batch_fails_inflight_job_with_503(self):
+        # stop()'s full-queue fallback cancels the batcher; a job already
+        # handed to the worker must be answered, not left hanging
+        async def main():
+            server = ArbitrationServer(ServeConfig(port=0))
+            await server.start()
+            release = threading.Event()
+            original = server._process_jobs
+
+            def blocked(jobs, group_count):
+                release.wait(10)
+                return original(jobs, group_count)
+
+            server._process_jobs = blocked
+            client = ServeClient(server.host, server.port)
+            try:
+                pending = asyncio.create_task(
+                    client.request("GET", "/v1/sessions/inflight")
+                )
+                await asyncio.sleep(0.1)  # batcher dispatched to the worker
+                server._batcher_task.cancel()
+                return await asyncio.wait_for(pending, 5)
+            finally:
+                release.set()
+                await client.close()
+                await server.stop()
+
+        status, body = run(main())
+        assert status == 503
+        assert body["ok"] is False
 
     def test_healthz_bypasses_admission(self):
         async def main():
@@ -442,6 +554,41 @@ class TestPersistence:
                 return await client.request("GET", "/v1/sessions/w")
 
         assert run(reload()) == before
+
+    def test_snapshot_failure_rolls_back_to_last_good_state(self, tmp_path):
+        async def main():
+            config = ServeConfig(port=0, store_dir=str(tmp_path / "store"))
+            with obs.use() as registry:
+                async with serve(config) as (server, client):
+                    await client.request(
+                        "POST",
+                        "/v1/sessions",
+                        {"id": "r", "atoms": ["a", "b"], "formula": "a & b"},
+                    )
+                    before = await client.request("GET", "/v1/sessions/r")
+                    original = server.store.save
+
+                    def failing_save(session):
+                        raise OSError("disk full")
+
+                    server.store.save = failing_save
+                    failed = await client.request(
+                        "POST",
+                        "/v1/sessions/r/query",
+                        {"op": "revise", "formula": "!a"},
+                    )
+                    server.store.save = original
+                    after = await client.request("GET", "/v1/sessions/r")
+                    snapshot = registry.snapshot()
+            return before, failed, after, snapshot
+
+        before, failed, after, snapshot = run(main())
+        assert failed[0] == 500
+        assert "rolled back" in failed[1]["error"]
+        # the session was evicted and reloaded from the last good
+        # snapshot: no divergence between memory, store, and the client
+        assert after == before
+        assert snapshot["counters"]["serve.snapshot_failures"] == 1
 
     def test_torn_snapshot_refused_on_load(self, tmp_path):
         from repro.errors import ReproError
